@@ -1,0 +1,313 @@
+// Package cosplit_test holds the top-level benchmark harness: one
+// testing.B benchmark per table and figure in the paper's evaluation
+// (Sec. 5), as indexed in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// The heavyweight throughput benchmarks (Fig. 14) use scaled-down
+// epoch counts per iteration; cmd/shardsim runs the full 10-epoch
+// configuration from the paper.
+package cosplit_test
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"cosplit/internal/bench"
+	"cosplit/internal/chain"
+	"cosplit/internal/contracts"
+	"cosplit/internal/core/analysis"
+	"cosplit/internal/core/ge"
+	"cosplit/internal/core/signature"
+	"cosplit/internal/ethdata"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/parser"
+	"cosplit/internal/scilla/typecheck"
+	"cosplit/internal/scilla/value"
+	"cosplit/internal/shard"
+	"cosplit/internal/workload"
+)
+
+// --- E1/E2: Fig. 1 — Ethereum transaction breakdown ---
+
+func BenchmarkFig1Breakdown(b *testing.B) {
+	sample := ethdata.Generate(2000, 2020)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buckets := ethdata.Analyze(sample)
+		if len(buckets) == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+}
+
+// --- E3/E4: Fig. 12 — deployment pipeline stage timings ---
+
+func BenchmarkFig12Parse(b *testing.B) {
+	for _, e := range contracts.All() {
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parser.ParseModule(e.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig12Typecheck(b *testing.B) {
+	for _, e := range contracts.All() {
+		m, err := parser.ParseModule(e.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := typecheck.Check(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig12ShardingAnalysis(b *testing.B) {
+	for _, e := range contracts.All() {
+		chk := contracts.MustParse(e.Name)
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := analysis.New(chk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := a.AnalyzeAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6/E7/E8: Fig. 13 and the Sec. 5.2 table — GE enumeration ---
+
+func BenchmarkFig13GoodEnough(b *testing.B) {
+	for _, name := range []string{
+		"FungibleToken", "Crowdfunding", "NonfungibleToken", "ProofIPFS", "UDRegistry",
+	} {
+		chk := contracts.MustParse(name)
+		a, err := analysis.New(chk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sums, err := a.AnalyzeAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fields []string
+		for f := range chk.FieldTypes {
+			fields = append(fields, f)
+		}
+		fields = append(fields, signature.BalanceField)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ge.Analyze(name, sums, fields); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E9: Fig. 14 — throughput per workload and configuration ---
+
+// benchThroughputCfg is a scaled-down per-iteration configuration.
+var benchThroughputCfg = bench.ThroughputConfig{
+	Epochs:        3,
+	TxsPerEpoch:   3000,
+	NodesPerShard: 5,
+	ShardGasLimit: 30_000,
+	DSGasLimit:    30_000,
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for _, w := range workload.All() {
+		name := w.Name
+		for _, cfgCase := range []struct {
+			label   string
+			shards  int
+			sharded bool
+		}{
+			{"baseline-3sh", 3, false},
+			{"cosplit-3sh", 3, true},
+			{"cosplit-4sh", 4, true},
+			{"cosplit-5sh", 5, true},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", name, cfgCase.label), func(b *testing.B) {
+				var committed int
+				var seconds float64
+				for i := 0; i < b.N; i++ {
+					w2, err := workload.ByName(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Scale down the provisioning phase: the offered
+					// load here is 9,000 transactions per iteration.
+					if w2.SetupSize > 10_000 {
+						w2.SetupSize = 10_000
+					}
+					if w2.Users > 10_000 {
+						w2.Users = 10_000
+					}
+					r, err := bench.MeasureThroughput(w2, cfgCase.shards, cfgCase.sharded, benchThroughputCfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					committed += r.Committed
+					seconds += r.WallTime.Seconds()
+				}
+				b.ReportMetric(float64(committed)/seconds, "tps")
+			})
+		}
+	}
+}
+
+// --- E10: Sec. 5.2.2 — dispatch and merge overheads ---
+
+func benchmarkDispatch(b *testing.B, sharded bool) {
+	w := workload.FTTransfer()
+	w.Setup = nil
+	env, err := workload.Provision(w, shard.DefaultConfig(3), sharded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	txs := make([]*chain.Tx, b.N)
+	for i := range txs {
+		tx := w.Next(env)
+		tx.ID = uint64(i + 1)
+		txs[i] = tx
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Net.Disp.Dispatch(txs[i])
+	}
+}
+
+func BenchmarkDispatchBaseline(b *testing.B) { benchmarkDispatch(b, false) }
+func BenchmarkDispatchCoSplit(b *testing.B)  { benchmarkDispatch(b, true) }
+
+// BenchmarkMergePerField measures the per-changed-field cost of the
+// three-way merge for both join operations (Sec. 5.2.2: 0.8µs → 48.65µs
+// per field in the paper).
+func BenchmarkMergePerField(b *testing.B) {
+	for _, join := range []signature.Join{signature.OwnOverwrite, signature.IntMerge} {
+		b.Run(join.String(), func(b *testing.B) {
+			fieldTypes := contracts.MustParse("FungibleToken").FieldTypes
+			const entries = 1000
+			mkBase := func() *eval.MemState {
+				st := eval.NewMemState(fieldTypes)
+				if err := st.InitFrom(mustInterp(b)); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < entries; i++ {
+					k := chain.AddrFromUint(uint64(i)).Value()
+					if err := st.MapSet("balances", []value.Value{k}, value.Uint128(1000)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return st
+			}
+			base := mkBase()
+			ov := chain.NewOverlay(base, fieldTypes)
+			for i := 0; i < entries; i++ {
+				k := chain.AddrFromUint(uint64(i)).Value()
+				if err := ov.MapSet("balances", []value.Value{k}, value.Uint128(1234)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			d, err := ov.ExtractDelta(chain.Address{}, 0, map[string]signature.Join{"balances": join})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				target := base.Copy()
+				b.StartTimer()
+				if err := chain.MergeDeltas(target, []*chain.StateDelta{d}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/entries, "ns/field")
+		})
+	}
+}
+
+func mustInterp(b *testing.B) *eval.Interpreter {
+	b.Helper()
+	chk := contracts.MustParse("FungibleToken")
+	owner := chain.AddrFromUint(1)
+	in, err := eval.New(chk, map[string]value.Value{
+		"contract_owner": owner.Value(),
+		"token_name":     value.Str{S: "B"},
+		"token_symbol":   value.Str{S: "B"},
+		"decimals":       value.Uint32V(6),
+		"init_supply":    value.Uint128(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// --- E11 / core micro-benchmarks ---
+
+// BenchmarkInterpreterTransfer measures raw single-transition execution
+// (the unit the shards parallelise).
+func BenchmarkInterpreterTransfer(b *testing.B) {
+	in := mustInterp(b)
+	st := eval.NewMemState(in.Checked().FieldTypes)
+	if err := st.InitFrom(in); err != nil {
+		b.Fatal(err)
+	}
+	owner := chain.AddrFromUint(1)
+	if err := st.MapSet("balances", []value.Value{owner.Value()}, value.Uint128(1<<40)); err != nil {
+		b.Fatal(err)
+	}
+	to := chain.AddrFromUint(2)
+	args := map[string]value.Value{"to": to.Value(), "amount": value.Uint128(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := &eval.Context{
+			Sender: owner.Value(), Origin: owner.Value(),
+			Amount: value.Uint128(0), BlockNumber: big.NewInt(1), State: st,
+		}
+		if _, err := in.Run(ctx, "Transfer", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignatureDerive measures Algorithm 3.1 (the per-query cost
+// that makes the Fig. 13 enumeration expensive at mining time).
+func BenchmarkSignatureDerive(b *testing.B) {
+	chk := contracts.MustParse("FungibleToken")
+	a, err := analysis.New(chk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sums, err := a.AnalyzeAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := signature.Query{
+		Transitions: []string{"Mint", "Transfer", "TransferFrom"},
+		WeakReads:   []string{"balances", "allowances"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signature.Derive(sums, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Command cosplit is the CoSplit analyser CLI: it parses, typechecks
+// and analyses Scilla contracts, prints Fig. 8-style transition
+// summaries, solves sharding queries into signatures (Fig. 11), and
+// regenerates the static-analysis evaluation artifacts (Fig. 12,
+// Fig. 13, the Sec. 5.2 table, the Sec. 5.1.2 histogram).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cosplit/internal/bench"
+	"cosplit/internal/contracts"
+	"cosplit/internal/core/analysis"
+	"cosplit/internal/core/ge"
+	"cosplit/internal/core/repair"
+	"cosplit/internal/core/signature"
+	"cosplit/internal/scilla/parser"
+	"cosplit/internal/scilla/typecheck"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", "", "path to a Scilla contract source file")
+		corpus    = flag.String("contract", "", "name of a corpus contract (see -list)")
+		list      = flag.Bool("list", false, "list corpus contracts")
+		summaries = flag.Bool("summaries", false, "print per-transition effect summaries (Fig. 8)")
+		sign      = flag.String("sign", "", "comma-separated transitions to shard; prints the signature")
+		weak      = flag.String("weak", "", "comma-separated weak-read fields for -sign")
+		geFlag    = flag.Bool("ge", false, "enumerate good-enough signatures (Fig. 13 data)")
+		timing    = flag.Bool("timing", false, "measure the deployment pipeline for the corpus (Fig. 12)")
+		rounds    = flag.Int("rounds", 100, "measurement rounds for -timing")
+		histogram = flag.Bool("histogram", false, "print the corpus transition histogram (Sec. 5.1.2)")
+		table52   = flag.Bool("table52", false, "print the Sec. 5.2 contract table")
+		fig13     = flag.Bool("fig13", false, "print Fig. 13 GE statistics for the whole corpus")
+		advise    = flag.Bool("advise", false, "print Sec. 6 repair suggestions for unshardable transitions")
+		jsonOut   = flag.Bool("json", false, "with -sign: emit the signature in the JSON wire format")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range contracts.Names() {
+			fmt.Println(name)
+		}
+		return
+	case *timing:
+		rows, err := bench.RunFig12(*rounds)
+		fail(err)
+		bench.PrintFig12(os.Stdout, rows)
+		return
+	case *histogram:
+		hist, err := bench.TransitionHistogram()
+		fail(err)
+		bench.PrintHistogram(os.Stdout, hist)
+		return
+	case *table52:
+		stats, err := bench.RunGE([]string{
+			"FungibleToken", "Crowdfunding", "NonfungibleToken", "ProofIPFS", "UDRegistry",
+		})
+		fail(err)
+		bench.PrintTable52(os.Stdout, stats)
+		return
+	case *fig13:
+		stats, err := bench.RunGE(nil)
+		fail(err)
+		bench.PrintFig13(os.Stdout, stats)
+		return
+	}
+
+	chk := load(*file, *corpus)
+	a, err := analysis.New(chk)
+	fail(err)
+	sums, err := a.AnalyzeAll()
+	fail(err)
+
+	if *advise {
+		suggestions := repair.Advise(sums)
+		if len(suggestions) == 0 {
+			fmt.Println("no repair suggestions: every transition is analysable")
+		}
+		for _, sug := range suggestions {
+			fmt.Println(sug)
+		}
+		return
+	}
+
+	if *summaries || (*sign == "" && !*geFlag) {
+		names := make([]string, 0, len(sums))
+		for tr := range sums {
+			names = append(names, tr)
+		}
+		sort.Strings(names)
+		for _, tr := range names {
+			fmt.Printf("=== transition %s ===\n%s\n", tr, sums[tr])
+		}
+	}
+	if *sign != "" {
+		q := signature.Query{Transitions: split(*sign), WeakReads: split(*weak)}
+		sg, err := signature.Derive(sums, q)
+		fail(err)
+		if *jsonOut {
+			data, err := json.MarshalIndent(sg, "", "  ")
+			fail(err)
+			fmt.Println(string(data))
+		} else {
+			fmt.Println(sg)
+		}
+	}
+	if *geFlag {
+		var fields []string
+		for f := range chk.FieldTypes {
+			fields = append(fields, f)
+		}
+		fields = append(fields, signature.BalanceField)
+		res, err := ge.Analyze(chk.Module.Contract.Name, sums, fields)
+		fail(err)
+		fmt.Printf("transitions:      %d\n", res.NumTransitions)
+		fmt.Printf("largest GE:       %d  %v\n", res.LargestGE, res.LargestGESelection)
+		fmt.Printf("maximal GE count: %d\n", res.MaximalGE)
+		for _, sel := range res.MaximalSelections {
+			fmt.Printf("  maximal: %v\n", sel)
+		}
+		fmt.Printf("solver queries:   %d\n", res.Queries)
+	}
+}
+
+func load(file, corpus string) *typecheck.Checked {
+	var source string
+	switch {
+	case file != "":
+		b, err := os.ReadFile(file)
+		fail(err)
+		source = string(b)
+	case corpus != "":
+		e, err := contracts.Get(corpus)
+		fail(err)
+		source = e.Source
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cosplit -contract <name> | -file <path> [flags]; see -help")
+		os.Exit(2)
+	}
+	m, err := parser.ParseModule(source)
+	fail(err)
+	chk, err := typecheck.Check(m)
+	fail(err)
+	return chk
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cosplit:", err)
+		os.Exit(1)
+	}
+}

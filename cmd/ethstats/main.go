@@ -1,0 +1,25 @@
+// Command ethstats regenerates the Fig. 1 Ethereum transaction
+// breakdown from the synthetic calibrated trace (see internal/ethdata
+// for the substitution rationale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cosplit/internal/ethdata"
+)
+
+func main() {
+	var (
+		blocks = flag.Int("blocks", 16611, "number of sampled blocks (paper: 16,611)")
+		seed   = flag.Int64("seed", 2020, "generator seed")
+	)
+	flag.Parse()
+	sample := ethdata.Generate(*blocks, *seed)
+	fmt.Printf("synthetic sample: %d blocks, %d transactions\n\n", *blocks, len(sample.Txs))
+	buckets := ethdata.Analyze(sample)
+	ethdata.Print(os.Stdout, buckets)
+	_ = os.Stdout
+}

@@ -1,0 +1,71 @@
+// Command scilla-check parses and typechecks a Scilla contract and
+// optionally pretty-prints it back (a front-end sanity tool mirroring
+// the scilla-checker of the reference implementation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/parser"
+	"cosplit/internal/scilla/typecheck"
+)
+
+func main() {
+	var (
+		file   = flag.String("file", "", "path to a Scilla source file")
+		corpus = flag.String("contract", "", "name of a corpus contract")
+		print  = flag.Bool("print", false, "pretty-print the parsed module")
+		info   = flag.Bool("info", true, "print contract structure summary")
+	)
+	flag.Parse()
+
+	var source string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		fail(err)
+		source = string(b)
+	case *corpus != "":
+		e, err := contracts.Get(*corpus)
+		fail(err)
+		source = e.Source
+	default:
+		fmt.Fprintln(os.Stderr, "usage: scilla-check -file <path> | -contract <name>")
+		os.Exit(2)
+	}
+
+	m, err := parser.ParseModule(source)
+	fail(err)
+	chk, err := typecheck.Check(m)
+	fail(err)
+
+	if *print {
+		fmt.Print(ast.PrintModule(m))
+		return
+	}
+	if *info {
+		c := &chk.Module.Contract
+		fmt.Printf("contract %s: OK\n", c.Name)
+		fmt.Printf("  parameters:  %d\n", len(c.Params))
+		fmt.Printf("  fields:      %d\n", len(c.Fields))
+		for _, f := range c.Fields {
+			fmt.Printf("    %-24s : %s\n", f.Name, f.Type)
+		}
+		fmt.Printf("  transitions: %d\n", len(c.Transitions))
+		for _, tr := range c.Transitions {
+			fmt.Printf("    %s/%d\n", tr.Name, len(tr.Params))
+		}
+		fmt.Printf("  LOC:         %d\n", contracts.LinesOfCode(source))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scilla-check:", err)
+		os.Exit(1)
+	}
+}

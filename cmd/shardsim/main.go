@@ -1,0 +1,84 @@
+// Command shardsim runs the sharded-blockchain throughput experiments:
+// Fig. 14 (TPS per workload under baseline and CoSplit sharding), the
+// Sec. 5.2.2 overhead measurements, and the Sec. 5.2.3 ownership-vs-
+// commutativity ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cosplit/internal/bench"
+	"cosplit/internal/workload"
+)
+
+func main() {
+	var (
+		epochs    = flag.Int("epochs", 10, "epochs per configuration (paper: 10)")
+		txs       = flag.Int("txs", 8000, "offered load per epoch")
+		shardGas  = flag.Uint64("shard-gas", 40_000, "per-shard gas limit per epoch")
+		dsGas     = flag.Uint64("ds-gas", 40_000, "DS-committee gas limit per epoch")
+		nodes     = flag.Int("nodes", 5, "nodes per shard (paper: 5)")
+		workloads = flag.String("workloads", "", "comma-separated workloads (default: all)")
+		overheads = flag.Bool("overheads", false, "measure Sec. 5.2.2 overheads instead of Fig. 14")
+		strategy  = flag.Bool("strategies", false, "run the Sec. 5.2.3 ownership-vs-commutativity ablation")
+		listFlag  = flag.Bool("list", false, "list workloads")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, w := range workload.All() {
+			fmt.Printf("%-20s (%s)\n", w.Name, w.Contract)
+		}
+		return
+	}
+
+	cfg := bench.ThroughputConfig{
+		Epochs:        *epochs,
+		TxsPerEpoch:   *txs,
+		NodesPerShard: *nodes,
+		ShardGasLimit: *shardGas,
+		DSGasLimit:    *dsGas,
+	}
+
+	switch {
+	case *overheads:
+		r, err := bench.MeasureOverheads(5000)
+		fail(err)
+		bench.PrintOverheads(os.Stdout, r)
+	case *strategy:
+		rows, err := bench.RunStrategies(cfg)
+		fail(err)
+		bench.PrintStrategies(os.Stdout, rows)
+	default:
+		names := split(*workloads)
+		if len(names) == 0 {
+			for _, w := range workload.All() {
+				names = append(names, w.Name)
+			}
+		}
+		rows, err := bench.RunFig14(cfg, names)
+		fail(err)
+		bench.PrintFig14(os.Stdout, rows)
+	}
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardsim:", err)
+		os.Exit(1)
+	}
+}

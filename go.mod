@@ -1,0 +1,3 @@
+module cosplit
+
+go 1.22

@@ -1,0 +1,105 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"cosplit/internal/bench"
+	"cosplit/internal/workload"
+)
+
+func TestMeasurePipeline(t *testing.T) {
+	row, err := bench.MeasurePipeline("FungibleToken", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Parse <= 0 || row.Typecheck <= 0 || row.Analysis <= 0 {
+		t.Errorf("zero-valued stage timing: %+v", row)
+	}
+	if row.Total() != row.Parse+row.Typecheck+row.Analysis {
+		t.Error("Total() inconsistent")
+	}
+}
+
+func TestRunGETable52(t *testing.T) {
+	stats, err := bench.RunGE([]string{"Crowdfunding", "NonfungibleToken"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d rows", len(stats))
+	}
+	for _, s := range stats {
+		if s.LOC == 0 || s.NumTransitions == 0 {
+			t.Errorf("degenerate row: %+v", s)
+		}
+	}
+	var sb strings.Builder
+	bench.PrintTable52(&sb, stats)
+	if !strings.Contains(sb.String(), "Crowdfunding") {
+		t.Error("table missing contract")
+	}
+}
+
+func TestTransitionHistogram(t *testing.T) {
+	hist, err := bench.TransitionHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total < 20 {
+		t.Errorf("histogram covers %d contracts, want the full corpus", total)
+	}
+}
+
+func TestMeasureThroughputSmoke(t *testing.T) {
+	w, err := workload.ByName("FT transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Users = 30
+	cfg := bench.ThroughputConfig{
+		Epochs: 2, TxsPerEpoch: 200, NodesPerShard: 5,
+		ShardGasLimit: 1 << 30, DSGasLimit: 1 << 30,
+	}
+	r, err := bench.MeasureThroughput(w, 2, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed == 0 || r.TPS <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+}
+
+func TestMeasureOverheadsSmoke(t *testing.T) {
+	r, err := bench.MeasureOverheads(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoSplitDispatch <= r.BaselineDispatch {
+		t.Logf("note: CoSplit dispatch (%v) not slower than baseline (%v) at this sample size",
+			r.CoSplitDispatch, r.BaselineDispatch)
+	}
+	if r.ExecuteTime <= r.MergeTime {
+		t.Errorf("executing %d txs (%v) should dominate merging their delta (%v)",
+			r.ExecutedTxs, r.ExecuteTime, r.MergeTime)
+	}
+	var sb strings.Builder
+	bench.PrintOverheads(&sb, r)
+	if !strings.Contains(sb.String(), "dispatch latency") {
+		t.Error("overheads rendering broken")
+	}
+}
+
+func TestSummariesHelper(t *testing.T) {
+	sums, err := bench.Summaries("FungibleToken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sums["Transfer"]; !ok {
+		t.Error("Transfer summary missing")
+	}
+}

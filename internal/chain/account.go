@@ -1,0 +1,177 @@
+package chain
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+)
+
+// Account is a native-token account with the relaxed nonce mechanism of
+// Sec. 4.2.1: transactions must carry strictly increasing nonces, but
+// gaps are allowed (Paxos-ballot style), so disjoint nonce sets from
+// the same user can be processed in different shards in parallel.
+type Account struct {
+	Balance    *big.Int
+	Nonce      uint64 // highest nonce committed so far
+	IsContract bool
+}
+
+// Copy deep-copies the account.
+func (a *Account) Copy() *Account {
+	return &Account{
+		Balance:    new(big.Int).Set(a.Balance),
+		Nonce:      a.Nonce,
+		IsContract: a.IsContract,
+	}
+}
+
+// Accounts is the global account table.
+type Accounts struct {
+	mu sync.RWMutex
+	m  map[Address]*Account
+}
+
+// NewAccounts creates an empty account table.
+func NewAccounts() *Accounts {
+	return &Accounts{m: make(map[Address]*Account)}
+}
+
+// Create adds an account with the given initial balance. It replaces
+// any existing account.
+func (as *Accounts) Create(addr Address, balance uint64, isContract bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.m[addr] = &Account{
+		Balance:    new(big.Int).SetUint64(balance),
+		IsContract: isContract,
+	}
+}
+
+// Get returns a copy of the account, or nil if absent.
+func (as *Accounts) Get(addr Address) *Account {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	a, ok := as.m[addr]
+	if !ok {
+		return nil
+	}
+	return a.Copy()
+}
+
+// IsContract reports whether the address holds a contract.
+func (as *Accounts) IsContract(addr Address) bool {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	a, ok := as.m[addr]
+	return ok && a.IsContract
+}
+
+// Exists reports whether the account exists.
+func (as *Accounts) Exists(addr Address) bool {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	_, ok := as.m[addr]
+	return ok
+}
+
+// Addresses returns all addresses, sorted.
+func (as *Accounts) Addresses() []Address {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	out := make([]Address, 0, len(as.m))
+	for a := range as.m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < 20; k++ {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Apply commits an account delta: balance changes (commutative) and
+// nonce advancement (merged by maximum, per the relaxed nonce rule).
+func (as *Accounts) Apply(d *AccountDelta) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for addr, bd := range d.BalanceDeltas {
+		acc, ok := as.m[addr]
+		if !ok {
+			acc = &Account{Balance: new(big.Int)}
+			as.m[addr] = acc
+		}
+		acc.Balance.Add(acc.Balance, bd)
+		if acc.Balance.Sign() < 0 {
+			return fmt.Errorf("account %s balance went negative", addr)
+		}
+	}
+	for addr, n := range d.Nonces {
+		acc, ok := as.m[addr]
+		if !ok {
+			continue
+		}
+		if n > acc.Nonce {
+			acc.Nonce = n
+		}
+	}
+	return nil
+}
+
+// Copy deep-copies the whole table.
+func (as *Accounts) Copy() *Accounts {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	out := NewAccounts()
+	for a, acc := range as.m {
+		out.m[a] = acc.Copy()
+	}
+	return out
+}
+
+// AccountDelta is a shard's contribution to the account table for one
+// epoch: commutative balance deltas plus per-sender highest nonces.
+type AccountDelta struct {
+	BalanceDeltas map[Address]*big.Int
+	Nonces        map[Address]uint64
+}
+
+// NewAccountDelta creates an empty delta.
+func NewAccountDelta() *AccountDelta {
+	return &AccountDelta{
+		BalanceDeltas: make(map[Address]*big.Int),
+		Nonces:        make(map[Address]uint64),
+	}
+}
+
+// AddBalance accumulates a (possibly negative) balance delta.
+func (d *AccountDelta) AddBalance(addr Address, delta *big.Int) {
+	cur, ok := d.BalanceDeltas[addr]
+	if !ok {
+		cur = new(big.Int)
+		d.BalanceDeltas[addr] = cur
+	}
+	cur.Add(cur, delta)
+}
+
+// BumpNonce records a committed nonce for a sender.
+func (d *AccountDelta) BumpNonce(addr Address, nonce uint64) {
+	if nonce > d.Nonces[addr] {
+		d.Nonces[addr] = nonce
+	}
+}
+
+// Merge folds another delta into this one (deltas from different
+// shards commute).
+func (d *AccountDelta) Merge(o *AccountDelta) {
+	for a, bd := range o.BalanceDeltas {
+		d.AddBalance(a, bd)
+	}
+	for a, n := range o.Nonces {
+		d.BumpNonce(a, n)
+	}
+}

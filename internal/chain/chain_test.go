@@ -1,0 +1,395 @@
+package chain_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/core/signature"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+var testFieldTypes = map[string]ast.Type{
+	"balances": ast.MapType{Key: ast.TyByStr20, Val: ast.TyUint128},
+	"nested":   ast.MapType{Key: ast.TyByStr20, Val: ast.MapType{Key: ast.TyString, Val: ast.TyUint128}},
+	"total":    ast.TyUint128,
+	"note":     ast.TyString,
+}
+
+func newBase() *eval.MemState {
+	st := eval.NewMemState(testFieldTypes)
+	st.Fields["balances"] = value.NewMap(ast.TyByStr20, ast.TyUint128)
+	st.Fields["nested"] = value.NewMap(ast.TyByStr20, ast.MapType{Key: ast.TyString, Val: ast.TyUint128})
+	st.Fields["total"] = value.Uint128(1000)
+	st.Fields["note"] = value.Str{S: "init"}
+	return st
+}
+
+func addr(i int) value.Value { return chain.AddrFromUint(uint64(i)).Value() }
+
+// --- Overlay semantics: an overlay must behave exactly like a plain
+// mutable state for any operation sequence. ---
+
+type op struct {
+	kind int // 0 set, 1 delete, 2 store-scalar
+	key  int
+	val  uint64
+}
+
+func randomOps(r *rand.Rand, n int) []op {
+	ops := make([]op, n)
+	for i := range ops {
+		ops[i] = op{kind: r.Intn(3), key: r.Intn(6), val: uint64(r.Intn(1000))}
+	}
+	return ops
+}
+
+func applyOps(t *testing.T, st eval.StateAccess, ops []op) {
+	t.Helper()
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			if err := st.MapSet("balances", []value.Value{addr(o.key)}, value.Uint128(o.val)); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := st.MapDelete("balances", []value.Value{addr(o.key)}); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if err := st.StoreField("total", value.Uint128(o.val)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func statesAgree(t *testing.T, a, b eval.StateAccess, keys int) bool {
+	t.Helper()
+	for i := 0; i < keys; i++ {
+		va, oka, err := a.MapGet("balances", []value.Value{addr(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, okb, err := b.MapGet("balances", []value.Value{addr(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oka != okb || (oka && !value.Equal(va, vb)) {
+			return false
+		}
+	}
+	ta, _ := a.LoadField("total")
+	tb, _ := b.LoadField("total")
+	return value.Equal(ta, tb)
+}
+
+func TestOverlayMatchesDirectState(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := randomOps(r, 20)
+		base := newBase()
+		direct := newBase()
+		ov := chain.NewOverlay(base, testFieldTypes)
+		applyOps(t, ov, ops)
+		applyOps(t, direct, ops)
+		return statesAgree(t, ov, direct, 6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverlayRoundTrip: extracting the delta and merging it into a copy
+// of the base must reproduce direct application (for OwnOverwrite).
+func TestOverlayRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := randomOps(r, 20)
+		base := newBase()
+		ov := chain.NewOverlay(base, testFieldTypes)
+		applyOps(t, ov, ops)
+		d, err := ov.ExtractDelta(chain.Address{}, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := base.Copy()
+		if err := chain.MergeDeltas(merged, []*chain.StateDelta{d}); err != nil {
+			t.Fatal(err)
+		}
+		direct := newBase()
+		applyOps(t, direct, ops)
+		return statesAgree(t, merged, direct, 6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntMergeCommutes: IntMerge deltas from different "shards" merge
+// to the same result in any order (the ⊎ PCM laws of Sec. 2.3).
+func TestIntMergeCommutes(t *testing.T) {
+	joins := map[string]signature.Join{"balances": signature.IntMerge, "total": signature.IntMerge}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := newBase()
+		for i := 0; i < 4; i++ {
+			if err := base.MapSet("balances", []value.Value{addr(i)}, value.Uint128(10_000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mkDelta := func() *chain.StateDelta {
+			ov := chain.NewOverlay(base, testFieldTypes)
+			for i := 0; i < 5; i++ {
+				k := r.Intn(4)
+				cur, ok, err := ov.MapGet("balances", []value.Value{addr(k)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				v := uint64(0)
+				if ok {
+					v = cur.(value.Int).V.Uint64()
+				}
+				if err := ov.MapSet("balances", []value.Value{addr(k)}, value.Uint128(v+uint64(r.Intn(100)))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, err := ov.ExtractDelta(chain.Address{}, 0, joins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+		d1, d2, d3 := mkDelta(), mkDelta(), mkDelta()
+
+		apply := func(order []*chain.StateDelta) *eval.MemState {
+			m := base.Copy()
+			if err := chain.MergeDeltas(m, order); err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		a := apply([]*chain.StateDelta{d1, d2, d3})
+		b := apply([]*chain.StateDelta{d3, d1, d2})
+		c := apply([]*chain.StateDelta{d2, d3, d1})
+		return statesAgree(t, a, b, 4) && statesAgree(t, b, c, 4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeConflictDetected: two shards overwriting the same owned
+// component is a dispatch-invariant violation the merge must detect.
+func TestMergeConflictDetected(t *testing.T) {
+	base := newBase()
+	mk := func(v uint64) *chain.StateDelta {
+		ov := chain.NewOverlay(base, testFieldTypes)
+		if err := ov.MapSet("balances", []value.Value{addr(1)}, value.Uint128(v)); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ov.ExtractDelta(chain.Address{}, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	err := chain.MergeDeltas(base.Copy(), []*chain.StateDelta{mk(1), mk(2)})
+	if _, ok := err.(*chain.ConflictError); !ok {
+		t.Errorf("expected ConflictError, got %v", err)
+	}
+}
+
+// TestMergeOverflowDetected reproduces the Sec. 6 integer-overflow
+// scenario: deltas that individually fit but jointly overflow.
+func TestMergeOverflowDetected(t *testing.T) {
+	base := newBase()
+	near := new(big.Int).Sub(ast.MaxInt(ast.TyUint128), big.NewInt(5))
+	if err := base.MapSet("balances", []value.Value{addr(1)}, value.Int{Ty: ast.TyUint128, V: near}); err != nil {
+		t.Fatal(err)
+	}
+	joins := map[string]signature.Join{"balances": signature.IntMerge}
+	mk := func(delta uint64) *chain.StateDelta {
+		ov := chain.NewOverlay(base, testFieldTypes)
+		cur, _, err := ov.MapGet("balances", []value.Value{addr(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv := new(big.Int).Add(cur.(value.Int).V, new(big.Int).SetUint64(delta))
+		// Construct the delta directly (simulating a shard whose local
+		// execution stayed in range).
+		_ = nv
+		ovd := chain.NewOverlay(base, testFieldTypes)
+		if err := ovd.MapSet("balances", []value.Value{addr(1)},
+			value.Int{Ty: ast.TyUint128, V: new(big.Int).Add(cur.(value.Int).V, new(big.Int).SetUint64(delta))}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ovd.ExtractDelta(chain.Address{}, 0, joins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	err := chain.MergeDeltas(base.Copy(), []*chain.StateDelta{mk(3), mk(4)})
+	if _, ok := err.(*chain.OverflowError); !ok {
+		t.Errorf("expected OverflowError, got %v", err)
+	}
+}
+
+// TestNestedMapDeltas covers two-level map writes.
+func TestNestedMapDeltas(t *testing.T) {
+	base := newBase()
+	ov := chain.NewOverlay(base, testFieldTypes)
+	keys := []value.Value{addr(1), value.Str{S: "k"}}
+	if err := ov.MapSet("nested", keys, value.Uint128(42)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ov.ExtractDelta(chain.Address{}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := base.Copy()
+	if err := chain.MergeDeltas(merged, []*chain.StateDelta{d}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := merged.MapGet("nested", keys)
+	if err != nil || !ok {
+		t.Fatalf("nested entry missing after merge: %v %v", ok, err)
+	}
+	if v.(value.Int).V.Uint64() != 42 {
+		t.Errorf("nested value = %s, want 42", v)
+	}
+}
+
+// TestOverlayStacking: a per-transaction overlay over a per-shard
+// overlay commits and rolls back correctly.
+func TestOverlayStacking(t *testing.T) {
+	base := newBase()
+	shardOv := chain.NewOverlay(base, testFieldTypes)
+	if err := shardOv.MapSet("balances", []value.Value{addr(1)}, value.Uint128(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rolled-back transaction: writes dropped.
+	txOv := chain.NewOverlay(shardOv, testFieldTypes)
+	if err := txOv.MapSet("balances", []value.Value{addr(1)}, value.Uint128(1)); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := shardOv.MapGet("balances", []value.Value{addr(1)})
+	if v.(value.Int).V.Uint64() != 100 {
+		t.Error("dropped tx overlay leaked into shard overlay")
+	}
+
+	// Committed transaction: writes visible.
+	txOv2 := chain.NewOverlay(shardOv, testFieldTypes)
+	if err := txOv2.MapSet("balances", []value.Value{addr(2)}, value.Uint128(7)); err != nil {
+		t.Fatal(err)
+	}
+	txOv2.CommitTo(shardOv)
+	v2, ok, _ := shardOv.MapGet("balances", []value.Value{addr(2)})
+	if !ok || v2.(value.Int).V.Uint64() != 7 {
+		t.Error("committed tx overlay not visible in shard overlay")
+	}
+	// The base is never touched.
+	if _, ok, _ := base.MapGet("balances", []value.Value{addr(1)}); ok {
+		t.Error("overlay leaked into base state")
+	}
+}
+
+// --- Accounts ---
+
+func TestAccountDeltaCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a1, a2 := chain.AddrFromUint(1), chain.AddrFromUint(2)
+		mkDelta := func() *chain.AccountDelta {
+			d := chain.NewAccountDelta()
+			d.AddBalance(a1, big.NewInt(int64(r.Intn(100))))
+			d.AddBalance(a2, big.NewInt(int64(r.Intn(100))-20))
+			d.BumpNonce(a1, uint64(r.Intn(10)))
+			return d
+		}
+		d1, d2 := mkDelta(), mkDelta()
+		run := func(order ...*chain.AccountDelta) *chain.Accounts {
+			as := chain.NewAccounts()
+			as.Create(a1, 1000, false)
+			as.Create(a2, 1000, false)
+			for _, d := range order {
+				if err := as.Apply(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return as
+		}
+		x, y := run(d1, d2), run(d2, d1)
+		return x.Get(a1).Balance.Cmp(y.Get(a1).Balance) == 0 &&
+			x.Get(a2).Balance.Cmp(y.Get(a2).Balance) == 0 &&
+			x.Get(a1).Nonce == y.Get(a1).Nonce
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccountNegativeBalanceRejected(t *testing.T) {
+	as := chain.NewAccounts()
+	as.Create(chain.AddrFromUint(1), 10, false)
+	d := chain.NewAccountDelta()
+	d.AddBalance(chain.AddrFromUint(1), big.NewInt(-11))
+	if err := as.Apply(d); err == nil {
+		t.Error("expected negative-balance error")
+	}
+}
+
+// --- Addresses ---
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		a := chain.AddrFromUint(uint64(i))
+		s := chain.ShardOf(a, 7)
+		if s < 0 || s >= 7 {
+			t.Fatalf("ShardOf out of range: %d", s)
+		}
+		if s != chain.ShardOf(a, 7) {
+			t.Fatal("ShardOf not deterministic")
+		}
+	}
+}
+
+func TestShardOfRoughlyUniform(t *testing.T) {
+	const n = 4
+	counts := make([]int, n)
+	for i := 0; i < 4000; i++ {
+		counts[chain.ShardOf(chain.AddrFromUint(uint64(i)), n)]++
+	}
+	for s, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("shard %d has %d of 4000 addresses; distribution too skewed", s, c)
+		}
+	}
+}
+
+func TestContractAddressDistinct(t *testing.T) {
+	a := chain.ContractAddress(chain.AddrFromUint(1), 1)
+	b := chain.ContractAddress(chain.AddrFromUint(1), 2)
+	c := chain.ContractAddress(chain.AddrFromUint(2), 1)
+	if a == b || a == c || b == c {
+		t.Error("contract addresses collide")
+	}
+}
+
+func TestAddressValueRoundTrip(t *testing.T) {
+	a := chain.AddrFromUint(42)
+	v := a.Value()
+	back, ok := chain.AddressFromValue(v)
+	if !ok || back != a {
+		t.Errorf("address round-trip failed: %v %v", back, ok)
+	}
+	if _, ok := chain.AddressFromValue(value.Str{S: "no"}); ok {
+		t.Error("non-address value accepted")
+	}
+}

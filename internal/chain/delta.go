@@ -1,0 +1,321 @@
+package chain
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"cosplit/internal/core/signature"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// DeltaKind classifies a single state-delta entry.
+type DeltaKind int
+
+// Delta entry kinds. IntAdd carries a signed integer delta to be added
+// at merge time (the IntMerge join); Overwrite and Delete carry the
+// final value of a disjointly-owned component (OwnOverwrite).
+const (
+	Overwrite DeltaKind = iota
+	IntAdd
+	Delete
+)
+
+func (k DeltaKind) String() string {
+	switch k {
+	case IntAdd:
+		return "IntAdd"
+	case Delete:
+		return "Delete"
+	default:
+		return "Overwrite"
+	}
+}
+
+// EntryDelta is the delta for one map entry.
+type EntryDelta struct {
+	Kind  DeltaKind
+	Keys  []value.Value
+	Value value.Value // Overwrite
+	Delta *big.Int    // IntAdd
+}
+
+// FieldDelta is the delta for one contract field.
+type FieldDelta struct {
+	// Whole is set when the entire field was written; Entries is used
+	// for per-entry map writes.
+	Whole   *EntryDelta
+	Entries map[string]EntryDelta // keypath -> delta
+}
+
+// StateDelta is a shard's per-contract state contribution for an epoch
+// (the SD in Fig. 10).
+type StateDelta struct {
+	Contract Address
+	Shard    int
+	Fields   map[string]*FieldDelta
+}
+
+// Empty reports whether the delta carries no changes.
+func (d *StateDelta) Empty() bool { return len(d.Fields) == 0 }
+
+// Size returns the number of changed components.
+func (d *StateDelta) Size() int {
+	n := 0
+	for _, fd := range d.Fields {
+		if fd.Whole != nil {
+			n++
+		}
+		n += len(fd.Entries)
+	}
+	return n
+}
+
+// String renders the delta for debugging.
+func (d *StateDelta) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "delta[%s shard=%d]{", d.Contract, d.Shard)
+	fields := make([]string, 0, len(d.Fields))
+	for f := range d.Fields {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, f := range fields {
+		fd := d.Fields[f]
+		if fd.Whole != nil {
+			fmt.Fprintf(&sb, " %s:%s", f, fd.Whole.Kind)
+		}
+		for kp, e := range fd.Entries {
+			fmt.Fprintf(&sb, " %s[%q]:%s", f, kp, e.Kind)
+		}
+	}
+	sb.WriteString(" }")
+	return sb.String()
+}
+
+// intOf extracts a big.Int from an integer value.
+func intOf(v value.Value) (*big.Int, bool) {
+	iv, ok := v.(value.Int)
+	if !ok {
+		return nil, false
+	}
+	return iv.V, true
+}
+
+// ExtractDelta diffs the overlay against its base, producing a state
+// delta. Fields with an IntMerge join contribute signed integer deltas;
+// all other writes contribute overwrites of the final values. The
+// overlay's base must be the epoch-start state the delta is relative to.
+func (o *Overlay) ExtractDelta(contract Address, shard int, joins map[string]signature.Join) (*StateDelta, error) {
+	d := &StateDelta{Contract: contract, Shard: shard, Fields: make(map[string]*FieldDelta)}
+	fieldDelta := func(f string) *FieldDelta {
+		fd, ok := d.Fields[f]
+		if !ok {
+			fd = &FieldDelta{Entries: make(map[string]EntryDelta)}
+			d.Fields[f] = fd
+		}
+		return fd
+	}
+	for f, v := range o.scalars {
+		fd := fieldDelta(f)
+		if joins[f] == signature.IntMerge {
+			newInt, ok1 := intOf(v)
+			baseVal, err := o.base.LoadField(f)
+			if err != nil {
+				return nil, err
+			}
+			oldInt, ok2 := intOf(baseVal)
+			if ok1 && ok2 {
+				fd.Whole = &EntryDelta{Kind: IntAdd, Delta: new(big.Int).Sub(newInt, oldInt)}
+				continue
+			}
+		}
+		fd.Whole = &EntryDelta{Kind: Overwrite, Value: value.Copy(v)}
+	}
+	for f, writes := range o.mapWrites {
+		fd := fieldDelta(f)
+		for kp, e := range writes {
+			switch {
+			case e.deleted:
+				fd.Entries[kp] = EntryDelta{Kind: Delete, Keys: e.keys}
+			case joins[f] == signature.IntMerge:
+				newInt, ok := intOf(e.val)
+				if !ok {
+					fd.Entries[kp] = EntryDelta{Kind: Overwrite, Keys: e.keys, Value: value.Copy(e.val)}
+					continue
+				}
+				old := new(big.Int)
+				if bv, found, err := o.base.MapGet(f, e.keys); err != nil {
+					return nil, err
+				} else if found {
+					if oi, ok := intOf(bv); ok {
+						old = oi
+					}
+				}
+				fd.Entries[kp] = EntryDelta{Kind: IntAdd, Keys: e.keys, Delta: new(big.Int).Sub(newInt, old)}
+			default:
+				fd.Entries[kp] = EntryDelta{Kind: Overwrite, Keys: e.keys, Value: value.Copy(e.val)}
+			}
+		}
+	}
+	return d, nil
+}
+
+// ConflictError reports two shards writing the same disjointly-owned
+// component in one epoch — a dispatch invariant violation.
+type ConflictError struct {
+	Contract Address
+	Field    string
+	Keypath  string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("merge conflict on %s.%s[%q]", e.Contract, e.Field, e.Keypath)
+}
+
+// OverflowError reports an integer overflow produced by joining deltas
+// that individually fit (the Sec. 6 integer-overflow discussion).
+type OverflowError struct {
+	Contract Address
+	Field    string
+	Keypath  string
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("integer overflow merging %s.%s[%q]", e.Contract, e.Field, e.Keypath)
+}
+
+// MergeDeltas performs the deterministic three-way merge of Sec. 4.3:
+// it folds every shard's state delta into the canonical epoch-start
+// state. Overwrites of the same component by two shards are conflicts
+// (dispatch must prevent them); integer deltas are summed with overflow
+// checking.
+func MergeDeltas(st *eval.MemState, deltas []*StateDelta) error {
+	overwritten := map[slot2]bool{}
+	for _, d := range deltas {
+		for f, fd := range d.Fields {
+			if fd.Whole != nil {
+				if err := applyWhole(st, d.Contract, f, fd.Whole, overwritten); err != nil {
+					return err
+				}
+			}
+			// Deterministic entry order.
+			kps := make([]string, 0, len(fd.Entries))
+			for kp := range fd.Entries {
+				kps = append(kps, kp)
+			}
+			sort.Strings(kps)
+			for _, kp := range kps {
+				e := fd.Entries[kp]
+				if err := applyEntry(st, d.Contract, f, kp, e, overwritten); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func applyWhole(st *eval.MemState, contract Address, f string, e *EntryDelta, overwritten map[slot2]bool) error {
+	s := slot2{field: f}
+	switch e.Kind {
+	case IntAdd:
+		cur, err := st.LoadField(f)
+		if err != nil {
+			return err
+		}
+		iv, ok := cur.(value.Int)
+		if !ok {
+			return fmt.Errorf("field %s is not an integer", f)
+		}
+		sum := new(big.Int).Add(iv.V, e.Delta)
+		if !inRangeOf(iv, sum) {
+			return &OverflowError{Contract: contract, Field: f}
+		}
+		return st.StoreField(f, value.Int{Ty: iv.Ty, V: sum})
+	default:
+		if overwritten[s] {
+			return &ConflictError{Contract: contract, Field: f}
+		}
+		overwritten[s] = true
+		return st.StoreField(f, value.Copy(e.Value))
+	}
+}
+
+func applyEntry(st *eval.MemState, contract Address, f, kp string, e EntryDelta, overwritten map[slot2]bool) error {
+	s := slot2{field: f, kp: kp}
+	switch e.Kind {
+	case IntAdd:
+		cur := new(big.Int)
+		var ty value.Int
+		v, found, err := st.MapGet(f, e.Keys)
+		if err != nil {
+			return err
+		}
+		if found {
+			iv, ok := v.(value.Int)
+			if !ok {
+				return fmt.Errorf("entry %s[%q] is not an integer", f, kp)
+			}
+			cur = iv.V
+			ty = iv
+		} else {
+			// Absent entries merge as zero of the leaf type.
+			lt, err := leafIntType(st, f, len(e.Keys))
+			if err != nil {
+				return err
+			}
+			ty = value.Int{Ty: lt}
+		}
+		sum := new(big.Int).Add(cur, e.Delta)
+		if !inRangeOf(ty, sum) {
+			return &OverflowError{Contract: contract, Field: f, Keypath: kp}
+		}
+		return st.MapSet(f, e.Keys, value.Int{Ty: ty.Ty, V: sum})
+	case Delete:
+		if overwritten[s] {
+			return &ConflictError{Contract: contract, Field: f, Keypath: kp}
+		}
+		overwritten[s] = true
+		return st.MapDelete(f, e.Keys)
+	default:
+		if overwritten[s] {
+			return &ConflictError{Contract: contract, Field: f, Keypath: kp}
+		}
+		overwritten[s] = true
+		return st.MapSet(f, e.Keys, value.Copy(e.Value))
+	}
+}
+
+type slot2 struct{ field, kp string }
+
+func inRangeOf(sample value.Int, v *big.Int) bool {
+	if sample.Ty.IntWidth() == 0 {
+		return true
+	}
+	return ast.InRange(sample.Ty, v)
+}
+
+// leafIntType returns the integer type at the bottom of a (possibly
+// nested) map field.
+func leafIntType(st *eval.MemState, field string, depth int) (ast.PrimType, error) {
+	t, ok := st.Types[field]
+	if !ok {
+		return ast.PrimType{}, fmt.Errorf("unknown field %s", field)
+	}
+	for i := 0; i < depth; i++ {
+		mt, ok := t.(ast.MapType)
+		if !ok {
+			return ast.PrimType{}, fmt.Errorf("field %s not nested at depth %d", field, i)
+		}
+		t = mt.Val
+	}
+	pt, ok := t.(ast.PrimType)
+	if !ok || !pt.IsInt() {
+		return ast.PrimType{}, fmt.Errorf("field %s leaf is not an integer", field)
+	}
+	return pt, nil
+}

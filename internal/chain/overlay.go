@@ -1,0 +1,284 @@
+package chain
+
+import (
+	"fmt"
+	"strings"
+
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// StateReader is the read-only view of contract state. Both
+// eval.MemState and Overlay implement it, so overlays stack.
+type StateReader interface {
+	LoadField(name string) (value.Value, error)
+	MapGet(field string, keys []value.Value) (value.Value, bool, error)
+}
+
+// keypathSep separates canonical keys in a flattened nested-map path.
+const keypathSep = "\x1f"
+
+// Keypath renders a key vector canonically.
+func Keypath(keys []value.Value) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = value.CanonicalKey(k)
+	}
+	return strings.Join(parts, keypathSep)
+}
+
+type mapEntry struct {
+	keys    []value.Value
+	val     value.Value
+	deleted bool
+}
+
+// Overlay is a copy-on-write view over a base state. All writes land in
+// the overlay; the base is never mutated. Overlays are the unit of
+// transaction rollback (per-transaction overlay dropped on throw) and
+// of state-delta extraction (per-shard overlay diffed against the
+// epoch-start state).
+type Overlay struct {
+	base       StateReader
+	fieldTypes map[string]ast.Type
+	// scalars holds whole-field overwrites (including map fields that
+	// were stored wholesale; subsequent map ops mutate that copy).
+	scalars map[string]value.Value
+	// mapWrites holds per-entry writes: field -> keypath -> entry.
+	mapWrites map[string]map[string]mapEntry
+}
+
+// NewOverlay creates an overlay over base.
+func NewOverlay(base StateReader, fieldTypes map[string]ast.Type) *Overlay {
+	return &Overlay{
+		base:       base,
+		fieldTypes: fieldTypes,
+		scalars:    make(map[string]value.Value),
+		mapWrites:  make(map[string]map[string]mapEntry),
+	}
+}
+
+// fieldMapDepth returns the nesting depth of a map field.
+func fieldMapDepth(t ast.Type) int {
+	d := 0
+	for {
+		mt, ok := t.(ast.MapType)
+		if !ok {
+			return d
+		}
+		d++
+		t = mt.Val
+	}
+}
+
+// LoadField implements eval.StateAccess. Loading a map field with
+// pending entry writes materialises a merged copy.
+func (o *Overlay) LoadField(name string) (value.Value, error) {
+	if v, ok := o.scalars[name]; ok {
+		return v, nil
+	}
+	baseVal, err := o.base.LoadField(name)
+	if err != nil {
+		return nil, err
+	}
+	writes := o.mapWrites[name]
+	if len(writes) == 0 {
+		return baseVal, nil
+	}
+	bm, ok := baseVal.(*value.Map)
+	if !ok {
+		return nil, fmt.Errorf("field %s has entry writes but is not a map", name)
+	}
+	merged := bm.Copy()
+	for _, e := range writes {
+		if e.deleted {
+			deleteNested(merged, e.keys)
+		} else if err := setNested(merged, e.keys, e.val, o.fieldTypes[name]); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// StoreField implements eval.StateAccess.
+func (o *Overlay) StoreField(name string, v value.Value) error {
+	if _, ok := o.fieldTypes[name]; !ok {
+		return fmt.Errorf("unknown field %s", name)
+	}
+	// A wholesale store supersedes any pending entry writes.
+	delete(o.mapWrites, name)
+	o.scalars[name] = value.Copy(v)
+	return nil
+}
+
+// MapGet implements eval.StateAccess.
+func (o *Overlay) MapGet(field string, keys []value.Value) (value.Value, bool, error) {
+	if v, ok := o.scalars[field]; ok {
+		m, ok := v.(*value.Map)
+		if !ok {
+			return nil, false, fmt.Errorf("field %s is not a map", field)
+		}
+		return getNested(m, keys)
+	}
+	if e, ok := o.mapWrites[field][Keypath(keys)]; ok {
+		if e.deleted {
+			return nil, false, nil
+		}
+		return e.val, true, nil
+	}
+	return o.base.MapGet(field, keys)
+}
+
+// MapSet implements eval.StateAccess.
+func (o *Overlay) MapSet(field string, keys []value.Value, v value.Value) error {
+	if sv, ok := o.scalars[field]; ok {
+		m, ok := sv.(*value.Map)
+		if !ok {
+			return fmt.Errorf("field %s is not a map", field)
+		}
+		return setNested(m, keys, value.Copy(v), o.fieldTypes[field])
+	}
+	w, ok := o.mapWrites[field]
+	if !ok {
+		w = make(map[string]mapEntry)
+		o.mapWrites[field] = w
+	}
+	w[Keypath(keys)] = mapEntry{keys: keys, val: value.Copy(v)}
+	return nil
+}
+
+// MapDelete implements eval.StateAccess.
+func (o *Overlay) MapDelete(field string, keys []value.Value) error {
+	if sv, ok := o.scalars[field]; ok {
+		m, ok := sv.(*value.Map)
+		if !ok {
+			return fmt.Errorf("field %s is not a map", field)
+		}
+		deleteNested(m, keys)
+		return nil
+	}
+	w, ok := o.mapWrites[field]
+	if !ok {
+		w = make(map[string]mapEntry)
+		o.mapWrites[field] = w
+	}
+	w[Keypath(keys)] = mapEntry{keys: keys, deleted: true}
+	return nil
+}
+
+// CommitTo folds this overlay's writes into its parent overlay. The
+// receiver must have been created with parent as its base.
+func (o *Overlay) CommitTo(parent *Overlay) {
+	for f, v := range o.scalars {
+		parent.StoreField(f, v) //nolint:errcheck // field names validated on write
+	}
+	for f, writes := range o.mapWrites {
+		for _, e := range writes {
+			if e.deleted {
+				parent.MapDelete(f, e.keys) //nolint:errcheck
+			} else {
+				parent.MapSet(f, e.keys, e.val) //nolint:errcheck
+			}
+		}
+	}
+}
+
+// Touched reports whether the overlay holds any writes.
+func (o *Overlay) Touched() bool {
+	return len(o.scalars) > 0 || len(o.mapWrites) > 0
+}
+
+// --- nested map helpers operating on materialised map values ---
+
+func getNested(m *value.Map, keys []value.Value) (value.Value, bool, error) {
+	cur := m
+	for i := 0; i < len(keys)-1; i++ {
+		v, ok := cur.Get(keys[i])
+		if !ok {
+			return nil, false, nil
+		}
+		nm, ok := v.(*value.Map)
+		if !ok {
+			return nil, false, fmt.Errorf("non-map value at nesting depth %d", i)
+		}
+		cur = nm
+	}
+	v, ok := cur.Get(keys[len(keys)-1])
+	return v, ok, nil
+}
+
+func setNested(m *value.Map, keys []value.Value, v value.Value, fieldType ast.Type) error {
+	cur := m
+	t := fieldType
+	for i := 0; i < len(keys)-1; i++ {
+		mt, ok := t.(ast.MapType)
+		if !ok {
+			return fmt.Errorf("field not nested at depth %d", i)
+		}
+		t = mt.Val
+		next, found := cur.Get(keys[i])
+		if !found {
+			inner, ok := t.(ast.MapType)
+			if !ok {
+				return fmt.Errorf("field not nested at depth %d", i+1)
+			}
+			nm := value.NewMap(inner.Key, inner.Val)
+			cur.Set(keys[i], nm)
+			next = nm
+		}
+		nm, ok := next.(*value.Map)
+		if !ok {
+			return fmt.Errorf("non-map value at nesting depth %d", i)
+		}
+		cur = nm
+	}
+	cur.Set(keys[len(keys)-1], v)
+	return nil
+}
+
+func deleteNested(m *value.Map, keys []value.Value) {
+	cur := m
+	for i := 0; i < len(keys)-1; i++ {
+		v, ok := cur.Get(keys[i])
+		if !ok {
+			return
+		}
+		nm, ok := v.(*value.Map)
+		if !ok {
+			return
+		}
+		cur = nm
+	}
+	cur.Delete(keys[len(keys)-1])
+}
+
+// Interface conformance checks.
+var (
+	_ eval.StateAccess = (*Overlay)(nil)
+	_ StateReader      = (*Overlay)(nil)
+	_ StateReader      = (*eval.MemState)(nil)
+)
+
+// ApplyTo folds the overlay's writes directly into a mutable state (the
+// DS committee's per-epoch working copy). Unlike ExtractDelta+Merge it
+// performs no copying of untouched state.
+func (o *Overlay) ApplyTo(st *eval.MemState) error {
+	for f, v := range o.scalars {
+		if err := st.StoreField(f, value.Copy(v)); err != nil {
+			return err
+		}
+	}
+	for f, writes := range o.mapWrites {
+		for _, e := range writes {
+			if e.deleted {
+				if err := st.MapDelete(f, e.keys); err != nil {
+					return err
+				}
+			} else if err := st.MapSet(f, e.keys, value.Copy(e.val)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package chain
+
+import (
+	"math/big"
+
+	"cosplit/internal/core/signature"
+	"cosplit/internal/scilla/value"
+)
+
+// TxKind classifies transactions.
+type TxKind int
+
+// Transaction kinds.
+const (
+	// TxTransfer is a plain user-to-user payment.
+	TxTransfer TxKind = iota
+	// TxCall invokes a contract transition.
+	TxCall
+	// TxDeploy deploys a new contract.
+	TxDeploy
+)
+
+// Deployment is the payload of a contract-deploying transaction.
+type Deployment struct {
+	Source string
+	Params map[string]value.Value
+	// Query is the developer-selected sharding query; the miners
+	// validate the resulting signature (Sec. 4.3).
+	Query *signature.Query
+	// ProposedSignature is the developer-computed signature; nodes
+	// re-derive and compare (validation).
+	ProposedSignature *signature.Signature
+}
+
+// Tx is a transaction submitted to the lookup nodes.
+type Tx struct {
+	ID     uint64
+	Kind   TxKind
+	From   Address
+	To     Address
+	Nonce  uint64
+	Amount *big.Int
+	// GasLimit bounds execution cost; GasPrice is charged per unit.
+	GasLimit uint64
+	GasPrice uint64
+	// Transition and Args are set for TxCall.
+	Transition string
+	Args       map[string]value.Value
+	// Deploy is set for TxDeploy.
+	Deploy *Deployment
+}
+
+// GasBudget returns the maximum native-token cost of the transaction.
+func (t *Tx) GasBudget() *big.Int {
+	return new(big.Int).Mul(
+		new(big.Int).SetUint64(t.GasLimit),
+		new(big.Int).SetUint64(t.GasPrice),
+	)
+}
+
+// Receipt records the outcome of a processed transaction.
+type Receipt struct {
+	TxID    uint64
+	Success bool
+	GasUsed uint64
+	Error   string
+	// Events is the flat list of emitted event payloads.
+	Events []value.Msg
+	// Shard is the committee that processed the transaction
+	// (-1 denotes the DS committee).
+	Shard int
+	Epoch uint64
+}

@@ -1,0 +1,77 @@
+// Package consensus models the cost of the PBFT-based agreement used
+// by the Zilliqa-style protocol (Sec. 4.1). The simulator executes
+// transactions for real but runs on one machine, so consensus and
+// network costs are modelled analytically: a PBFT round is three
+// communication phases, each costing one network latency plus per-node
+// signature verification over the committee, plus payload
+// serialisation proportional to the block size.
+//
+// The model's absolute constants are calibrated to small EC2-class
+// nodes; only the *shape* of the resulting throughput curves matters
+// for reproducing Fig. 14 (see DESIGN.md, substitution 1).
+package consensus
+
+import "time"
+
+// PBFTModel parameterises the consensus cost model.
+type PBFTModel struct {
+	// CommitteeSize is the number of nodes in the committee (shard or
+	// DS committee).
+	CommitteeSize int
+	// NetLatency is the one-way network latency between two nodes.
+	NetLatency time.Duration
+	// MsgVerify is the cost of verifying one signed protocol message.
+	MsgVerify time.Duration
+	// PerTxByteCost models serialisation/broadcast per transaction in
+	// the proposed block.
+	PerTxCost time.Duration
+	// BaseProposal is the fixed leader-side cost of assembling a block.
+	BaseProposal time.Duration
+}
+
+// DefaultModel returns constants loosely calibrated to t2.medium-class
+// nodes in one AWS region (the paper's testbed). They are deliberately
+// on the heavy side so the deterministic modelled time dominates the
+// measured single-machine execution time: throughput comparisons then
+// reflect committee capacity rather than host scheduling noise.
+func DefaultModel(committee int) PBFTModel {
+	return PBFTModel{
+		CommitteeSize: committee,
+		NetLatency:    20 * time.Millisecond,
+		MsgVerify:     2 * time.Millisecond,
+		PerTxCost:     50 * time.Microsecond,
+		BaseProposal:  200 * time.Millisecond,
+	}
+}
+
+// Phases in a PBFT round: pre-prepare, prepare, commit.
+const pbftPhases = 3
+
+// RoundTime returns the modelled duration of one PBFT consensus round
+// over a block containing txCount transactions.
+func (m PBFTModel) RoundTime(txCount int) time.Duration {
+	perPhase := m.NetLatency + time.Duration(m.CommitteeSize)*m.MsgVerify
+	return m.BaseProposal +
+		time.Duration(pbftPhases)*perPhase +
+		time.Duration(txCount)*m.PerTxCost
+}
+
+// EpochConsensus returns the modelled consensus cost of one full epoch:
+// each shard runs one MicroBlock round (in parallel, so the cost is one
+// round), and the DS committee runs one FinalBlock round aggregating
+// all MicroBlocks.
+func EpochConsensus(shardModel, dsModel PBFTModel, perShardTxs []int, dsTxs int) time.Duration {
+	maxShard := 0
+	for _, n := range perShardTxs {
+		if n > maxShard {
+			maxShard = n
+		}
+	}
+	total := 0
+	for _, n := range perShardTxs {
+		total += n
+	}
+	// Shards agree on their MicroBlocks in parallel; the DS committee
+	// then agrees on the FinalBlock covering every transaction.
+	return shardModel.RoundTime(maxShard) + dsModel.RoundTime(total+dsTxs)
+}

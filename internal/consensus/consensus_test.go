@@ -1,0 +1,58 @@
+package consensus_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosplit/internal/consensus"
+)
+
+func TestRoundTimeMonotonicInTxs(t *testing.T) {
+	m := consensus.DefaultModel(5)
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.RoundTime(x) <= m.RoundTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTimeMonotonicInCommittee(t *testing.T) {
+	small := consensus.DefaultModel(5)
+	big := consensus.DefaultModel(50)
+	if small.RoundTime(100) >= big.RoundTime(100) {
+		t.Error("larger committee must cost more")
+	}
+}
+
+func TestEpochConsensusUsesMaxShard(t *testing.T) {
+	sm := consensus.DefaultModel(5)
+	dm := consensus.DefaultModel(10)
+	// Shards run in parallel: only the largest MicroBlock matters for
+	// the shard phase.
+	a := consensus.EpochConsensus(sm, dm, []int{100, 100, 100}, 0)
+	b := consensus.EpochConsensus(sm, dm, []int{100, 1, 1}, 0)
+	// Shard-phase cost identical (max=100); FinalBlock differs by the
+	// total transaction count only.
+	shardPart := sm.RoundTime(100)
+	if a-shardPart != dm.RoundTime(300) {
+		t.Errorf("a: unexpected decomposition")
+	}
+	if b-shardPart != dm.RoundTime(102) {
+		t.Errorf("b: unexpected decomposition")
+	}
+	if a <= b {
+		t.Error("more total transactions must cost more at the DS round")
+	}
+}
+
+func TestZeroModel(t *testing.T) {
+	var m consensus.PBFTModel
+	if m.RoundTime(0) != 0 {
+		t.Error("zero model should cost nothing")
+	}
+}

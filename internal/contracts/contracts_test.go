@@ -1,0 +1,87 @@
+package contracts_test
+
+import (
+	"testing"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/core/analysis"
+	"cosplit/internal/scilla/parser"
+	"cosplit/internal/scilla/typecheck"
+)
+
+// TestCorpusPipeline runs every corpus contract through the full
+// deployment pipeline: parse, typecheck, analyse every transition.
+func TestCorpusPipeline(t *testing.T) {
+	for _, e := range contracts.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			m, err := parser.ParseModule(e.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			chk, err := typecheck.Check(m)
+			if err != nil {
+				t.Fatalf("typecheck: %v", err)
+			}
+			a, err := analysis.New(chk)
+			if err != nil {
+				t.Fatalf("analysis: %v", err)
+			}
+			sums, err := a.AnalyzeAll()
+			if err != nil {
+				t.Fatalf("AnalyzeAll: %v", err)
+			}
+			if len(sums) != len(m.Contract.Transitions) {
+				t.Errorf("got %d summaries for %d transitions", len(sums), len(m.Contract.Transitions))
+			}
+		})
+	}
+}
+
+// TestEvaluationContractsPresent checks that the five Sec. 5.2
+// contracts exist with the paper's transition counts.
+func TestEvaluationContractsPresent(t *testing.T) {
+	want := map[string]int{
+		"FungibleToken":    10,
+		"Crowdfunding":     3,
+		"NonfungibleToken": 5,
+		"ProofIPFS":        10,
+		"UDRegistry":       11,
+	}
+	for name, transitions := range want {
+		e, err := contracts.Get(name)
+		if err != nil {
+			t.Errorf("missing evaluation contract %s", name)
+			continue
+		}
+		if !e.Evaluation {
+			t.Errorf("%s not marked as an evaluation contract", name)
+		}
+		m, err := parser.ParseModule(e.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := len(m.Contract.Transitions); got != transitions {
+			t.Errorf("%s has %d transitions, want %d (paper Sec. 5.2)", name, got, transitions)
+		}
+	}
+}
+
+// TestLinesOfCode sanity-checks the LOC counter.
+func TestLinesOfCode(t *testing.T) {
+	if n := contracts.LinesOfCode("a\n\n(* c *)\nb\n"); n != 2 {
+		t.Errorf("LinesOfCode = %d, want 2", n)
+	}
+}
+
+// TestParseAll exercises the bulk parsing helper.
+func TestParseAll(t *testing.T) {
+	all, err := contracts.ParseAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(contracts.All()) {
+		t.Errorf("ParseAll returned %d modules, want %d", len(all), len(contracts.All()))
+	}
+	var _ *typecheck.Checked = all["FungibleToken"]
+}

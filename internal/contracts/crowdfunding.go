@@ -1,0 +1,119 @@
+package contracts
+
+// Crowdfunding is the classic Scilla crowdfunding campaign from the
+// paper's evaluation (Sec. 5.2): backers donate before a deadline; the
+// owner collects if the goal was met, otherwise backers claim refunds.
+// The only possible sharding choice (per the paper) is to shard Donate
+// and ClaimBack.
+const Crowdfunding = `
+scilla_version 0
+
+library Crowdfunding
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+let zero = Uint128 0
+
+contract Crowdfunding
+(owner : ByStr20,
+ max_block : BNum,
+ goal : Uint128)
+
+field backers : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field funded : Bool = False
+
+(* Donate native tokens to the campaign before the deadline. A backer
+   may donate only once. *)
+transition Donate ()
+  blk <- &BLOCKNUMBER;
+  in_time = builtin blt blk max_block;
+  match in_time with
+  | True =>
+    already <- exists backers[_sender];
+    match already with
+    | True =>
+      throw
+    | False =>
+      accept;
+      backers[_sender] := _amount;
+      e = {_eventname : "DonationSuccess"; donor : _sender; amount : _amount};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+(* The owner collects the funds once the goal is reached. *)
+transition GetFunds ()
+  is_owner = builtin eq _sender owner;
+  match is_owner with
+  | True =>
+    blk <- &BLOCKNUMBER;
+    past_deadline = builtin blt max_block blk;
+    match past_deadline with
+    | True =>
+      bal <- _balance;
+      goal_met = builtin le goal bal;
+      match goal_met with
+      | True =>
+        t = True;
+        funded := t;
+        msg = {_tag : "Funds"; _recipient : owner; _amount : bal};
+        msgs = one_msg msg;
+        send msgs;
+        e = {_eventname : "GetFundsSuccess"; collected : bal};
+        event e
+      | False =>
+        throw
+      end
+    | False =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+
+(* A backer reclaims their donation after an unsuccessful campaign. *)
+transition ClaimBack ()
+  blk <- &BLOCKNUMBER;
+  past_deadline = builtin blt max_block blk;
+  match past_deadline with
+  | True =>
+    f <- funded;
+    match f with
+    | True =>
+      throw
+    | False =>
+      bal <- _balance;
+      goal_met = builtin le goal bal;
+      match goal_met with
+      | True =>
+        throw
+      | False =>
+        donated_opt <- backers[_sender];
+        match donated_opt with
+        | Some donated =>
+          delete backers[_sender];
+          msg = {_tag : "Refund"; _recipient : _sender; _amount : donated};
+          msgs = one_msg msg;
+          send msgs;
+          e = {_eventname : "ClaimBackSuccess"; backer : _sender; amount : donated};
+          event e
+        | None =>
+          throw
+        end
+      end
+    end
+  | False =>
+    throw
+  end
+end
+`
+
+func init() { register("Crowdfunding", Crowdfunding, true) }

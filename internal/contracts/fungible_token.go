@@ -1,0 +1,230 @@
+package contracts
+
+// FungibleToken is the ZRC-2-style fungible token contract (Zilliqa's
+// ERC20 equivalent) from the paper's evaluation. Per Sec. 5.2, the
+// sharded transitions are Mint, Transfer and TransferFrom.
+const FungibleToken = `
+scilla_version 0
+
+library FungibleToken
+
+let zero = Uint128 0
+let one = Uint128 1
+let true = True
+let false = False
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+let two_msgs =
+  fun (m1 : Message) =>
+    fun (m2 : Message) =>
+      let nil = Nil {Message} in
+      let l1 = Cons {Message} m2 nil in
+      Cons {Message} m1 l1
+
+let get_val =
+  fun (some_val : Option Uint128) =>
+    match some_val with
+    | Some val => val
+    | None => zero
+    end
+
+contract FungibleToken
+(contract_owner : ByStr20,
+ token_name : String,
+ token_symbol : String,
+ decimals : Uint32,
+ init_supply : Uint128)
+
+field total_supply : Uint128 = init_supply
+
+field balances : Map ByStr20 Uint128 =
+  let emp_map = Emp ByStr20 Uint128 in
+  builtin put emp_map contract_owner init_supply
+
+field allowances : Map ByStr20 (Map ByStr20 Uint128) =
+  Emp ByStr20 (Map ByStr20 Uint128)
+
+field current_owner : ByStr20 = contract_owner
+
+(* Mint new tokens to recipient. Only the owner may mint. *)
+transition Mint (recipient : ByStr20, amount : Uint128)
+  owner <- current_owner;
+  is_owner = builtin eq _sender owner;
+  match is_owner with
+  | True =>
+    get_to_bal <- balances[recipient];
+    new_to_bal = match get_to_bal with
+                 | Some bal => builtin add bal amount
+                 | None => amount
+                 end;
+    balances[recipient] := new_to_bal;
+    supply <- total_supply;
+    new_supply = builtin add supply amount;
+    total_supply := new_supply;
+    e = {_eventname : "Minted"; minter : _sender; recipient : recipient; amount : amount};
+    event e
+  | False =>
+    e = {_eventname : "NotOwner"; caller : _sender};
+    event e;
+    throw
+  end
+end
+
+(* Burn tokens from the sender's own balance. *)
+transition Burn (amount : Uint128)
+  get_bal <- balances[_sender];
+  match get_bal with
+  | Some bal =>
+    can_burn = builtin le amount bal;
+    match can_burn with
+    | True =>
+      new_bal = builtin sub bal amount;
+      balances[_sender] := new_bal;
+      supply <- total_supply;
+      new_supply = builtin sub supply amount;
+      total_supply := new_supply;
+      e = {_eventname : "Burnt"; burner : _sender; amount : amount};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Transfer tokens from the sender to a recipient; see Fig. 5. *)
+transition Transfer (to : ByStr20, amount : Uint128)
+  get_from_bal <- balances[_sender];
+  match get_from_bal with
+  | Some bal =>
+    can_do = builtin le amount bal;
+    match can_do with
+    | True =>
+      new_from_bal = builtin sub bal amount;
+      balances[_sender] := new_from_bal;
+      get_to_bal <- balances[to];
+      new_to_bal = match get_to_bal with
+                   | Some old_bal => builtin add old_bal amount
+                   | None => amount
+                   end;
+      balances[to] := new_to_bal;
+      e = {_eventname : "TransferSuccess"; sender : _sender; recipient : to; amount : amount};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Transfer on behalf of a token holder, consuming allowance. *)
+transition TransferFrom (from : ByStr20, to : ByStr20, amount : Uint128)
+  get_allowance <- allowances[from][_sender];
+  match get_allowance with
+  | Some allowance =>
+    can_spend = builtin le amount allowance;
+    match can_spend with
+    | True =>
+      get_from_bal <- balances[from];
+      match get_from_bal with
+      | Some bal =>
+        can_do = builtin le amount bal;
+        match can_do with
+        | True =>
+          new_from_bal = builtin sub bal amount;
+          balances[from] := new_from_bal;
+          get_to_bal <- balances[to];
+          new_to_bal = match get_to_bal with
+                       | Some old_bal => builtin add old_bal amount
+                       | None => amount
+                       end;
+          balances[to] := new_to_bal;
+          new_allowance = builtin sub allowance amount;
+          allowances[from][_sender] := new_allowance;
+          e = {_eventname : "TransferFromSuccess"; initiator : _sender; sender : from; recipient : to; amount : amount};
+          event e
+        | False =>
+          throw
+        end
+      | None =>
+        throw
+      end
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Set an exact allowance for a spender. *)
+transition Approve (spender : ByStr20, amount : Uint128)
+  allowances[_sender][spender] := amount;
+  e = {_eventname : "Approved"; approver : _sender; spender : spender; amount : amount};
+  event e
+end
+
+(* Increase a spender's allowance. *)
+transition IncreaseAllowance (spender : ByStr20, amount : Uint128)
+  get_allowance <- allowances[_sender][spender];
+  old_allowance = get_val get_allowance;
+  new_allowance = builtin add old_allowance amount;
+  allowances[_sender][spender] := new_allowance;
+  e = {_eventname : "IncreasedAllowance"; approver : _sender; spender : spender; allowance : new_allowance};
+  event e
+end
+
+(* Decrease a spender's allowance, flooring at zero. *)
+transition DecreaseAllowance (spender : ByStr20, amount : Uint128)
+  get_allowance <- allowances[_sender][spender];
+  old_allowance = get_val get_allowance;
+  can_sub = builtin le amount old_allowance;
+  new_allowance = match can_sub with
+                  | True => builtin sub old_allowance amount
+                  | False => zero
+                  end;
+  allowances[_sender][spender] := new_allowance;
+  e = {_eventname : "DecreasedAllowance"; approver : _sender; spender : spender; allowance : new_allowance};
+  event e
+end
+
+(* Report an account's balance back to the requester. *)
+transition BalanceOf (address : ByStr20)
+  get_bal <- balances[address];
+  bal = get_val get_bal;
+  msg = {_tag : "BalanceOfCallback"; _recipient : _sender; _amount : zero; address : address; balance : bal};
+  msgs = one_msg msg;
+  send msgs
+end
+
+(* Report an allowance back to the requester. *)
+transition Allowance (token_owner : ByStr20, spender : ByStr20)
+  get_allowance <- allowances[token_owner][spender];
+  allowance = get_val get_allowance;
+  msg = {_tag : "AllowanceCallback"; _recipient : _sender; _amount : zero; token_owner : token_owner; spender : spender; allowance : allowance};
+  msgs = one_msg msg;
+  send msgs
+end
+
+(* Hand contract ownership to a new owner. *)
+transition ChangeOwner (new_owner : ByStr20)
+  owner <- current_owner;
+  is_owner = builtin eq _sender owner;
+  match is_owner with
+  | True =>
+    current_owner := new_owner;
+    e = {_eventname : "OwnerChanged"; old_owner : _sender; new_owner : new_owner};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+func init() { register("FungibleToken", FungibleToken, true) }

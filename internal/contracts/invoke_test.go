@@ -1,0 +1,100 @@
+package contracts_test
+
+import (
+	"math/big"
+	"testing"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// synthValue produces a dummy value of the given type.
+func synthValue(t ast.Type) value.Value {
+	switch tt := t.(type) {
+	case ast.PrimType:
+		switch {
+		case tt.IsInt():
+			return value.Int{Ty: tt, V: big.NewInt(1)}
+		case tt.Kind == ast.StringKind:
+			return value.Str{S: "x"}
+		case tt.Kind == ast.ByStr20:
+			return value.ByStr{Ty: tt, B: make([]byte, 20)}
+		case tt.Kind == ast.ByStr32:
+			return value.ByStr{Ty: tt, B: make([]byte, 32)}
+		case tt.Kind == ast.ByStr:
+			return value.ByStr{Ty: tt, B: []byte{1, 2}}
+		case tt.Kind == ast.BNum:
+			return value.BNum{V: big.NewInt(1)}
+		}
+	case ast.MapType:
+		return value.NewMap(tt.Key, tt.Val)
+	case ast.ADTType:
+		switch tt.Name {
+		case "Bool":
+			return value.True()
+		case "Option":
+			return value.None(tt.Args[0])
+		case "List":
+			return value.NilList(tt.Args[0])
+		case "Pair":
+			return value.PairV(tt.Args[0], tt.Args[1],
+				synthValue(tt.Args[0]), synthValue(tt.Args[1]))
+		}
+	}
+	return value.Unit{}
+}
+
+// TestInvokeEveryTransition deploys every corpus contract with
+// synthesized parameters and invokes every transition with synthesized
+// arguments. Contract-level throws are fine; infrastructure errors
+// (unknown identifiers, unhandled statements, type confusion inside the
+// interpreter) are not.
+func TestInvokeEveryTransition(t *testing.T) {
+	for _, entry := range contracts.All() {
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			chk := contracts.MustParse(entry.Name)
+			params := make(map[string]value.Value)
+			for _, p := range chk.Module.Contract.Params {
+				params[p.Name] = synthValue(p.Type)
+			}
+			in, err := eval.New(chk, params)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			st := eval.NewMemState(chk.FieldTypes)
+			if err := st.InitFrom(in); err != nil {
+				t.Fatalf("InitFrom: %v", err)
+			}
+			sender := value.ByStr{Ty: ast.TyByStr20, B: make([]byte, 20)}
+			for _, tr := range chk.Module.Contract.Transitions {
+				args := make(map[string]value.Value, len(tr.Params))
+				for _, p := range tr.Params {
+					args[p.Name] = synthValue(p.Type)
+				}
+				ctx := &eval.Context{
+					Sender:          sender,
+					Origin:          sender,
+					Amount:          value.Uint128(5),
+					BlockNumber:     big.NewInt(10),
+					Timestamp:       1,
+					State:           st,
+					ContractBalance: big.NewInt(100),
+					GasLimit:        1_000_000,
+				}
+				_, err := in.Run(ctx, tr.Name, args)
+				if err == nil {
+					continue
+				}
+				switch err.(type) {
+				case *eval.ThrowError, *eval.OutOfGasError:
+					// Contract-level rejection: fine.
+				default:
+					t.Errorf("transition %s: infrastructure error: %v", tr.Name, err)
+				}
+			}
+		})
+	}
+}

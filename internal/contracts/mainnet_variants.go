@@ -1,0 +1,178 @@
+package contracts
+
+// Mainnet-style variants of the NFT and UD contracts, before the
+// compare-and-swap rewrites described in Sec. 6 of the paper. Their
+// authorisation checks index maps with keys read from the contract
+// state (e.g. approvals[token_owner] where token_owner comes from
+// token_owners[token_id]), which CanSummarise cannot describe — the
+// affected transitions get the uninformative ⊤ effect and cannot be
+// sharded. These variants reproduce the paper's observation that "a
+// small number of contracts ... can be made shardable by a simple
+// refactoring".
+
+// NonfungibleTokenMainnet mirrors the original ZRC-1 Transfer: the
+// token owner is read from state and then used as a map key.
+const NonfungibleTokenMainnet = `
+scilla_version 0
+
+library NonfungibleTokenMainnet
+
+let zero = Uint128 0
+let one = Uint128 1
+
+contract NonfungibleTokenMainnet
+(contract_owner : ByStr20,
+ name : String,
+ symbol : String)
+
+field token_owners : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+
+field owned_count : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field operator_approvals : Map ByStr20 (Map ByStr20 Bool) =
+  Emp ByStr20 (Map ByStr20 Bool)
+
+transition Mint (to : ByStr20, token_id : Uint256)
+  is_minter = builtin eq _sender contract_owner;
+  match is_minter with
+  | True =>
+    taken <- exists token_owners[token_id];
+    match taken with
+    | True =>
+      throw
+    | False =>
+      token_owners[token_id] := to;
+      cnt_opt <- owned_count[to];
+      new_cnt = match cnt_opt with
+                | Some c => builtin add c one
+                | None => one
+                end;
+      owned_count[to] := new_cnt;
+      e = {_eventname : "MintSuccess"; token : token_id};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+(* The pre-rewrite Transfer: token_owner is read from the contract
+   state and then used to index operator_approvals — CanSummarise
+   fails, the transition summary is ⊤, and it cannot be sharded. *)
+transition Transfer (to : ByStr20, token_id : Uint256)
+  owner_opt <- token_owners[token_id];
+  match owner_opt with
+  | Some token_owner =>
+    is_owner = builtin eq _sender token_owner;
+    approved_opt <- operator_approvals[token_owner][_sender];
+    is_operator = match approved_opt with
+                  | Some b => b
+                  | None => False
+                  end;
+    can_do = builtin orb is_owner is_operator;
+    match can_do with
+    | True =>
+      token_owners[token_id] := to;
+      from_cnt_opt <- owned_count[token_owner];
+      new_from = match from_cnt_opt with
+                 | Some c => builtin sub c one
+                 | None => zero
+                 end;
+      owned_count[token_owner] := new_from;
+      to_cnt_opt <- owned_count[to];
+      new_to = match to_cnt_opt with
+               | Some c => builtin add c one
+               | None => one
+               end;
+      owned_count[to] := new_to;
+      e = {_eventname : "TransferSuccess"; token : token_id};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+transition SetApprovalForAll (operator : ByStr20, approved : Bool)
+  operator_approvals[_sender][operator] := approved;
+  e = {_eventname : "ApprovalForAll"; operator : operator};
+  event e
+end
+`
+
+// UDRegistryMainnet mirrors the original registry: Configure reads the
+// domain owner from state to authorise the update, rather than taking
+// the expected owner as a parameter.
+const UDRegistryMainnet = `
+scilla_version 0
+
+library UDRegistryMainnet
+
+contract UDRegistryMainnet
+(registry_owner : ByStr20)
+
+field records : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field record_data : Map ByStr32 (Map String String) =
+  Emp ByStr32 (Map String String)
+
+field operators : Map ByStr20 (Map ByStr20 Bool) =
+  Emp ByStr20 (Map ByStr20 Bool)
+
+transition Bestow (node : ByStr32, owner : ByStr20)
+  is_admin = builtin eq _sender registry_owner;
+  match is_admin with
+  | True =>
+    taken <- exists records[node];
+    match taken with
+    | True =>
+      throw
+    | False =>
+      records[node] := owner;
+      e = {_eventname : "Bestowed"; node : node};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+(* Pre-rewrite Configure: the owner read from records[node] is used to
+   index into operators, so the access cannot be summarised. *)
+transition Configure (node : ByStr32, key : String, val : String)
+  owner_opt <- records[node];
+  match owner_opt with
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    op_opt <- operators[owner][_sender];
+    is_operator = match op_opt with
+                  | Some b => b
+                  | None => False
+                  end;
+    ok = builtin orb is_owner is_operator;
+    match ok with
+    | True =>
+      record_data[node][key] := val;
+      e = {_eventname : "Configured"; node : node};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+transition SetOperator (operator : ByStr20, enabled : Bool)
+  operators[_sender][operator] := enabled;
+  e = {_eventname : "OperatorSet"; operator : operator};
+  event e
+end
+`
+
+func init() {
+	register("NonfungibleTokenMainnet", NonfungibleTokenMainnet, false)
+	register("UDRegistryMainnet", UDRegistryMainnet, false)
+}

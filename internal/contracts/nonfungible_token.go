@@ -1,0 +1,178 @@
+package contracts
+
+// NonfungibleToken is the ZRC-1-style NFT contract (Zilliqa's ERC-721
+// equivalent) from the paper's evaluation. Per Sec. 5.2, Mint and
+// Transfer are sharded; Burn and Approve are not. Per Sec. 6, Transfer
+// is written compare-and-swap style: the expected token owner is a
+// transition parameter validated against the stored owner, which makes
+// all owned components keyed by the token id.
+const NonfungibleToken = `
+scilla_version 0
+
+library NonfungibleToken
+
+let zero = Uint128 0
+let one = Uint128 1
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract NonfungibleToken
+(contract_owner : ByStr20,
+ name : String,
+ symbol : String)
+
+field minter : ByStr20 = contract_owner
+
+field token_owners : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+
+field owned_count : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field token_approvals : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+
+field operator_approvals : Map ByStr20 (Map ByStr20 Bool) =
+  Emp ByStr20 (Map ByStr20 Bool)
+
+field total_tokens : Uint128 = Uint128 0
+
+(* Create a new token. Only the minter may mint; the state touched
+   depends only on the token id and the recipient. *)
+transition Mint (to : ByStr20, token_id : Uint256)
+  m <- minter;
+  is_minter = builtin eq _sender m;
+  match is_minter with
+  | True =>
+    taken <- exists token_owners[token_id];
+    match taken with
+    | True =>
+      throw
+    | False =>
+      token_owners[token_id] := to;
+      cnt_opt <- owned_count[to];
+      new_cnt = match cnt_opt with
+                | Some c => builtin add c one
+                | None => one
+                end;
+      owned_count[to] := new_cnt;
+      tt <- total_tokens;
+      new_tt = builtin add tt one;
+      total_tokens := new_tt;
+      e = {_eventname : "MintSuccess"; by : _sender; recipient : to; token : token_id};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+(* Transfer a token. token_owner is the expected current owner
+   (compare-and-swap, Sec. 6); the caller must be the owner or the
+   approved spender of the token. *)
+transition Transfer (to : ByStr20, token_id : Uint256, token_owner : ByStr20)
+  owner_opt <- token_owners[token_id];
+  match owner_opt with
+  | Some actual_owner =>
+    owner_matches = builtin eq actual_owner token_owner;
+    match owner_matches with
+    | True =>
+      is_owner = builtin eq _sender token_owner;
+      approved_opt <- token_approvals[token_id];
+      is_approved = match approved_opt with
+                    | Some spender => builtin eq spender _sender
+                    | None => False
+                    end;
+      can_transfer = builtin orb is_owner is_approved;
+      match can_transfer with
+      | True =>
+        delete token_approvals[token_id];
+        token_owners[token_id] := to;
+        from_cnt_opt <- owned_count[token_owner];
+        new_from_cnt = match from_cnt_opt with
+                       | Some c => builtin sub c one
+                       | None => zero
+                       end;
+        owned_count[token_owner] := new_from_cnt;
+        to_cnt_opt <- owned_count[to];
+        new_to_cnt = match to_cnt_opt with
+                     | Some c => builtin add c one
+                     | None => one
+                     end;
+        owned_count[to] := new_to_cnt;
+        e = {_eventname : "TransferSuccess"; from : token_owner; recipient : to; token : token_id};
+        event e
+      | False =>
+        throw
+      end
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Destroy a token; only its owner may burn it. *)
+transition Burn (token_id : Uint256)
+  owner_opt <- token_owners[token_id];
+  match owner_opt with
+  | Some actual_owner =>
+    is_owner = builtin eq _sender actual_owner;
+    match is_owner with
+    | True =>
+      delete token_owners[token_id];
+      delete token_approvals[token_id];
+      cnt_opt <- owned_count[_sender];
+      new_cnt = match cnt_opt with
+                | Some c => builtin sub c one
+                | None => zero
+                end;
+      owned_count[_sender] := new_cnt;
+      tt <- total_tokens;
+      new_tt = builtin sub tt one;
+      total_tokens := new_tt;
+      e = {_eventname : "BurnSuccess"; by : _sender; token : token_id};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Approve a spender for one token; only the token owner may approve. *)
+transition Approve (to : ByStr20, token_id : Uint256)
+  owner_opt <- token_owners[token_id];
+  match owner_opt with
+  | Some actual_owner =>
+    is_owner = builtin eq _sender actual_owner;
+    match is_owner with
+    | True =>
+      token_approvals[token_id] := to;
+      e = {_eventname : "ApproveSuccess"; from : _sender; approved : to; token : token_id};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Grant or revoke an operator for all of the sender's tokens. *)
+transition SetApprovalForAll (operator : ByStr20, approved : Bool)
+  self_op = builtin eq _sender operator;
+  match self_op with
+  | True =>
+    throw
+  | False =>
+    operator_approvals[_sender][operator] := approved;
+    e = {_eventname : "SetApprovalForAllSuccess"; by : _sender; operator : operator};
+    event e
+  end
+end
+`
+
+func init() { register("NonfungibleToken", NonfungibleToken, true) }

@@ -1,0 +1,227 @@
+package contracts
+
+// ProofIPFS is the notarisation contract from the paper's evaluation
+// (Sec. 5.2): users register ownership of IPFS content hashes. The
+// "register" transition touches both the hash-keyed inventory and the
+// user-keyed item list, so (per Sec. 5.2.1) its two ownership
+// constraints typically resolve to different shards and many
+// registrations fall back to the DS committee.
+const ProofIPFS = `
+scilla_version 0
+
+library ProofIPFS
+
+let zero = Uint128 0
+let one = Uint128 1
+let bool_true = True
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract ProofIPFS
+(initial_admin : ByStr20)
+
+field admin : ByStr20 = initial_admin
+
+field registration_open : Bool = True
+
+field price : Uint128 = Uint128 0
+
+field collected : Uint128 = Uint128 0
+
+field ipfsInventory : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field registered_items : Map ByStr20 (Map ByStr32 Bool) =
+  Emp ByStr20 (Map ByStr32 Bool)
+
+field item_count : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field attestations : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+
+(* Notarise a content hash for the sender. *)
+transition RegisterOwnership (item_hash : ByStr32)
+  open <- registration_open;
+  match open with
+  | True =>
+    p <- price;
+    enough = builtin le p _amount;
+    match enough with
+    | True =>
+      taken <- exists ipfsInventory[item_hash];
+      match taken with
+      | True =>
+        throw
+      | False =>
+        accept;
+        ipfsInventory[item_hash] := _sender;
+        registered_items[_sender][item_hash] := bool_true;
+        cnt_opt <- item_count[_sender];
+        new_cnt = match cnt_opt with
+                  | Some c => builtin add c one
+                  | None => one
+                  end;
+        item_count[_sender] := new_cnt;
+        col <- collected;
+        new_col = builtin add col _amount;
+        collected := new_col;
+        e = {_eventname : "RegisterSuccess"; registrant : _sender; hash : item_hash};
+        event e
+      end
+    | False =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+
+(* Hand an owned hash to another user. *)
+transition TransferOwnership (item_hash : ByStr32, new_owner : ByStr20)
+  owner_opt <- ipfsInventory[item_hash];
+  match owner_opt with
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | True =>
+      ipfsInventory[item_hash] := new_owner;
+      delete registered_items[_sender][item_hash];
+      registered_items[new_owner][item_hash] := bool_true;
+      e = {_eventname : "TransferOwnershipSuccess"; hash : item_hash; recipient : new_owner};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Remove a notarised hash (the transition the paper does not shard). *)
+transition RemoveOwnership (item_hash : ByStr32)
+  owner_opt <- ipfsInventory[item_hash];
+  match owner_opt with
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | True =>
+      delete ipfsInventory[item_hash];
+      delete registered_items[_sender][item_hash];
+      cnt_opt <- item_count[_sender];
+      new_cnt = match cnt_opt with
+                | Some c => builtin sub c one
+                | None => zero
+                end;
+      item_count[_sender] := new_cnt;
+      e = {_eventname : "RemoveSuccess"; hash : item_hash};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Publicly attest that a hash is valid (commutative counter). *)
+transition Attest (item_hash : ByStr32)
+  att_opt <- attestations[item_hash];
+  new_att = match att_opt with
+            | Some a => builtin add a one
+            | None => one
+            end;
+  attestations[item_hash] := new_att;
+  e = {_eventname : "Attested"; hash : item_hash; by : _sender};
+  event e
+end
+
+(* Report who owns a hash. *)
+transition VerifyOwnership (item_hash : ByStr32)
+  owner_opt <- ipfsInventory[item_hash];
+  match owner_opt with
+  | Some owner =>
+    msg = {_tag : "VerifyCallback"; _recipient : _sender; _amount : zero; hash : item_hash; owner : owner};
+    msgs = one_msg msg;
+    send msgs
+  | None =>
+    msg = {_tag : "VerifyCallback"; _recipient : _sender; _amount : zero; hash : item_hash; owner : initial_admin};
+    msgs = one_msg msg;
+    send msgs
+  end
+end
+
+(* Report how many items a user registered. *)
+transition CountItems (user : ByStr20)
+  cnt_opt <- item_count[user];
+  cnt = match cnt_opt with
+        | Some c => c
+        | None => zero
+        end;
+  msg = {_tag : "CountCallback"; _recipient : _sender; _amount : zero; user : user; count : cnt};
+  msgs = one_msg msg;
+  send msgs
+end
+
+(* Set the registration price (admin only). *)
+transition SetPrice (new_price : Uint128)
+  a <- admin;
+  is_admin = builtin eq _sender a;
+  match is_admin with
+  | True =>
+    price := new_price;
+    e = {_eventname : "PriceSet"; price : new_price};
+    event e
+  | False =>
+    throw
+  end
+end
+
+(* Open or close registration (admin only). *)
+transition SetRegistrationOpen (open : Bool)
+  a <- admin;
+  is_admin = builtin eq _sender a;
+  match is_admin with
+  | True =>
+    registration_open := open;
+    e = {_eventname : "RegistrationToggled"};
+    event e
+  | False =>
+    throw
+  end
+end
+
+(* Hand the admin role to another account (admin only). *)
+transition ChangeAdmin (new_admin : ByStr20)
+  a <- admin;
+  is_admin = builtin eq _sender a;
+  match is_admin with
+  | True =>
+    admin := new_admin;
+    e = {_eventname : "AdminChanged"; admin : new_admin};
+    event e
+  | False =>
+    throw
+  end
+end
+
+(* Withdraw the collected fees (admin only). *)
+transition WithdrawFunds ()
+  a <- admin;
+  is_admin = builtin eq _sender a;
+  match is_admin with
+  | True =>
+    col <- collected;
+    collected := zero;
+    msg = {_tag : "Withdrawal"; _recipient : _sender; _amount : col};
+    msgs = one_msg msg;
+    send msgs;
+    e = {_eventname : "Withdrawn"; amount : col};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+func init() { register("ProofIPFS", ProofIPFS, true) }

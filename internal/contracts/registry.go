@@ -1,0 +1,116 @@
+// Package contracts holds the Scilla contract corpus used throughout
+// the evaluation: the five contracts from the paper's Sec. 5.2 table,
+// plus a population of smaller contracts mirroring the shape of the
+// Zilliqa mainnet corpus analysed in Sec. 5.1 (Fig. 12 and Fig. 13).
+package contracts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/parser"
+	"cosplit/internal/scilla/typecheck"
+)
+
+// Entry is one corpus contract: its name and source text.
+type Entry struct {
+	Name   string
+	Source string
+	// Evaluation marks the five contracts from the paper's Sec. 5.2
+	// throughput evaluation.
+	Evaluation bool
+}
+
+var registry []Entry
+
+func register(name, source string, evaluation bool) {
+	registry = append(registry, Entry{Name: name, Source: source, Evaluation: evaluation})
+}
+
+// All returns the corpus sorted by name.
+func All() []Entry {
+	out := append([]Entry{}, registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named contract's source.
+func Get(name string) (Entry, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("unknown corpus contract %q", name)
+}
+
+// MustParse parses and typechecks a corpus contract, panicking on
+// failure (the corpus is fixed and covered by tests).
+func MustParse(name string) *typecheck.Checked {
+	e, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	m, err := parser.ParseModule(e.Source)
+	if err != nil {
+		panic(fmt.Sprintf("corpus contract %s: parse: %v", name, err))
+	}
+	chk, err := typecheck.Check(m)
+	if err != nil {
+		panic(fmt.Sprintf("corpus contract %s: typecheck: %v", name, err))
+	}
+	return chk
+}
+
+// LinesOfCode counts non-blank, non-comment source lines, mirroring the
+// LOC column of the paper's Sec. 5.2 table.
+func LinesOfCode(source string) int {
+	n := 0
+	for _, line := range strings.Split(source, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "(*") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Names returns all corpus contract names, sorted.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// ParseAll parses and typechecks every corpus contract, returning the
+// checked modules keyed by name.
+func ParseAll() (map[string]*typecheck.Checked, error) {
+	out := make(map[string]*typecheck.Checked)
+	for _, e := range All() {
+		m, err := parser.ParseModule(e.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: parse: %w", e.Name, err)
+		}
+		chk, err := typecheck.Check(m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: typecheck: %w", e.Name, err)
+		}
+		out[e.Name] = chk
+	}
+	return out, nil
+}
+
+// Module parses a corpus contract without typechecking.
+func Module(name string) (*ast.Module, error) {
+	e, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return parser.ParseModule(e.Source)
+}

@@ -1,0 +1,557 @@
+package contracts
+
+// This file holds the first batch of small corpus contracts mirroring
+// the population of the paper's Fig. 12 study (49 unique mainnet and
+// testnet contracts, most with 1-6 transitions).
+
+// HelloWorld is the canonical two-transition starter contract.
+const HelloWorld = `
+scilla_version 0
+
+library HelloWorld
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract HelloWorld
+(owner : ByStr20)
+
+field welcome_msg : String = ""
+
+transition SetHello (msg : String)
+  is_owner = builtin eq _sender owner;
+  match is_owner with
+  | True =>
+    welcome_msg := msg;
+    e = {_eventname : "SetHelloSuccess"; msg : msg};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition GetHello ()
+  wm <- welcome_msg;
+  zero = Uint128 0;
+  m = {_tag : "HelloCallback"; _recipient : _sender; _amount : zero; msg : wm};
+  msgs = one_msg m;
+  send msgs
+end
+`
+
+// FirstContract is a minimal single-transition contract.
+const FirstContract = `
+scilla_version 0
+
+contract FirstContract
+(owner : ByStr20)
+
+field counter : Uint128 = Uint128 0
+
+transition Increment ()
+  c <- counter;
+  one = Uint128 1;
+  new_c = builtin add c one;
+  counter := new_c;
+  e = {_eventname : "Incremented"; value : new_c};
+  event e
+end
+`
+
+// TestSender exercises message construction and sends.
+const TestSender = `
+scilla_version 0
+
+library TestSender
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+let two_msgs =
+  fun (m1 : Message) =>
+    fun (m2 : Message) =>
+      let nil = Nil {Message} in
+      let l1 = Cons {Message} m2 nil in
+      Cons {Message} m1 l1
+
+contract TestSender
+(owner : ByStr20)
+
+field last_recipient : ByStr20 = owner
+
+transition SendOne (to : ByStr20)
+  last_recipient := to;
+  zero = Uint128 0;
+  m = {_tag : "Ping"; _recipient : to; _amount : zero};
+  msgs = one_msg m;
+  send msgs
+end
+
+transition SendTwo (a : ByStr20, b : ByStr20)
+  zero = Uint128 0;
+  m1 = {_tag : "Ping"; _recipient : a; _amount : zero};
+  m2 = {_tag : "Ping"; _recipient : b; _amount : zero};
+  msgs = two_msgs m1 m2;
+  send msgs
+end
+`
+
+// Auction is a classic highest-bid auction over scalar fields: its
+// transitions hog the whole contract state, so nothing shards.
+const Auction = `
+scilla_version 0
+
+library Auction
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract Auction
+(beneficiary : ByStr20,
+ auction_end : BNum)
+
+field highest_bid : Uint128 = Uint128 0
+
+field highest_bidder : ByStr20 = beneficiary
+
+field ended : Bool = False
+
+field pending_returns : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition Bid ()
+  blk <- &BLOCKNUMBER;
+  in_time = builtin blt blk auction_end;
+  match in_time with
+  | True =>
+    hb <- highest_bid;
+    higher = builtin lt hb _amount;
+    match higher with
+    | True =>
+      accept;
+      prev_bidder <- highest_bidder;
+      prev_return_opt <- pending_returns[prev_bidder];
+      new_return = match prev_return_opt with
+                   | Some pr => builtin add pr hb
+                   | None => hb
+                   end;
+      pending_returns[prev_bidder] := new_return;
+      highest_bid := _amount;
+      highest_bidder := _sender;
+      e = {_eventname : "BidAccepted"; bidder : _sender; amount : _amount};
+      event e
+    | False =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+
+transition Withdraw ()
+  ret_opt <- pending_returns[_sender];
+  match ret_opt with
+  | Some ret =>
+    delete pending_returns[_sender];
+    m = {_tag : "Refund"; _recipient : _sender; _amount : ret};
+    msgs = one_msg m;
+    send msgs
+  | None =>
+    throw
+  end
+end
+
+transition AuctionEnd ()
+  blk <- &BLOCKNUMBER;
+  past = builtin blt auction_end blk;
+  match past with
+  | True =>
+    done <- ended;
+    match done with
+    | True =>
+      throw
+    | False =>
+      t = True;
+      ended := t;
+      hb <- highest_bid;
+      m = {_tag : "AuctionProceeds"; _recipient : beneficiary; _amount : hb};
+      msgs = one_msg m;
+      send msgs;
+      e = {_eventname : "AuctionEnded"; amount : hb};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+`
+
+// Voting counts votes commutatively per option, with a one-vote-per-
+// account guard.
+const Voting = `
+scilla_version 0
+
+library Voting
+
+let one = Uint128 1
+let bool_true = True
+
+contract Voting
+(organiser : ByStr20)
+
+field options : Map String Bool = Emp String Bool
+
+field votes : Map String Uint128 = Emp String Uint128
+
+field voted : Map ByStr20 Bool = Emp ByStr20 Bool
+
+field open : Bool = True
+
+transition AddOption (option : String)
+  is_org = builtin eq _sender organiser;
+  match is_org with
+  | True =>
+    options[option] := bool_true;
+    e = {_eventname : "OptionAdded"; option : option};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Vote (option : String)
+  is_open <- open;
+  match is_open with
+  | True =>
+    valid <- exists options[option];
+    match valid with
+    | True =>
+      already <- exists voted[_sender];
+      match already with
+      | True =>
+        throw
+      | False =>
+        voted[_sender] := bool_true;
+        cnt_opt <- votes[option];
+        new_cnt = match cnt_opt with
+                  | Some c => builtin add c one
+                  | None => one
+                  end;
+        votes[option] := new_cnt;
+        e = {_eventname : "Voted"; option : option};
+        event e
+      end
+    | False =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+
+transition CloseElection ()
+  is_org = builtin eq _sender organiser;
+  match is_org with
+  | True =>
+    f = False;
+    open := f;
+    e = {_eventname : "ElectionClosed"};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+// Oracle stores externally supplied data under string keys.
+const Oracle = `
+scilla_version 0
+
+library Oracle
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract Oracle
+(initial_oracle : ByStr20)
+
+field oracle : ByStr20 = initial_oracle
+
+field data : Map String String = Emp String String
+
+field updated_at : Map String BNum = Emp String BNum
+
+transition SetData (key : String, val : String)
+  o <- oracle;
+  is_oracle = builtin eq _sender o;
+  match is_oracle with
+  | True =>
+    data[key] := val;
+    blk <- &BLOCKNUMBER;
+    updated_at[key] := blk;
+    e = {_eventname : "DataSet"; key : key};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition RequestData (key : String)
+  val_opt <- data[key];
+  match val_opt with
+  | Some val =>
+    zero = Uint128 0;
+    m = {_tag : "OracleCallback"; _recipient : _sender; _amount : zero; key : key; val : val};
+    msgs = one_msg m;
+    send msgs
+  | None =>
+    throw
+  end
+end
+
+transition ChangeOracle (new_oracle : ByStr20)
+  o <- oracle;
+  is_oracle = builtin eq _sender o;
+  match is_oracle with
+  | True =>
+    oracle := new_oracle;
+    e = {_eventname : "OracleChanged"; oracle : new_oracle};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+// HTLC is a hash time-locked contract registry keyed by hash locks.
+const HTLC = `
+scilla_version 0
+
+library HTLC
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+type Lock =
+| Lock of ByStr20 ByStr20 Uint128 BNum
+
+contract HTLC
+(registry_owner : ByStr20)
+
+field locks : Map ByStr32 Lock = Emp ByStr32 Lock
+
+transition NewLock (hash_lock : ByStr32, recipient : ByStr20, expiry : BNum)
+  taken <- exists locks[hash_lock];
+  match taken with
+  | True =>
+    throw
+  | False =>
+    accept;
+    l = Lock _sender recipient _amount expiry;
+    locks[hash_lock] := l;
+    e = {_eventname : "Locked"; hash : hash_lock; amount : _amount};
+    event e
+  end
+end
+
+transition Claim (hash_lock : ByStr32, preimage : ByStr)
+  lock_opt <- locks[hash_lock];
+  match lock_opt with
+  | Some l =>
+    match l with
+    | Lock locker recipient amount expiry =>
+      h = builtin sha256hash preimage;
+      ok = builtin eq h hash_lock;
+      match ok with
+      | True =>
+        delete locks[hash_lock];
+        m = {_tag : "Claimed"; _recipient : recipient; _amount : amount};
+        msgs = one_msg m;
+        send msgs;
+        e = {_eventname : "ClaimSuccess"; hash : hash_lock};
+        event e
+      | False =>
+        throw
+      end
+    end
+  | None =>
+    throw
+  end
+end
+
+transition Refund (hash_lock : ByStr32)
+  lock_opt <- locks[hash_lock];
+  match lock_opt with
+  | Some l =>
+    match l with
+    | Lock locker recipient amount expiry =>
+      blk <- &BLOCKNUMBER;
+      expired = builtin blt expiry blk;
+      match expired with
+      | True =>
+        delete locks[hash_lock];
+        m = {_tag : "Refunded"; _recipient : locker; _amount : amount};
+        msgs = one_msg m;
+        send msgs
+      | False =>
+        throw
+      end
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// Multisig is an m-of-n wallet using a custom ADT for pending
+// transactions.
+const Multisig = `
+scilla_version 0
+
+library Multisig
+
+let one = Uint32 1
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+type Pending =
+| Pending of ByStr20 Uint128
+
+contract Multisig
+(owner_a : ByStr20,
+ owner_b : ByStr20,
+ owner_c : ByStr20,
+ required : Uint32)
+
+field pending : Map Uint32 Pending = Emp Uint32 Pending
+
+field signatures : Map Uint32 (Map ByStr20 Bool) =
+  Emp Uint32 (Map ByStr20 Bool)
+
+field sig_counts : Map Uint32 Uint32 = Emp Uint32 Uint32
+
+field next_id : Uint32 = Uint32 0
+
+transition Deposit ()
+  accept;
+  e = {_eventname : "Deposited"; amount : _amount};
+  event e
+end
+
+transition Submit (recipient : ByStr20, amount : Uint128)
+  is_a = builtin eq _sender owner_a;
+  is_b = builtin eq _sender owner_b;
+  is_c = builtin eq _sender owner_c;
+  ab = builtin orb is_a is_b;
+  is_owner = builtin orb ab is_c;
+  match is_owner with
+  | True =>
+    id <- next_id;
+    new_id = builtin add id one;
+    next_id := new_id;
+    p = Pending recipient amount;
+    pending[id] := p;
+    e = {_eventname : "Submitted"; id : id};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Sign (id : Uint32)
+  p_opt <- pending[id];
+  match p_opt with
+  | Some p =>
+    already <- exists signatures[id][_sender];
+    match already with
+    | True =>
+      throw
+    | False =>
+      t = True;
+      signatures[id][_sender] := t;
+      cnt_opt <- sig_counts[id];
+      new_cnt = match cnt_opt with
+                | Some c => builtin add c one
+                | None => one
+                end;
+      sig_counts[id] := new_cnt;
+      e = {_eventname : "Signed"; id : id};
+      event e
+    end
+  | None =>
+    throw
+  end
+end
+
+transition Execute (id : Uint32)
+  p_opt <- pending[id];
+  match p_opt with
+  | Some p =>
+    cnt_opt <- sig_counts[id];
+    cnt = match cnt_opt with
+          | Some c => c
+          | None => Uint32 0
+          end;
+    enough = builtin le required cnt;
+    match enough with
+    | True =>
+      match p with
+      | Pending recipient amount =>
+        delete pending[id];
+        delete sig_counts[id];
+        m = {_tag : "Payout"; _recipient : recipient; _amount : amount};
+        msgs = one_msg m;
+        send msgs;
+        e = {_eventname : "Executed"; id : id};
+        event e
+      end
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+transition Revoke (id : Uint32)
+  signed <- exists signatures[id][_sender];
+  match signed with
+  | True =>
+    delete signatures[id][_sender];
+    cnt_opt <- sig_counts[id];
+    match cnt_opt with
+    | Some c =>
+      new_cnt = builtin sub c one;
+      sig_counts[id] := new_cnt
+    | None =>
+      throw
+    end;
+    e = {_eventname : "Revoked"; id : id};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+func init() {
+	register("HelloWorld", HelloWorld, false)
+	register("FirstContract", FirstContract, false)
+	register("TestSender", TestSender, false)
+	register("Auction", Auction, false)
+	register("Voting", Voting, false)
+	register("Oracle", Oracle, false)
+	register("HTLC", HTLC, false)
+	register("Multisig", Multisig, false)
+}

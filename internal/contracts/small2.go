@@ -1,0 +1,491 @@
+package contracts
+
+// Second batch of small corpus contracts (cf. Fig. 12's population).
+
+// Bookstore is an inventory CRUD contract with member management.
+const Bookstore = `
+scilla_version 0
+
+library Bookstore
+
+let bool_true = True
+
+type Book =
+| Book of String String Uint128
+
+contract Bookstore
+(store_owner : ByStr20)
+
+field members : Map ByStr20 Bool =
+  let emp = Emp ByStr20 Bool in
+  let t = True in
+  builtin put emp store_owner t
+
+field inventory : Map Uint32 Book = Emp Uint32 Book
+
+transition AddMember (member : ByStr20)
+  is_owner = builtin eq _sender store_owner;
+  match is_owner with
+  | True =>
+    members[member] := bool_true;
+    e = {_eventname : "MemberAdded"; member : member};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition AddBook (book_id : Uint32, title : String, author : String, price : Uint128)
+  is_member <- exists members[_sender];
+  match is_member with
+  | True =>
+    taken <- exists inventory[book_id];
+    match taken with
+    | True =>
+      throw
+    | False =>
+      b = Book title author price;
+      inventory[book_id] := b;
+      e = {_eventname : "BookAdded"; id : book_id};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+transition UpdateBook (book_id : Uint32, title : String, author : String, price : Uint128)
+  is_member <- exists members[_sender];
+  match is_member with
+  | True =>
+    present <- exists inventory[book_id];
+    match present with
+    | True =>
+      b = Book title author price;
+      inventory[book_id] := b;
+      e = {_eventname : "BookUpdated"; id : book_id};
+      event e
+    | False =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+
+transition RemoveBook (book_id : Uint32)
+  is_member <- exists members[_sender];
+  match is_member with
+  | True =>
+    delete inventory[book_id];
+    e = {_eventname : "BookRemoved"; id : book_id};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+// SocialPay pays out rewards for registered social-media handles.
+const SocialPay = `
+scilla_version 0
+
+library SocialPay
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract SocialPay
+(admin : ByStr20,
+ reward : Uint128)
+
+field handles : Map String ByStr20 = Emp String ByStr20
+
+field paid : Map String Bool = Emp String Bool
+
+transition Register (handle : String)
+  taken <- exists handles[handle];
+  match taken with
+  | True =>
+    throw
+  | False =>
+    handles[handle] := _sender;
+    e = {_eventname : "Registered"; handle : handle};
+    event e
+  end
+end
+
+transition Deposit ()
+  is_admin = builtin eq _sender admin;
+  match is_admin with
+  | True =>
+    accept
+  | False =>
+    throw
+  end
+end
+
+transition Payout (handle : String)
+  is_admin = builtin eq _sender admin;
+  match is_admin with
+  | True =>
+    owner_opt <- handles[handle];
+    match owner_opt with
+    | Some owner =>
+      done <- exists paid[handle];
+      match done with
+      | True =>
+        throw
+      | False =>
+        t = True;
+        paid[handle] := t;
+        m = {_tag : "Reward"; _recipient : owner; _amount : reward};
+        msgs = one_msg m;
+        send msgs;
+        e = {_eventname : "Paid"; handle : handle};
+        event e
+      end
+    | None =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+`
+
+// IOU tracks pairwise debts with commutative increments.
+const IOU = `
+scilla_version 0
+
+library IOU
+
+contract IOU
+(registrar : ByStr20)
+
+field debts : Map ByStr20 (Map ByStr20 Uint128) =
+  Emp ByStr20 (Map ByStr20 Uint128)
+
+transition Owe (creditor : ByStr20, amount : Uint128)
+  cur_opt <- debts[_sender][creditor];
+  new_debt = match cur_opt with
+             | Some d => builtin add d amount
+             | None => amount
+             end;
+  debts[_sender][creditor] := new_debt;
+  e = {_eventname : "DebtRecorded"; creditor : creditor; amount : amount};
+  event e
+end
+
+transition Settle (creditor : ByStr20, amount : Uint128)
+  cur_opt <- debts[_sender][creditor];
+  match cur_opt with
+  | Some d =>
+    can = builtin le amount d;
+    match can with
+    | True =>
+      new_debt = builtin sub d amount;
+      debts[_sender][creditor] := new_debt;
+      e = {_eventname : "DebtSettled"; creditor : creditor; amount : amount};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+transition Forgive (debtor : ByStr20)
+  delete debts[debtor][_sender];
+  e = {_eventname : "DebtForgiven"; debtor : debtor};
+  event e
+end
+`
+
+// SimpleBondingCurve sells and buys back tokens at a linear price.
+const SimpleBondingCurve = `
+scilla_version 0
+
+library SimpleBondingCurve
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract SimpleBondingCurve
+(issuer : ByStr20,
+ base_price : Uint128)
+
+field holdings : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field supply : Uint128 = Uint128 0
+
+transition Buy ()
+  accept;
+  qty = builtin div _amount base_price;
+  cur_opt <- holdings[_sender];
+  new_q = match cur_opt with
+          | Some q => builtin add q qty
+          | None => qty
+          end;
+  holdings[_sender] := new_q;
+  s <- supply;
+  new_s = builtin add s qty;
+  supply := new_s;
+  e = {_eventname : "Bought"; qty : qty};
+  event e
+end
+
+transition Sell (qty : Uint128)
+  cur_opt <- holdings[_sender];
+  match cur_opt with
+  | Some q =>
+    can = builtin le qty q;
+    match can with
+    | True =>
+      new_q = builtin sub q qty;
+      holdings[_sender] := new_q;
+      s <- supply;
+      new_s = builtin sub s qty;
+      supply := new_s;
+      payout = builtin mul qty base_price;
+      m = {_tag : "Proceeds"; _recipient : _sender; _amount : payout};
+      msgs = one_msg m;
+      send msgs;
+      e = {_eventname : "Sold"; qty : qty};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// Escrow is a three-party escrow with distinct lifecycle transitions.
+const Escrow = `
+scilla_version 0
+
+library Escrow
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract Escrow
+(buyer : ByStr20,
+ seller : ByStr20,
+ arbiter : ByStr20)
+
+field deposited : Uint128 = Uint128 0
+
+field released : Bool = False
+
+transition Deposit ()
+  is_buyer = builtin eq _sender buyer;
+  match is_buyer with
+  | True =>
+    accept;
+    d <- deposited;
+    new_d = builtin add d _amount;
+    deposited := new_d;
+    e = {_eventname : "EscrowDeposited"; amount : _amount};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Release ()
+  is_arbiter = builtin eq _sender arbiter;
+  match is_arbiter with
+  | True =>
+    done <- released;
+    match done with
+    | True =>
+      throw
+    | False =>
+      t = True;
+      released := t;
+      d <- deposited;
+      m = {_tag : "EscrowRelease"; _recipient : seller; _amount : d};
+      msgs = one_msg m;
+      send msgs
+    end
+  | False =>
+    throw
+  end
+end
+
+transition Refund ()
+  is_arbiter = builtin eq _sender arbiter;
+  match is_arbiter with
+  | True =>
+    done <- released;
+    match done with
+    | True =>
+      throw
+    | False =>
+      t = True;
+      released := t;
+      d <- deposited;
+      m = {_tag : "EscrowRefund"; _recipient : buyer; _amount : d};
+      msgs = one_msg m;
+      send msgs
+    end
+  | False =>
+    throw
+  end
+end
+`
+
+// LikeMaster counts likes per post (commutative counters).
+const LikeMaster = `
+scilla_version 0
+
+library LikeMaster
+
+let one = Uint128 1
+let bool_true = True
+
+contract LikeMaster
+(platform : ByStr20)
+
+field posts : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field likes : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+
+transition CreatePost (post_id : ByStr32)
+  taken <- exists posts[post_id];
+  match taken with
+  | True =>
+    throw
+  | False =>
+    posts[post_id] := _sender;
+    e = {_eventname : "PostCreated"; post : post_id};
+    event e
+  end
+end
+
+transition Like (post_id : ByStr32)
+  cnt_opt <- likes[post_id];
+  new_cnt = match cnt_opt with
+            | Some c => builtin add c one
+            | None => one
+            end;
+  likes[post_id] := new_cnt;
+  e = {_eventname : "Liked"; post : post_id};
+  event e
+end
+`
+
+// PayRespect keeps a global respect counter anyone can bump.
+const PayRespect = `
+scilla_version 0
+
+library PayRespect
+
+let one = Uint128 1
+
+contract PayRespect
+(dedicated_to : String)
+
+field respects : Uint128 = Uint128 0
+
+field last_payer : String = ""
+
+transition Press (name : String)
+  r <- respects;
+  new_r = builtin add r one;
+  respects := new_r;
+  last_payer := name;
+  e = {_eventname : "RespectPaid"; by : name};
+  event e
+end
+
+transition PressAnonymously ()
+  r <- respects;
+  new_r = builtin add r one;
+  respects := new_r;
+  e = {_eventname : "RespectPaid"};
+  event e
+end
+`
+
+// Quizbot rewards the first correct answer per question.
+const Quizbot = `
+scilla_version 0
+
+library Quizbot
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract Quizbot
+(quizmaster : ByStr20,
+ prize : Uint128)
+
+field answers : Map Uint32 ByStr32 = Emp Uint32 ByStr32
+
+field solved : Map Uint32 ByStr20 = Emp Uint32 ByStr20
+
+transition PostQuestion (question_id : Uint32, answer_hash : ByStr32)
+  is_qm = builtin eq _sender quizmaster;
+  match is_qm with
+  | True =>
+    accept;
+    answers[question_id] := answer_hash;
+    e = {_eventname : "QuestionPosted"; id : question_id};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition SubmitAnswer (question_id : Uint32, answer : String)
+  expected_opt <- answers[question_id];
+  match expected_opt with
+  | Some expected =>
+    taken <- exists solved[question_id];
+    match taken with
+    | True =>
+      throw
+    | False =>
+      h = builtin sha256hash answer;
+      correct = builtin eq h expected;
+      match correct with
+      | True =>
+        solved[question_id] := _sender;
+        m = {_tag : "Prize"; _recipient : _sender; _amount : prize};
+        msgs = one_msg m;
+        send msgs;
+        e = {_eventname : "Solved"; id : question_id};
+        event e
+      | False =>
+        throw
+      end
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+func init() {
+	register("Bookstore", Bookstore, false)
+	register("SocialPay", SocialPay, false)
+	register("IOU", IOU, false)
+	register("SimpleBondingCurve", SimpleBondingCurve, false)
+	register("Escrow", Escrow, false)
+	register("LikeMaster", LikeMaster, false)
+	register("PayRespect", PayRespect, false)
+	register("Quizbot", Quizbot, false)
+}

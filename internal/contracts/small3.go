@@ -1,0 +1,510 @@
+package contracts
+
+// Third batch of small corpus contracts, including ones exercising the
+// polymorphic list natives and nested control flow.
+
+// BunkeringLog is an append-only audit log of fuel deliveries.
+const BunkeringLog = `
+scilla_version 0
+
+library BunkeringLog
+
+let one = Uint32 1
+
+type Entry =
+| Entry of String Uint128 BNum
+
+contract BunkeringLog
+(operator : ByStr20)
+
+field log_entries : Map Uint32 Entry = Emp Uint32 Entry
+
+field entry_count : Uint32 = Uint32 0
+
+field auditors : Map ByStr20 Bool = Emp ByStr20 Bool
+
+transition LogDelivery (vessel : String, quantity : Uint128)
+  is_op = builtin eq _sender operator;
+  match is_op with
+  | True =>
+    n <- entry_count;
+    blk <- &BLOCKNUMBER;
+    entry = Entry vessel quantity blk;
+    log_entries[n] := entry;
+    new_n = builtin add n one;
+    entry_count := new_n;
+    e = {_eventname : "DeliveryLogged"; id : n};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition AddAuditor (auditor : ByStr20)
+  is_op = builtin eq _sender operator;
+  match is_op with
+  | True =>
+    t = True;
+    auditors[auditor] := t;
+    e = {_eventname : "AuditorAdded"; auditor : auditor};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Attest (entry_id : Uint32)
+  is_auditor <- exists auditors[_sender];
+  match is_auditor with
+  | True =>
+    present <- exists log_entries[entry_id];
+    match present with
+    | True =>
+      e = {_eventname : "Attested"; id : entry_id};
+      event e
+    | False =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+`
+
+// RoadDamage crowdsources road-damage reports with validations.
+const RoadDamage = `
+scilla_version 0
+
+library RoadDamage
+
+let one = Uint128 1
+
+contract RoadDamage
+(authority : ByStr20)
+
+field reports : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field confirmations : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+
+field resolved : Map ByStr32 Bool = Emp ByStr32 Bool
+
+transition Report (location_hash : ByStr32)
+  taken <- exists reports[location_hash];
+  match taken with
+  | True =>
+    throw
+  | False =>
+    reports[location_hash] := _sender;
+    e = {_eventname : "DamageReported"; location : location_hash};
+    event e
+  end
+end
+
+transition Confirm (location_hash : ByStr32)
+  present <- exists reports[location_hash];
+  match present with
+  | True =>
+    cnt_opt <- confirmations[location_hash];
+    new_cnt = match cnt_opt with
+              | Some c => builtin add c one
+              | None => one
+              end;
+    confirmations[location_hash] := new_cnt;
+    e = {_eventname : "DamageConfirmed"; location : location_hash};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Resolve (location_hash : ByStr32)
+  is_authority = builtin eq _sender authority;
+  match is_authority with
+  | True =>
+    t = True;
+    resolved[location_hash] := t;
+    e = {_eventname : "DamageResolved"; location : location_hash};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+// GoFundMi is a lightweight per-campaign crowdfunding hub.
+const GoFundMi = `
+scilla_version 0
+
+library GoFundMi
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract GoFundMi
+(platform : ByStr20)
+
+field campaigns : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field raised : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+
+transition CreateCampaign (campaign_id : ByStr32)
+  taken <- exists campaigns[campaign_id];
+  match taken with
+  | True =>
+    throw
+  | False =>
+    campaigns[campaign_id] := _sender;
+    e = {_eventname : "CampaignCreated"; id : campaign_id};
+    event e
+  end
+end
+
+transition Fund (campaign_id : ByStr32)
+  present <- exists campaigns[campaign_id];
+  match present with
+  | True =>
+    accept;
+    cur_opt <- raised[campaign_id];
+    new_total = match cur_opt with
+                | Some r => builtin add r _amount
+                | None => _amount
+                end;
+    raised[campaign_id] := new_total;
+    e = {_eventname : "Funded"; id : campaign_id; amount : _amount};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Collect (campaign_id : ByStr32)
+  owner_opt <- campaigns[campaign_id];
+  match owner_opt with
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | True =>
+      total_opt <- raised[campaign_id];
+      match total_opt with
+      | Some total =>
+        delete raised[campaign_id];
+        m = {_tag : "CampaignFunds"; _recipient : owner; _amount : total};
+        msgs = one_msg m;
+        send msgs;
+        e = {_eventname : "Collected"; id : campaign_id; amount : total};
+        event e
+      | None =>
+        throw
+      end
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// Airdrop exercises the polymorphic list natives: it pays a fixed
+// reward to every address in a submitted batch.
+const Airdrop = `
+scilla_version 0
+
+library Airdrop
+
+let reward = Uint128 5
+
+let mk_payout =
+  fun (recipient : ByStr20) =>
+    {_tag : "Airdrop"; _recipient : recipient; _amount : reward}
+
+contract Airdrop
+(admin : ByStr20)
+
+field rounds : Uint32 = Uint32 0
+
+transition Fund ()
+  is_admin = builtin eq _sender admin;
+  match is_admin with
+  | True =>
+    accept
+  | False =>
+    throw
+  end
+end
+
+transition Drop (recipients : List ByStr20)
+  is_admin = builtin eq _sender admin;
+  match is_admin with
+  | True =>
+    mapper = @list_map ByStr20 Message;
+    msgs = mapper mk_payout recipients;
+    send msgs;
+    r <- rounds;
+    one = Uint32 1;
+    new_r = builtin add r one;
+    rounds := new_r;
+    counter = @list_length ByStr20;
+    n = counter recipients;
+    e = {_eventname : "Dropped"; count : n};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+// Cryptoman is a collectible game with breeding-style derivation.
+const Cryptoman = `
+scilla_version 0
+
+library Cryptoman
+
+let one = Uint128 1
+
+contract Cryptoman
+(game_master : ByStr20,
+ spawn_price : Uint128)
+
+field creatures : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field power : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+
+field creature_count : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition Spawn (dna : ByStr32)
+  enough = builtin le spawn_price _amount;
+  match enough with
+  | True =>
+    taken <- exists creatures[dna];
+    match taken with
+    | True =>
+      throw
+    | False =>
+      accept;
+      creatures[dna] := _sender;
+      power[dna] := one;
+      cnt_opt <- creature_count[_sender];
+      new_cnt = match cnt_opt with
+                | Some c => builtin add c one
+                | None => one
+                end;
+      creature_count[_sender] := new_cnt;
+      e = {_eventname : "Spawned"; dna : dna};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+transition Train (dna : ByStr32)
+  owner_opt <- creatures[dna];
+  match owner_opt with
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | True =>
+      p_opt <- power[dna];
+      new_p = match p_opt with
+              | Some p => builtin add p one
+              | None => one
+              end;
+      power[dna] := new_p;
+      e = {_eventname : "Trained"; dna : dna};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+transition Gift (dna : ByStr32, to : ByStr20)
+  owner_opt <- creatures[dna];
+  match owner_opt with
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | True =>
+      creatures[dna] := to;
+      e = {_eventname : "Gifted"; dna : dna; recipient : to};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// XSGDLite is a pausable stablecoin with admin-gated mint/burn.
+const XSGDLite = `
+scilla_version 0
+
+library XSGDLite
+
+let zero = Uint128 0
+
+contract XSGDLite
+(admin : ByStr20)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field paused : Bool = False
+
+field total : Uint128 = Uint128 0
+
+transition Pause ()
+  is_admin = builtin eq _sender admin;
+  match is_admin with
+  | True =>
+    t = True;
+    paused := t
+  | False =>
+    throw
+  end
+end
+
+transition Unpause ()
+  is_admin = builtin eq _sender admin;
+  match is_admin with
+  | True =>
+    f = False;
+    paused := f
+  | False =>
+    throw
+  end
+end
+
+transition MintTo (recipient : ByStr20, amount : Uint128)
+  is_admin = builtin eq _sender admin;
+  match is_admin with
+  | True =>
+    p <- paused;
+    match p with
+    | True =>
+      throw
+    | False =>
+      cur_opt <- balances[recipient];
+      new_bal = match cur_opt with
+                | Some b => builtin add b amount
+                | None => amount
+                end;
+      balances[recipient] := new_bal;
+      t <- total;
+      new_t = builtin add t amount;
+      total := new_t;
+      e = {_eventname : "Minted"; recipient : recipient; amount : amount};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+transition TransferTokens (to : ByStr20, amount : Uint128)
+  p <- paused;
+  match p with
+  | True =>
+    throw
+  | False =>
+    bal_opt <- balances[_sender];
+    match bal_opt with
+    | Some bal =>
+      can = builtin le amount bal;
+      match can with
+      | True =>
+        new_from = builtin sub bal amount;
+        balances[_sender] := new_from;
+        to_opt <- balances[to];
+        new_to = match to_opt with
+                 | Some b => builtin add b amount
+                 | None => amount
+                 end;
+        balances[to] := new_to;
+        e = {_eventname : "Transferred"; recipient : to; amount : amount};
+        event e
+      | False =>
+        throw
+      end
+    | None =>
+      throw
+    end
+  end
+end
+`
+
+// Soundario pays royalties to track owners on each play.
+const Soundario = `
+scilla_version 0
+
+library Soundario
+
+let one = Uint128 1
+
+contract Soundario
+(platform : ByStr20,
+ royalty : Uint128)
+
+field tracks : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field plays : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+
+field royalties : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition PublishTrack (track_id : ByStr32)
+  taken <- exists tracks[track_id];
+  match taken with
+  | True =>
+    throw
+  | False =>
+    tracks[track_id] := _sender;
+    e = {_eventname : "TrackPublished"; track : track_id};
+    event e
+  end
+end
+
+transition Play (track_id : ByStr32, artist : ByStr20)
+  owner_opt <- tracks[track_id];
+  match owner_opt with
+  | Some owner =>
+    matches = builtin eq owner artist;
+    match matches with
+    | True =>
+      cnt_opt <- plays[track_id];
+      new_cnt = match cnt_opt with
+                | Some c => builtin add c one
+                | None => one
+                end;
+      plays[track_id] := new_cnt;
+      roy_opt <- royalties[artist];
+      new_roy = match roy_opt with
+                | Some r => builtin add r royalty
+                | None => royalty
+                end;
+      royalties[artist] := new_roy;
+      e = {_eventname : "Played"; track : track_id};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+func init() {
+	register("BunkeringLog", BunkeringLog, false)
+	register("RoadDamage", RoadDamage, false)
+	register("GoFundMi", GoFundMi, false)
+	register("Airdrop", Airdrop, false)
+	register("Cryptoman", Cryptoman, false)
+	register("XSGDLite", XSGDLite, false)
+	register("Soundario", Soundario, false)
+}

@@ -1,0 +1,596 @@
+package contracts
+
+// Fourth batch of corpus contracts, named after (and shaped like) more
+// of the Fig. 12 population.
+
+// DBond is a fixed-term bond: buy now, redeem with interest at
+// maturity.
+const DBond = `
+scilla_version 0
+
+library DBond
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+let hundred = Uint128 100
+
+contract DBond
+(issuer : ByStr20,
+ maturity : BNum,
+ interest_percent : Uint128)
+
+field bonds : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition BuyBond ()
+  blk <- &BLOCKNUMBER;
+  open = builtin blt blk maturity;
+  match open with
+  | True =>
+    already <- exists bonds[_sender];
+    match already with
+    | True =>
+      throw
+    | False =>
+      accept;
+      bonds[_sender] := _amount;
+      e = {_eventname : "BondIssued"; holder : _sender; principal : _amount};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+transition Redeem ()
+  blk <- &BLOCKNUMBER;
+  matured = builtin blt maturity blk;
+  match matured with
+  | True =>
+    principal_opt <- bonds[_sender];
+    match principal_opt with
+    | Some principal =>
+      delete bonds[_sender];
+      rate = builtin add hundred interest_percent;
+      gross = builtin mul principal rate;
+      payout = builtin div gross hundred;
+      m = {_tag : "Redemption"; _recipient : _sender; _amount : payout};
+      msgs = one_msg m;
+      send msgs;
+      e = {_eventname : "BondRedeemed"; holder : _sender; payout : payout};
+      event e
+    | None =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+
+transition Fund ()
+  is_issuer = builtin eq _sender issuer;
+  match is_issuer with
+  | True =>
+    accept
+  | False =>
+    throw
+  end
+end
+`
+
+// TokenHub escrows deposits of a fungible token contract (exercises
+// outgoing contract calls, which keep it DS-bound).
+const TokenHub = `
+scilla_version 0
+
+library TokenHub
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+let zero = Uint128 0
+
+contract TokenHub
+(token : ByStr20)
+
+field deposits : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition RecordDeposit (depositor : ByStr20, amount : Uint128)
+  is_token = builtin eq _sender token;
+  match is_token with
+  | True =>
+    cur_opt <- deposits[depositor];
+    new_total = match cur_opt with
+                | Some d => builtin add d amount
+                | None => amount
+                end;
+    deposits[depositor] := new_total;
+    e = {_eventname : "Deposited"; depositor : depositor; amount : amount};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Withdraw (amount : Uint128)
+  cur_opt <- deposits[_sender];
+  match cur_opt with
+  | Some d =>
+    can = builtin le amount d;
+    match can with
+    | True =>
+      new_total = builtin sub d amount;
+      deposits[_sender] := new_total;
+      m = {_tag : "Transfer"; _recipient : token; _amount : zero; to : _sender; amount : amount};
+      msgs = one_msg m;
+      send msgs
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// Zeecash keeps note commitments and nullifiers (mixer-style sets).
+const Zeecash = `
+scilla_version 0
+
+library Zeecash
+
+let bool_true = True
+
+contract Zeecash
+(denomination : Uint128)
+
+field commitments : Map ByStr32 Bool = Emp ByStr32 Bool
+
+field nullifiers : Map ByStr32 Bool = Emp ByStr32 Bool
+
+transition Deposit (commitment : ByStr32)
+  exact = builtin eq _amount denomination;
+  match exact with
+  | True =>
+    known <- exists commitments[commitment];
+    match known with
+    | True =>
+      throw
+    | False =>
+      accept;
+      commitments[commitment] := bool_true;
+      e = {_eventname : "NoteDeposited"; commitment : commitment};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+transition MarkSpent (nullifier : ByStr32)
+  spent <- exists nullifiers[nullifier];
+  match spent with
+  | True =>
+    throw
+  | False =>
+    nullifiers[nullifier] := bool_true;
+    e = {_eventname : "NoteSpent"; nullifier : nullifier};
+    event e
+  end
+end
+`
+
+// SwapContract is an atomic two-leg swap order book.
+const SwapContract = `
+scilla_version 0
+
+library SwapContract
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+type Order =
+| Order of ByStr20 Uint128 Uint128
+
+contract SwapContract
+(operator : ByStr20)
+
+field orders : Map Uint32 Order = Emp Uint32 Order
+
+field next_order : Uint32 = Uint32 0
+
+transition PlaceOrder (ask : Uint128)
+  accept;
+  id <- next_order;
+  one = Uint32 1;
+  nid = builtin add id one;
+  next_order := nid;
+  o = Order _sender _amount ask;
+  orders[id] := o;
+  e = {_eventname : "OrderPlaced"; id : id; offer : _amount; ask : ask};
+  event e
+end
+
+transition TakeOrder (order_id : Uint32)
+  o_opt <- orders[order_id];
+  match o_opt with
+  | Some o =>
+    match o with
+    | Order maker offer ask =>
+      enough = builtin le ask _amount;
+      match enough with
+      | True =>
+        accept;
+        delete orders[order_id];
+        m1 = {_tag : "SwapLeg"; _recipient : maker; _amount : _amount};
+        m2 = {_tag : "SwapLeg"; _recipient : _sender; _amount : offer};
+        msgs1 = one_msg m1;
+        send msgs1;
+        msgs2 = one_msg m2;
+        send msgs2;
+        e = {_eventname : "OrderFilled"; id : order_id};
+        event e
+      | False =>
+        throw
+      end
+    end
+  | None =>
+    throw
+  end
+end
+
+transition CancelOrder (order_id : Uint32)
+  o_opt <- orders[order_id];
+  match o_opt with
+  | Some o =>
+    match o with
+    | Order maker offer ask =>
+      is_maker = builtin eq _sender maker;
+      match is_maker with
+      | True =>
+        delete orders[order_id];
+        m = {_tag : "Refund"; _recipient : maker; _amount : offer};
+        msgs = one_msg m;
+        send msgs
+      | False =>
+        throw
+      end
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// MyRewardsToken is a loyalty-points ledger with earn/spend.
+const MyRewardsToken = `
+scilla_version 0
+
+library MyRewardsToken
+
+contract MyRewardsToken
+(merchant : ByStr20)
+
+field points : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field issued : Uint128 = Uint128 0
+
+transition Earn (customer : ByStr20, amount : Uint128)
+  is_merchant = builtin eq _sender merchant;
+  match is_merchant with
+  | True =>
+    cur_opt <- points[customer];
+    new_pts = match cur_opt with
+              | Some p => builtin add p amount
+              | None => amount
+              end;
+    points[customer] := new_pts;
+    total <- issued;
+    new_total = builtin add total amount;
+    issued := new_total;
+    e = {_eventname : "PointsEarned"; customer : customer; amount : amount};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Spend (amount : Uint128)
+  cur_opt <- points[_sender];
+  match cur_opt with
+  | Some p =>
+    can = builtin le amount p;
+    match can with
+    | True =>
+      new_pts = builtin sub p amount;
+      points[_sender] := new_pts;
+      e = {_eventname : "PointsSpent"; customer : _sender; amount : amount};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// ProxyContract forwards calls to an upgradeable implementation.
+const ProxyContract = `
+scilla_version 0
+
+library ProxyContract
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract ProxyContract
+(proxy_admin : ByStr20,
+ initial_impl : ByStr20)
+
+field implementation : ByStr20 = initial_impl
+
+transition UpgradeTo (new_impl : ByStr20)
+  is_admin = builtin eq _sender proxy_admin;
+  match is_admin with
+  | True =>
+    implementation := new_impl;
+    e = {_eventname : "Upgraded"; implementation : new_impl};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Forward (tag : String, arg : String)
+  impl <- implementation;
+  accept;
+  m = {_tag : "Dispatch"; _recipient : impl; _amount : _amount; tag : tag; arg : arg};
+  msgs = one_msg m;
+  send msgs
+end
+`
+
+// ZKToken gates transfers on a (modelled) zero-knowledge proof check.
+const ZKToken = `
+scilla_version 0
+
+library ZKToken
+
+contract ZKToken
+(verifier_key : ByStr32)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field proof_seen : Map ByStr32 Bool = Emp ByStr32 Bool
+
+transition PrivateTransfer (to : ByStr20, amount : Uint128, proof : ByStr32)
+  used <- exists proof_seen[proof];
+  match used with
+  | True =>
+    throw
+  | False =>
+    t = True;
+    proof_seen[proof] := t;
+    bal_opt <- balances[_sender];
+    match bal_opt with
+    | Some bal =>
+      can = builtin le amount bal;
+      match can with
+      | True =>
+        nb = builtin sub bal amount;
+        balances[_sender] := nb;
+        to_opt <- balances[to];
+        nt = match to_opt with
+             | Some x => builtin add x amount
+             | None => amount
+             end;
+        balances[to] := nt;
+        e = {_eventname : "PrivateTransfer"; proof : proof};
+        event e
+      | False =>
+        throw
+      end
+    | None =>
+      throw
+    end
+  end
+end
+
+transition Faucet (amount : Uint128)
+  cur_opt <- balances[_sender];
+  nb = match cur_opt with
+       | Some x => builtin add x amount
+       | None => amount
+       end;
+  balances[_sender] := nb
+end
+`
+
+// LoveZilliqa records on-chain dedications.
+const LoveZilliqa = `
+scilla_version 0
+
+library LoveZilliqa
+
+contract LoveZilliqa
+(curator : ByStr20)
+
+field dedications : Map ByStr20 String = Emp ByStr20 String
+
+field count : Uint128 = Uint128 0
+
+transition Dedicate (text : String)
+  already <- exists dedications[_sender];
+  match already with
+  | True =>
+    dedications[_sender] := text
+  | False =>
+    dedications[_sender] := text;
+    c <- count;
+    one = Uint128 1;
+    nc = builtin add c one;
+    count := nc
+  end;
+  e = {_eventname : "Dedicated"; author : _sender};
+  event e
+end
+`
+
+// Blackjack is a commit-reveal betting game (simplified).
+const Blackjack = `
+scilla_version 0
+
+library Blackjack
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+let two = Uint128 2
+
+type Bet =
+| Bet of Uint128 ByStr32
+
+contract Blackjack
+(house : ByStr20)
+
+field bets : Map ByStr20 Bet = Emp ByStr20 Bet
+
+field house_funds : Uint128 = Uint128 0
+
+transition FundHouse ()
+  is_house = builtin eq _sender house;
+  match is_house with
+  | True =>
+    accept;
+    hf <- house_funds;
+    nf = builtin add hf _amount;
+    house_funds := nf
+  | False =>
+    throw
+  end
+end
+
+transition PlaceBet (commitment : ByStr32)
+  open <- exists bets[_sender];
+  match open with
+  | True =>
+    throw
+  | False =>
+    accept;
+    b = Bet _amount commitment;
+    bets[_sender] := b;
+    e = {_eventname : "BetPlaced"; player : _sender; stake : _amount};
+    event e
+  end
+end
+
+transition Reveal (nonce : ByStr)
+  bet_opt <- bets[_sender];
+  match bet_opt with
+  | Some b =>
+    match b with
+    | Bet stake commitment =>
+      h = builtin sha256hash nonce;
+      ok = builtin eq h commitment;
+      match ok with
+      | True =>
+        delete bets[_sender];
+        payout = builtin mul stake two;
+        m = {_tag : "Winnings"; _recipient : _sender; _amount : payout};
+        msgs = one_msg m;
+        send msgs;
+        e = {_eventname : "PlayerWon"; player : _sender; payout : payout};
+        event e
+      | False =>
+        delete bets[_sender];
+        hf <- house_funds;
+        nf = builtin add hf stake;
+        house_funds := nf;
+        e = {_eventname : "HouseWon"; player : _sender};
+        event e
+      end
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// MapCornercases stresses nested-map edge paths (matching the corpus
+// contract of the same name in Fig. 12).
+const MapCornercases = `
+scilla_version 0
+
+library MapCornercases
+
+contract MapCornercases
+(owner : ByStr20)
+
+field deep : Map ByStr20 (Map String (Map String Uint128)) =
+  Emp ByStr20 (Map String (Map String Uint128))
+
+field shallow : Map String Uint128 = Emp String Uint128
+
+transition PutDeep (k1 : ByStr20, k2 : String, k3 : String, v : Uint128)
+  deep[k1][k2][k3] := v;
+  e = {_eventname : "PutDeep"};
+  event e
+end
+
+transition GetDeep (k1 : ByStr20, k2 : String, k3 : String)
+  v_opt <- deep[k1][k2][k3];
+  match v_opt with
+  | Some v =>
+    e = {_eventname : "GotDeep"; v : v};
+    event e
+  | None =>
+    throw
+  end
+end
+
+transition DeleteDeep (k1 : ByStr20, k2 : String, k3 : String)
+  delete deep[k1][k2][k3]
+end
+
+transition CheckExists (k : String)
+  present <- exists shallow[k];
+  match present with
+  | True =>
+    delete shallow[k]
+  | False =>
+    one = Uint128 1;
+    shallow[k] := one
+  end
+end
+
+transition WholeMapOps ()
+  m <- shallow;
+  n = builtin size m;
+  e = {_eventname : "Size"; n : n};
+  event e
+end
+`
+
+func init() {
+	register("DBond", DBond, false)
+	register("TokenHub", TokenHub, false)
+	register("Zeecash", Zeecash, false)
+	register("SwapContract", SwapContract, false)
+	register("MyRewardsToken", MyRewardsToken, false)
+	register("ProxyContract", ProxyContract, false)
+	register("ZKToken", ZKToken, false)
+	register("LoveZilliqa", LoveZilliqa, false)
+	register("Blackjack", Blackjack, false)
+	register("MapCornercases", MapCornercases, false)
+}

@@ -1,0 +1,547 @@
+package contracts
+
+// Fifth batch: brings the corpus to 49 contracts, the size of the
+// paper's Fig. 12 population.
+
+// Celebrity sells autographed collectible cards.
+const Celebrity = `
+scilla_version 0
+
+library Celebrity
+
+contract Celebrity
+(celebrity : ByStr20,
+ card_price : Uint128)
+
+field cards : Map Uint32 ByStr20 = Emp Uint32 ByStr20
+
+field next_card : Uint32 = Uint32 0
+
+transition BuyCard ()
+  enough = builtin le card_price _amount;
+  match enough with
+  | True =>
+    accept;
+    id <- next_card;
+    one = Uint32 1;
+    nid = builtin add id one;
+    next_card := nid;
+    cards[id] := _sender;
+    e = {_eventname : "CardBought"; id : id; fan : _sender};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition GiftCard (card_id : Uint32, to : ByStr20)
+  owner_opt <- cards[card_id];
+  match owner_opt with
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | True =>
+      cards[card_id] := to;
+      e = {_eventname : "CardGifted"; id : card_id; recipient : to};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// SuperplayerToken is a game currency with batch-earn semantics.
+const SuperplayerToken = `
+scilla_version 0
+
+library SuperplayerToken
+
+let one = Uint128 1
+
+contract SuperplayerToken
+(game_server : ByStr20)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field season : Uint32 = Uint32 0
+
+transition Award (player : ByStr20, amount : Uint128)
+  is_server = builtin eq _sender game_server;
+  match is_server with
+  | True =>
+    cur_opt <- balances[player];
+    nb = match cur_opt with
+         | Some b => builtin add b amount
+         | None => amount
+         end;
+    balances[player] := nb;
+    e = {_eventname : "Awarded"; player : player; amount : amount};
+    event e
+  | False =>
+    throw
+  end
+end
+
+transition Pay (to : ByStr20, amount : Uint128)
+  bal_opt <- balances[_sender];
+  match bal_opt with
+  | Some bal =>
+    can = builtin le amount bal;
+    match can with
+    | True =>
+      nb = builtin sub bal amount;
+      balances[_sender] := nb;
+      to_opt <- balances[to];
+      nt = match to_opt with
+           | Some x => builtin add x amount
+           | None => amount
+           end;
+      balances[to] := nt
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+transition NewSeason ()
+  is_server = builtin eq _sender game_server;
+  match is_server with
+  | True =>
+    s <- season;
+    one32 = Uint32 1;
+    ns = builtin add s one32;
+    season := ns
+  | False =>
+    throw
+  end
+end
+`
+
+// DPSLeaderboard tracks damage-per-second high scores.
+const DPSLeaderboard = `
+scilla_version 0
+
+library DPSLeaderboard
+
+contract DPSLeaderboard
+(game : ByStr20)
+
+field scores : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+transition SubmitScore (player : ByStr20, dps : Uint128)
+  is_game = builtin eq _sender game;
+  match is_game with
+  | True =>
+    cur_opt <- scores[player];
+    match cur_opt with
+    | Some cur =>
+      higher = builtin lt cur dps;
+      match higher with
+      | True =>
+        scores[player] := dps;
+        e = {_eventname : "NewHighScore"; player : player; dps : dps};
+        event e
+      | False =>
+        throw
+      end
+    | None =>
+      scores[player] := dps;
+      e = {_eventname : "FirstScore"; player : player; dps : dps};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+transition ResetPlayer (player : ByStr20)
+  is_game = builtin eq _sender game;
+  match is_game with
+  | True =>
+    delete scores[player]
+  | False =>
+    throw
+  end
+end
+`
+
+// OTS200 is an OpenTimestamps-style document timestamping service.
+const OTS200 = `
+scilla_version 0
+
+library OTS200
+
+contract OTS200
+(notary : ByStr20)
+
+field stamps : Map ByStr32 BNum = Emp ByStr32 BNum
+
+field stamp_count : Uint128 = Uint128 0
+
+transition Stamp (doc_hash : ByStr32)
+  known <- exists stamps[doc_hash];
+  match known with
+  | True =>
+    throw
+  | False =>
+    blk <- &BLOCKNUMBER;
+    stamps[doc_hash] := blk;
+    c <- stamp_count;
+    one = Uint128 1;
+    nc = builtin add c one;
+    stamp_count := nc;
+    e = {_eventname : "Stamped"; doc : doc_hash};
+    event e
+  end
+end
+
+transition Prove (doc_hash : ByStr32)
+  at_opt <- stamps[doc_hash];
+  match at_opt with
+  | Some at =>
+    e = {_eventname : "Proof"; doc : doc_hash};
+    event e
+  | None =>
+    throw
+  end
+end
+`
+
+// HybridEuro is a compliance-gated stablecoin.
+const HybridEuro = `
+scilla_version 0
+
+library HybridEuro
+
+let bool_true = True
+
+contract HybridEuro
+(issuer : ByStr20)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field kyc : Map ByStr20 Bool = Emp ByStr20 Bool
+
+field frozen : Map ByStr20 Bool = Emp ByStr20 Bool
+
+transition Whitelist (account : ByStr20)
+  is_issuer = builtin eq _sender issuer;
+  match is_issuer with
+  | True =>
+    kyc[account] := bool_true
+  | False =>
+    throw
+  end
+end
+
+transition Freeze (account : ByStr20)
+  is_issuer = builtin eq _sender issuer;
+  match is_issuer with
+  | True =>
+    frozen[account] := bool_true
+  | False =>
+    throw
+  end
+end
+
+transition Issue (to : ByStr20, amount : Uint128)
+  is_issuer = builtin eq _sender issuer;
+  match is_issuer with
+  | True =>
+    cleared <- exists kyc[to];
+    match cleared with
+    | True =>
+      cur_opt <- balances[to];
+      nb = match cur_opt with
+           | Some b => builtin add b amount
+           | None => amount
+           end;
+      balances[to] := nb;
+      e = {_eventname : "Issued"; holder : to; amount : amount};
+      event e
+    | False =>
+      throw
+    end
+  | False =>
+    throw
+  end
+end
+
+transition TransferEuro (to : ByStr20, amount : Uint128)
+  sender_frozen <- exists frozen[_sender];
+  match sender_frozen with
+  | True =>
+    throw
+  | False =>
+    cleared <- exists kyc[to];
+    match cleared with
+    | True =>
+      bal_opt <- balances[_sender];
+      match bal_opt with
+      | Some bal =>
+        can = builtin le amount bal;
+        match can with
+        | True =>
+          nb = builtin sub bal amount;
+          balances[_sender] := nb;
+          to_opt <- balances[to];
+          nt = match to_opt with
+               | Some x => builtin add x amount
+               | None => amount
+               end;
+          balances[to] := nt
+        | False =>
+          throw
+        end
+      | None =>
+        throw
+      end
+    | False =>
+      throw
+    end
+  end
+end
+`
+
+// OceanRumbleMinionToken is a game-asset registry with levelling.
+const OceanRumbleMinionToken = `
+scilla_version 0
+
+library OceanRumbleMinionToken
+
+let one = Uint128 1
+
+contract OceanRumbleMinionToken
+(game_master : ByStr20)
+
+field minions : Map Uint256 ByStr20 = Emp Uint256 ByStr20
+
+field levels : Map Uint256 Uint128 = Emp Uint256 Uint128
+
+transition SpawnMinion (minion_id : Uint256, to : ByStr20)
+  is_gm = builtin eq _sender game_master;
+  match is_gm with
+  | True =>
+    taken <- exists minions[minion_id];
+    match taken with
+    | True =>
+      throw
+    | False =>
+      minions[minion_id] := to;
+      levels[minion_id] := one;
+      e = {_eventname : "MinionSpawned"; id : minion_id};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+transition LevelUp (minion_id : Uint256)
+  owner_opt <- minions[minion_id];
+  match owner_opt with
+  | Some owner =>
+    is_owner = builtin eq _sender owner;
+    match is_owner with
+    | True =>
+      lvl_opt <- levels[minion_id];
+      nl = match lvl_opt with
+           | Some l => builtin add l one
+           | None => one
+           end;
+      levels[minion_id] := nl;
+      e = {_eventname : "LeveledUp"; id : minion_id};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// AuctionRegistrar runs first-price name auctions.
+const AuctionRegistrar = `
+scilla_version 0
+
+library AuctionRegistrar
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+type NameBid =
+| NameBid of ByStr20 Uint128 BNum
+
+contract AuctionRegistrar
+(registrar : ByStr20,
+ bidding_period : Uint128)
+
+field live_bids : Map String NameBid = Emp String NameBid
+
+field registrations : Map String ByStr20 = Emp String ByStr20
+
+transition OpenBid (name : String)
+  registered <- exists registrations[name];
+  match registered with
+  | True =>
+    throw
+  | False =>
+    bid_opt <- live_bids[name];
+    match bid_opt with
+    | Some b =>
+      match b with
+      | NameBid cur_bidder cur_amount deadline =>
+        higher = builtin lt cur_amount _amount;
+        match higher with
+        | True =>
+          accept;
+          blk <- &BLOCKNUMBER;
+          nb = NameBid _sender _amount deadline;
+          live_bids[name] := nb;
+          m = {_tag : "BidRefund"; _recipient : cur_bidder; _amount : cur_amount};
+          msgs = one_msg m;
+          send msgs
+        | False =>
+          throw
+        end
+      end
+    | None =>
+      accept;
+      blk <- &BLOCKNUMBER;
+      expiry = builtin badd blk bidding_period;
+      nb = NameBid _sender _amount expiry;
+      live_bids[name] := nb;
+      e = {_eventname : "BidOpened"; name : name};
+      event e
+    end
+  end
+end
+
+transition Finalise (name : String)
+  bid_opt <- live_bids[name];
+  match bid_opt with
+  | Some b =>
+    match b with
+    | NameBid bidder amount deadline =>
+      blk <- &BLOCKNUMBER;
+      ended = builtin blt deadline blk;
+      match ended with
+      | True =>
+        delete live_bids[name];
+        registrations[name] := bidder;
+        e = {_eventname : "NameRegistered"; name : name};
+        event e
+      | False =>
+        throw
+      end
+    end
+  | None =>
+    throw
+  end
+end
+`
+
+// LUYCambodia is a remittance token with fee collection.
+const LUYCambodia = `
+scilla_version 0
+
+library LUYCambodia
+
+let fee = Uint128 1
+
+contract LUYCambodia
+(operator : ByStr20)
+
+field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+
+field collected_fees : Uint128 = Uint128 0
+
+transition Remit (to : ByStr20, amount : Uint128)
+  bal_opt <- balances[_sender];
+  match bal_opt with
+  | Some bal =>
+    total = builtin add amount fee;
+    can = builtin le total bal;
+    match can with
+    | True =>
+      nb = builtin sub bal total;
+      balances[_sender] := nb;
+      to_opt <- balances[to];
+      nt = match to_opt with
+           | Some x => builtin add x amount
+           | None => amount
+           end;
+      balances[to] := nt;
+      fees <- collected_fees;
+      nf = builtin add fees fee;
+      collected_fees := nf;
+      e = {_eventname : "Remitted"; recipient : to; amount : amount};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+transition TopUp (account : ByStr20, amount : Uint128)
+  is_op = builtin eq _sender operator;
+  match is_op with
+  | True =>
+    cur_opt <- balances[account];
+    nb = match cur_opt with
+         | Some b => builtin add b amount
+         | None => amount
+         end;
+    balances[account] := nb
+  | False =>
+    throw
+  end
+end
+`
+
+// SchnorrTest exercises the (modelled) signature-verification builtin.
+const SchnorrTest = `
+scilla_version 0
+
+library SchnorrTest
+
+contract SchnorrTest
+(trusted_key : ByStr32)
+
+field verified : Map ByStr32 Bool = Emp ByStr32 Bool
+
+transition Verify (message_hash : ByStr32, sig : ByStr)
+  ok = builtin schnorr_verify trusted_key message_hash sig;
+  match ok with
+  | True =>
+    t = True;
+    verified[message_hash] := t;
+    e = {_eventname : "Verified"; message : message_hash};
+    event e
+  | False =>
+    throw
+  end
+end
+`
+
+func init() {
+	register("Celebrity", Celebrity, false)
+	register("SuperplayerToken", SuperplayerToken, false)
+	register("DPSLeaderboard", DPSLeaderboard, false)
+	register("OTS200", OTS200, false)
+	register("HybridEuro", HybridEuro, false)
+	register("OceanRumbleMinionToken", OceanRumbleMinionToken, false)
+	register("AuctionRegistrar", AuctionRegistrar, false)
+	register("LUYCambodia", LUYCambodia, false)
+	register("SchnorrTest", SchnorrTest, false)
+}

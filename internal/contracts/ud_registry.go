@@ -1,0 +1,238 @@
+package contracts
+
+// UDRegistry models the Unstoppable Domains registry, the most popular
+// contract on the Zilliqa mainnet (Sec. 5.2.1: it accounts for over
+// half of all smart contract executions). Per the paper, the sharded
+// transitions are Bestow (granting a new domain) and the record-update
+// transitions (Configure*), which together account for ~90% of usage;
+// ownership transfers are not sharded.
+const UDRegistry = `
+scilla_version 0
+
+library UDRegistry
+
+let zero = Uint128 0
+let bool_true = True
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract UDRegistry
+(registry_owner : ByStr20)
+
+field admins : Map ByStr20 Bool =
+  let emp = Emp ByStr20 Bool in
+  let t = True in
+  builtin put emp registry_owner t
+
+field records : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field resolvers : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field record_data : Map ByStr32 (Map String String) =
+  Emp ByStr32 (Map String String)
+
+field approvals : Map ByStr32 ByStr20 = Emp ByStr32 ByStr20
+
+field operators : Map ByStr20 (Map ByStr20 Bool) =
+  Emp ByStr20 (Map ByStr20 Bool)
+
+(* Grant a fresh domain node to an owner (admin only). *)
+transition Bestow (node : ByStr32, owner : ByStr20)
+  is_admin <- exists admins[_sender];
+  match is_admin with
+  | True =>
+    taken <- exists records[node];
+    match taken with
+    | True =>
+      throw
+    | False =>
+      records[node] := owner;
+      e = {_eventname : "Bestowed"; node : node; owner : owner};
+      event e
+    end
+  | False =>
+    throw
+  end
+end
+
+(* Set one key of a domain's record data. The expected owner is passed
+   and validated compare-and-swap style (Sec. 6). *)
+transition Configure (node : ByStr32, owner : ByStr20, key : String, val : String)
+  owner_opt <- records[node];
+  match owner_opt with
+  | Some actual_owner =>
+    owner_matches = builtin eq actual_owner owner;
+    is_owner = builtin eq _sender owner;
+    ok = builtin andb owner_matches is_owner;
+    match ok with
+    | True =>
+      record_data[node][key] := val;
+      e = {_eventname : "Configured"; node : node; key : key};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Point a domain at a resolver contract. *)
+transition ConfigureResolver (node : ByStr32, owner : ByStr20, resolver : ByStr20)
+  owner_opt <- records[node];
+  match owner_opt with
+  | Some actual_owner =>
+    owner_matches = builtin eq actual_owner owner;
+    is_owner = builtin eq _sender owner;
+    ok = builtin andb owner_matches is_owner;
+    match ok with
+    | True =>
+      resolvers[node] := resolver;
+      e = {_eventname : "ResolverConfigured"; node : node; resolver : resolver};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Clear one key of a domain's record data. *)
+transition Unconfigure (node : ByStr32, owner : ByStr20, key : String)
+  owner_opt <- records[node];
+  match owner_opt with
+  | Some actual_owner =>
+    owner_matches = builtin eq actual_owner owner;
+    is_owner = builtin eq _sender owner;
+    ok = builtin andb owner_matches is_owner;
+    match ok with
+    | True =>
+      delete record_data[node][key];
+      e = {_eventname : "Unconfigured"; node : node; key : key};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Transfer domain ownership (not sharded in the paper's selection). *)
+transition TransferDomain (node : ByStr32, new_owner : ByStr20)
+  owner_opt <- records[node];
+  match owner_opt with
+  | Some actual_owner =>
+    is_owner = builtin eq _sender actual_owner;
+    approved_opt <- approvals[node];
+    is_approved = match approved_opt with
+                  | Some spender => builtin eq spender _sender
+                  | None => False
+                  end;
+    can_do = builtin orb is_owner is_approved;
+    match can_do with
+    | True =>
+      records[node] := new_owner;
+      delete approvals[node];
+      e = {_eventname : "DomainTransferred"; node : node; owner : new_owner};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Approve a spender for one domain. *)
+transition Approve (node : ByStr32, spender : ByStr20)
+  owner_opt <- records[node];
+  match owner_opt with
+  | Some actual_owner =>
+    is_owner = builtin eq _sender actual_owner;
+    match is_owner with
+    | True =>
+      approvals[node] := spender;
+      e = {_eventname : "Approved"; node : node; spender : spender};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Grant or revoke an operator over all the sender's domains. *)
+transition SetOperator (operator : ByStr20, enabled : Bool)
+  operators[_sender][operator] := enabled;
+  e = {_eventname : "OperatorSet"; owner : _sender; operator : operator};
+  event e
+end
+
+(* Give up a domain. *)
+transition Resign (node : ByStr32)
+  owner_opt <- records[node];
+  match owner_opt with
+  | Some actual_owner =>
+    is_owner = builtin eq _sender actual_owner;
+    match is_owner with
+    | True =>
+      delete records[node];
+      delete resolvers[node];
+      delete approvals[node];
+      e = {_eventname : "Resigned"; node : node};
+      event e
+    | False =>
+      throw
+    end
+  | None =>
+    throw
+  end
+end
+
+(* Add an admin (admin only). *)
+transition AddAdmin (admin : ByStr20)
+  is_admin <- exists admins[_sender];
+  match is_admin with
+  | True =>
+    admins[admin] := bool_true;
+    e = {_eventname : "AdminAdded"; admin : admin};
+    event e
+  | False =>
+    throw
+  end
+end
+
+(* Remove an admin (admin only). *)
+transition RemoveAdmin (admin : ByStr20)
+  is_admin <- exists admins[_sender];
+  match is_admin with
+  | True =>
+    delete admins[admin];
+    e = {_eventname : "AdminRemoved"; admin : admin};
+    event e
+  | False =>
+    throw
+  end
+end
+
+(* Report a domain's owner to the requester. *)
+transition QueryOwner (node : ByStr32)
+  owner_opt <- records[node];
+  match owner_opt with
+  | Some actual_owner =>
+    msg = {_tag : "OwnerCallback"; _recipient : _sender; _amount : zero; node : node; owner : actual_owner};
+    msgs = one_msg msg;
+    send msgs
+  | None =>
+    throw
+  end
+end
+`
+
+func init() { register("UDRegistry", UDRegistry, true) }

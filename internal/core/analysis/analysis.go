@@ -1,0 +1,642 @@
+// Package analysis implements the CoSplit effect analysis (Sec. 3.2-3.4
+// of the paper): a compositional abstract interpretation of each
+// contract transition that infers its state footprint (Read/Write/
+// Condition/AcceptFunds/SendMsg effects) annotated with contribution
+// types from the internal/core/domain package.
+package analysis
+
+import (
+	"fmt"
+
+	"cosplit/internal/core/domain"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/stdlib"
+	"cosplit/internal/scilla/typecheck"
+)
+
+// Env is the abstract typing context Γ mapping identifiers to
+// contribution types.
+type Env struct {
+	parent *Env
+	vars   map[string]*domain.Contrib
+}
+
+// NewEnv creates an environment frame.
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, vars: make(map[string]*domain.Contrib)}
+}
+
+// Lookup resolves an identifier's contribution.
+func (e *Env) Lookup(name string) (*domain.Contrib, bool) {
+	for env := e; env != nil; env = env.parent {
+		if c, ok := env.vars[name]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Bind adds a binding.
+func (e *Env) Bind(name string, c *domain.Contrib) { e.vars[name] = c }
+
+// Analyzer performs the effect analysis for one checked contract.
+type Analyzer struct {
+	checked *typecheck.Checked
+	libEnv  *Env
+	fieldTy map[string]ast.Type
+	fresh   int
+}
+
+// New builds an analyzer, abstractly evaluating the contract's library
+// definitions once (they are pure and contract-agnostic, cf. Sec. 3.1).
+func New(checked *typecheck.Checked) (*Analyzer, error) {
+	a := &Analyzer{
+		checked: checked,
+		fieldTy: checked.FieldTypes,
+	}
+	env := NewEnv(nil)
+	for _, ns := range stdlib.NativeSigs() {
+		env.Bind(ns.Name, domain.NewNative())
+	}
+	// Contract immutable parameters are constants with respect to the
+	// mutable state.
+	for _, p := range checked.Module.Contract.Params {
+		env.Bind(p.Name, domain.Single(domain.ConstSource("cparam:"+p.Name)))
+	}
+	env.Bind("_this_address", domain.Single(domain.ConstSource("cparam:_this_address")))
+	if lib := checked.Module.Lib; lib != nil {
+		for _, def := range lib.Defs {
+			c, err := a.expr(env, def.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("library %s: %w", def.Name, err)
+			}
+			env.Bind(def.Name, c)
+		}
+	}
+	a.libEnv = env
+	return a, nil
+}
+
+// AnalyzeAll infers summaries for every transition of the contract.
+func (a *Analyzer) AnalyzeAll() (map[string]*domain.Summary, error) {
+	out := make(map[string]*domain.Summary)
+	for i := range a.checked.Module.Contract.Transitions {
+		tr := &a.checked.Module.Contract.Transitions[i]
+		s, err := a.Analyze(tr.Name)
+		if err != nil {
+			return nil, err
+		}
+		out[tr.Name] = s
+	}
+	return out, nil
+}
+
+// Analyze infers the effect summary of one transition.
+func (a *Analyzer) Analyze(transition string) (*domain.Summary, error) {
+	tr := a.checked.Module.Contract.TransitionByName(transition)
+	if tr == nil {
+		return nil, fmt.Errorf("unknown transition %s", transition)
+	}
+	env := NewEnv(a.libEnv)
+	params := []string{ast.SenderParam, ast.OriginParam, ast.AmountParam}
+	for _, p := range tr.Params {
+		params = append(params, p.Name)
+	}
+	for _, p := range params {
+		env.Bind(p, domain.Single(domain.ParamSource(p)))
+	}
+	sum := &domain.Summary{Transition: transition, Params: params}
+	if err := a.stmts(env, tr.Body, sum); err != nil {
+		return nil, fmt.Errorf("transition %s: %w", transition, err)
+	}
+	dedupeReads(sum)
+	return sum, nil
+}
+
+// dedupeReads collapses duplicate Read and AcceptFunds effects.
+func dedupeReads(s *domain.Summary) {
+	seenRead := map[string]bool{}
+	seenAccept := false
+	var out []domain.Effect
+	for _, e := range s.Effects {
+		switch e.Kind {
+		case domain.EffRead:
+			k := e.Field.String()
+			if seenRead[k] {
+				continue
+			}
+			seenRead[k] = true
+		case domain.EffAcceptFunds:
+			if seenAccept {
+				continue
+			}
+			seenAccept = true
+		}
+		out = append(out, e)
+	}
+	s.Effects = out
+}
+
+// mapDepth returns the map-nesting depth of a field type.
+func mapDepth(t ast.Type) int {
+	d := 0
+	for {
+		mt, ok := t.(ast.MapType)
+		if !ok {
+			return d
+		}
+		d++
+		t = mt.Val
+	}
+}
+
+// resolveKeys implements the key side of CanSummarise: every key
+// identifier must be (an alias of) a transition parameter, i.e. its
+// contribution is exactly one linear op-free parameter source.
+func (a *Analyzer) resolveKeys(env *Env, keys []string) ([]string, bool) {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		c, ok := env.Lookup(k)
+		if !ok {
+			return nil, false
+		}
+		p, ok := c.SingleParam()
+		if !ok {
+			return nil, false
+		}
+		out[i] = p
+	}
+	return out, true
+}
+
+// canSummarise implements CanSummarise from Fig. 7: keys must resolve
+// to transition parameters and the access must be bottom-level. On
+// failure the second return is a human-readable reason for the repair
+// advisor (Sec. 6).
+func (a *Analyzer) canSummarise(env *Env, field string, keys []string) ([]string, string) {
+	ft, ok := a.fieldTy[field]
+	if !ok {
+		return nil, "unknown field " + field
+	}
+	if len(keys) != mapDepth(ft) {
+		return nil, fmt.Sprintf("access to %s is not bottom-level (%d of %d keys)",
+			field, len(keys), mapDepth(ft))
+	}
+	for _, k := range keys {
+		c, ok := env.Lookup(k)
+		if !ok {
+			return nil, "unbound map key " + k
+		}
+		if _, isParam := c.SingleParam(); !isParam {
+			return nil, fmt.Sprintf("map key %q into %s is not a transition parameter (contribution %s)",
+				k, field, c)
+		}
+	}
+	out, _ := a.resolveKeys(env, keys)
+	return out, ""
+}
+
+// writtenOverlaps reports whether the summary already contains a Write
+// effect overlapping the given reference (same field; equal key vector,
+// or one a prefix of the other).
+func writtenOverlaps(sum *domain.Summary, ref domain.FieldRef) bool {
+	for _, e := range sum.Effects {
+		if e.Kind != domain.EffWrite || e.Field.Name != ref.Name {
+			continue
+		}
+		n := len(e.Field.Keys)
+		if len(ref.Keys) < n {
+			n = len(ref.Keys)
+		}
+		same := true
+		for i := 0; i < n; i++ {
+			if e.Field.Keys[i] != ref.Keys[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Statements ---
+
+func (a *Analyzer) stmts(env *Env, stmts []ast.Stmt, sum *domain.Summary) error {
+	for _, s := range stmts {
+		if err := a.stmt(env, s, sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Analyzer) stmt(env *Env, s ast.Stmt, sum *domain.Summary) error {
+	switch st := s.(type) {
+	case *ast.LoadStmt:
+		ref := domain.FieldRef{Name: st.Field}
+		if writtenOverlaps(sum, ref) {
+			env.Bind(st.Lhs, domain.Top())
+			sum.Effects = append(sum.Effects, domain.Effect{
+				Kind: domain.EffTop,
+				Note: "read of field " + st.Field + " after a write to it",
+			})
+			return nil
+		}
+		env.Bind(st.Lhs, domain.Single(domain.FieldSource(ref)))
+		sum.Effects = append(sum.Effects, domain.Effect{Kind: domain.EffRead, Field: ref})
+		return nil
+	case *ast.StoreStmt:
+		c, ok := env.Lookup(st.Rhs)
+		if !ok {
+			return fmt.Errorf("unbound %s", st.Rhs)
+		}
+		sum.Effects = append(sum.Effects, domain.Effect{
+			Kind: domain.EffWrite, Field: domain.FieldRef{Name: st.Field}, C: c,
+		})
+		return nil
+	case *ast.BindStmt:
+		c, err := a.expr(env, st.Expr)
+		if err != nil {
+			return err
+		}
+		env.Bind(st.Lhs, c)
+		return nil
+	case *ast.MapUpdateStmt:
+		keys, why := a.canSummarise(env, st.Map, st.Keys)
+		c, cok := env.Lookup(st.Rhs)
+		if why != "" || !cok {
+			sum.Effects = append(sum.Effects, domain.Effect{Kind: domain.EffTop, Note: why})
+			return nil
+		}
+		sum.Effects = append(sum.Effects, domain.Effect{
+			Kind:  domain.EffWrite,
+			Field: domain.FieldRef{Name: st.Map, Keys: keys},
+			C:     c,
+		})
+		return nil
+	case *ast.MapGetStmt:
+		keys, why := a.canSummarise(env, st.Map, st.Keys)
+		if why == "" {
+			ref := domain.FieldRef{Name: st.Map, Keys: keys}
+			if !writtenOverlaps(sum, ref) {
+				c := domain.Single(domain.FieldSource(ref))
+				if st.Exists {
+					c = c.WithOp("exists")
+				}
+				env.Bind(st.Lhs, c)
+				sum.Effects = append(sum.Effects, domain.Effect{Kind: domain.EffRead, Field: ref})
+				return nil
+			}
+			why = "read of " + ref.String() + " after a write to it"
+		}
+		env.Bind(st.Lhs, domain.Top())
+		sum.Effects = append(sum.Effects, domain.Effect{Kind: domain.EffTop, Note: why})
+		return nil
+	case *ast.MapDeleteStmt:
+		keys, why := a.canSummarise(env, st.Map, st.Keys)
+		if why != "" {
+			sum.Effects = append(sum.Effects, domain.Effect{Kind: domain.EffTop, Note: why})
+			return nil
+		}
+		sum.Effects = append(sum.Effects, domain.Effect{
+			Kind:  domain.EffWrite,
+			Field: domain.FieldRef{Name: st.Map, Keys: keys},
+			C:     domain.Single(domain.ConstSource("deleted")),
+		})
+		return nil
+	case *ast.ReadBlockchainStmt:
+		// Blockchain metadata is identical across shards within an
+		// epoch; it contributes as a constant.
+		env.Bind(st.Lhs, domain.Single(domain.ConstSource("&"+st.Name)))
+		return nil
+	case *ast.MatchStmt:
+		scrut, ok := env.Lookup(st.Scrutinee)
+		if !ok {
+			return fmt.Errorf("unbound %s", st.Scrutinee)
+		}
+		if scrut.Top {
+			sum.Effects = append(sum.Effects, domain.Effect{
+				Kind: domain.EffTop,
+				Note: "control flow depends on an unsummarisable value (" + st.Scrutinee + ")",
+			})
+		} else if !scrut.IsBot() {
+			sum.Effects = append(sum.Effects, domain.Effect{Kind: domain.EffCondition, C: scrut})
+		}
+		// Each arm is analysed against the incoming summary; their
+		// effects are unioned (appended) afterwards.
+		pre := len(sum.Effects)
+		var armEffects [][]domain.Effect
+		for _, arm := range st.Arms {
+			armSum := &domain.Summary{
+				Transition: sum.Transition,
+				Params:     sum.Params,
+				Effects:    append([]domain.Effect{}, sum.Effects[:pre]...),
+			}
+			armEnv := NewEnv(env)
+			bindPatternContribs(armEnv, arm.Pat, scrut)
+			if err := a.stmts(armEnv, arm.Body, armSum); err != nil {
+				return err
+			}
+			armEffects = append(armEffects, armSum.Effects[pre:])
+		}
+		for _, effs := range armEffects {
+			sum.Effects = append(sum.Effects, effs...)
+		}
+		return nil
+	case *ast.AcceptStmt:
+		sum.Effects = append(sum.Effects, domain.Effect{Kind: domain.EffAcceptFunds})
+		return nil
+	case *ast.SendStmt:
+		c, ok := env.Lookup(st.Arg)
+		if !ok {
+			return fmt.Errorf("unbound %s", st.Arg)
+		}
+		if c.Top || len(c.Msgs) == 0 {
+			// The message structure was lost: SendMsg(⊤).
+			sum.Effects = append(sum.Effects, domain.Effect{
+				Kind: domain.EffSendMsg,
+				Note: "message payload of " + st.Arg + " could not be tracked",
+			})
+			return nil
+		}
+		for _, m := range c.Msgs {
+			sum.Effects = append(sum.Effects, domain.Effect{Kind: domain.EffSendMsg, Msg: m})
+		}
+		return nil
+	case *ast.EventStmt, *ast.ThrowStmt:
+		// Events are local logs; throw aborts the whole transaction, so
+		// neither affects the shardable state footprint.
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+// bindPatternContribs gives every binder in a pattern the scrutinee's
+// contribution (Fig. 7, Match rule: binder(pat_i) -> Γ(x)).
+func bindPatternContribs(env *Env, p ast.Pattern, scrut *domain.Contrib) {
+	switch pt := p.(type) {
+	case ast.BindPat:
+		env.Bind(pt.Name, scrut)
+	case ast.ConstrPat:
+		for _, sub := range pt.Sub {
+			bindPatternContribs(env, sub, scrut)
+		}
+	}
+}
+
+// --- Expressions ---
+
+func (a *Analyzer) expr(env *Env, e ast.Expr) (*domain.Contrib, error) {
+	switch ex := e.(type) {
+	case *ast.LitExpr:
+		var iv = ex.Lit.Int
+		if !ex.Lit.Type.IsInt() {
+			iv = nil
+		}
+		return domain.SingleLit(ex.Lit.String(), iv), nil
+	case *ast.VarExpr:
+		c, ok := env.Lookup(ex.Name)
+		if !ok {
+			return nil, fmt.Errorf("unbound %s", ex.Name)
+		}
+		return c, nil
+	case *ast.MsgExpr:
+		entries := make(domain.MsgContrib, len(ex.Entries))
+		total := domain.Bot()
+		for _, en := range ex.Entries {
+			var c *domain.Contrib
+			if en.IsLit {
+				var iv = en.Lit.Int
+				if !en.Lit.Type.IsInt() {
+					iv = nil
+				}
+				c = domain.SingleLit(en.Lit.String(), iv)
+			} else {
+				cc, ok := env.Lookup(en.Var)
+				if !ok {
+					return nil, fmt.Errorf("unbound %s", en.Var)
+				}
+				c = cc
+			}
+			entries[en.Key] = c
+			total = domain.Add(total, c)
+		}
+		total.Msgs = []domain.MsgContrib{entries}
+		total.LitInt = nil
+		return total, nil
+	case *ast.ConstrExpr:
+		total := domain.Bot()
+		for _, arg := range ex.Args {
+			c, ok := env.Lookup(arg)
+			if !ok {
+				return nil, fmt.Errorf("unbound %s", arg)
+			}
+			total = domain.Add(total, c)
+		}
+		return total, nil
+	case *ast.BuiltinExpr:
+		total := domain.Bot()
+		for _, arg := range ex.Args {
+			c, ok := env.Lookup(arg)
+			if !ok {
+				return nil, fmt.Errorf("unbound %s", arg)
+			}
+			total = domain.Add(total, c)
+		}
+		return total.WithOp(ex.Name), nil
+	case *ast.LetExpr:
+		bc, err := a.expr(env, ex.Bound)
+		if err != nil {
+			return nil, err
+		}
+		inner := NewEnv(env)
+		inner.Bind(ex.Name, bc)
+		return a.expr(inner, ex.Body)
+	case *ast.FunExpr:
+		a.fresh++
+		formal := fmt.Sprintf("%s#%d", ex.Param, a.fresh)
+		inner := NewEnv(env)
+		inner.Bind(ex.Param, domain.Single(domain.FormalSource(formal)))
+		body, err := a.expr(inner, ex.Body)
+		if err != nil {
+			return nil, err
+		}
+		return domain.NewFun(formal, body), nil
+	case *ast.AppExpr:
+		cur, ok := env.Lookup(ex.Func)
+		if !ok {
+			return nil, fmt.Errorf("unbound %s", ex.Func)
+		}
+		for _, arg := range ex.Args {
+			ac, ok := env.Lookup(arg)
+			if !ok {
+				return nil, fmt.Errorf("unbound %s", arg)
+			}
+			cur = domain.Apply(cur, ac)
+		}
+		return cur, nil
+	case *ast.MatchExpr:
+		scrut, ok := env.Lookup(ex.Scrutinee)
+		if !ok {
+			return nil, fmt.Errorf("unbound %s", ex.Scrutinee)
+		}
+		if scrut.Top {
+			return domain.Top(), nil
+		}
+		armTys := make([]*domain.Contrib, len(ex.Arms))
+		for i, arm := range ex.Arms {
+			armEnv := NewEnv(env)
+			bindPatternContribs(armEnv, arm.Pat, scrut)
+			t, err := a.expr(armEnv, arm.Body)
+			if err != nil {
+				return nil, err
+			}
+			armTys[i] = t
+		}
+		return matchC(scrut, ex.Arms, armTys), nil
+	case *ast.TFunExpr:
+		return a.expr(env, ex.Body)
+	case *ast.TAppExpr:
+		c, ok := env.Lookup(ex.Name)
+		if !ok {
+			return nil, fmt.Errorf("unbound %s", ex.Name)
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("unknown expression %T", e)
+}
+
+// matchC implements the MatchC operator of Sec. 3.4:
+//
+//	MatchC(x, τx, pat_i, e_i, τ_i) = τcond ⊕ ⊔τ_i
+//	τcond = ⊥                  if IsKnownOp(x, pat_i, e_i)
+//	      = AdaptC τx          otherwise
+//
+// AdaptC gives the scrutinee's sources cardinality 0 and the Cond
+// pseudo-operation; its precision is Exact iff all arms have the same
+// source variables (SameVars).
+func matchC(scrut *domain.Contrib, arms []ast.MatchArm, armTys []*domain.Contrib) *domain.Contrib {
+	joined := domain.Bot()
+	for _, t := range armTys {
+		joined = domain.Join(joined, t)
+	}
+	if isKnownOp(scrut, arms, armTys) {
+		return joined
+	}
+	cond := adaptC(scrut, sameVars(armTys))
+	return domain.Add(cond, joined)
+}
+
+// adaptC builds the τcond contribution for a control-flow-dependent
+// match (Sec. 3.4).
+func adaptC(scrut *domain.Contrib, same bool) *domain.Contrib {
+	out := domain.Scale(scrut, domain.Card1, map[string]bool{domain.CondOp: true})
+	if out.Top {
+		return out
+	}
+	// Cardinality 0: the sources affect control flow, not the value
+	// linearly.
+	for k, sc := range out.Sources {
+		out.Sources[k] = domain.SrcContrib{Src: sc.Src, Card: domain.Card0, Ops: sc.Ops}
+	}
+	if same {
+		out.Prec = out.Prec.Join(domain.Exact)
+	} else {
+		out.Prec = domain.Inexact
+	}
+	out.Msgs = nil
+	out.LitInt = nil
+	return out
+}
+
+// sameVars reports whether all arm contributions mention the same
+// source variables.
+func sameVars(armTys []*domain.Contrib) bool {
+	if len(armTys) == 0 {
+		return true
+	}
+	first := armTys[0]
+	if first.Top {
+		return false
+	}
+	for _, t := range armTys[1:] {
+		if t.Top || len(t.Sources) != len(first.Sources) {
+			return false
+		}
+		for k := range first.Sources {
+			if _, ok := t.Sources[k]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isKnownOp recognises the option-peeling idiom (Sec. 3.4): a match
+// over an Option value whose Some arm uses the payload and whose None
+// arm behaves as the "unit" of the Some arm — formally, the None arm's
+// contribution equals the Some arm's contribution with the
+// scrutinee-derived sources removed (comparing source domains and
+// cardinalities). The common instance is
+//
+//	match get_bal with Some b => builtin add b amount | None => amount end
+//
+// which is exactly an IntMerge-able increment.
+func isKnownOp(scrut *domain.Contrib, arms []ast.MatchArm, armTys []*domain.Contrib) bool {
+	if scrut.Top || len(arms) != 2 {
+		return false
+	}
+	someIdx, noneIdx := -1, -1
+	for i, arm := range arms {
+		cp, ok := arm.Pat.(ast.ConstrPat)
+		if !ok {
+			return false
+		}
+		switch cp.Name {
+		case "Some":
+			someIdx = i
+		case "None":
+			noneIdx = i
+		}
+	}
+	if someIdx < 0 || noneIdx < 0 {
+		return false
+	}
+	some, none := armTys[someIdx], armTys[noneIdx]
+	if some.Top || none.Top || some.Fun != nil || none.Fun != nil {
+		return false
+	}
+	// Remove scrutinee-derived sources from the Some arm.
+	residual := map[string]domain.Card{}
+	residualStateFree := true
+	for k, sc := range some.Sources {
+		if _, fromScrut := scrut.Sources[k]; fromScrut {
+			continue
+		}
+		if sc.Src.Kind == domain.SrcField || sc.Src.Kind == domain.SrcFormal {
+			residualStateFree = false
+		}
+		residual[k] = sc.Card
+	}
+	// Zero-default peel: `match get with Some c => sub c x | None =>
+	// zero` — the None arm writes the integer zero, which is exactly
+	// the IntMerge value of an absent entry, so the merge delta is 0
+	// and the match is as precise as the Some arm (provided the
+	// residual contributions are state-independent).
+	if none.LitInt != nil && none.LitInt.Sign() == 0 && residualStateFree {
+		return true
+	}
+	if len(residual) != len(none.Sources) {
+		return false
+	}
+	for k, card := range residual {
+		nsc, ok := none.Sources[k]
+		if !ok || nsc.Card != card {
+			return false
+		}
+	}
+	return true
+}

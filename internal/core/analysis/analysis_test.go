@@ -1,0 +1,191 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/core/analysis"
+	"cosplit/internal/core/domain"
+)
+
+func summarise(t *testing.T, contract, transition string) *domain.Summary {
+	t.Helper()
+	chk := contracts.MustParse(contract)
+	a, err := analysis.New(chk)
+	if err != nil {
+		t.Fatalf("analysis.New: %v", err)
+	}
+	s, err := a.Analyze(transition)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", transition, err)
+	}
+	return s
+}
+
+// findWrite returns the Write effect for the given field rendering.
+func findWrite(s *domain.Summary, field string) (domain.Effect, bool) {
+	for _, e := range s.Writes() {
+		if e.Field.String() == field {
+			return e, true
+		}
+	}
+	return domain.Effect{}, false
+}
+
+func findRead(s *domain.Summary, field string) bool {
+	for _, e := range s.Reads() {
+		if e.Field.String() == field {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTransferSummaryMatchesFig8 checks that the inferred summary of
+// FungibleToken.Transfer has the shape of Fig. 8 in the paper.
+func TestTransferSummaryMatchesFig8(t *testing.T) {
+	s := summarise(t, "FungibleToken", "Transfer")
+
+	if !findRead(s, "balances[_sender]") {
+		t.Error("missing Read(balances[_sender])")
+	}
+	if !findRead(s, "balances[to]") {
+		t.Error("missing Read(balances[to])")
+	}
+
+	// Write(balances[_sender], <amount & balances[_sender], 1, sub>)
+	w, ok := findWrite(s, "balances[_sender]")
+	if !ok {
+		t.Fatal("missing Write(balances[_sender])")
+	}
+	fs := w.C.FieldSources()
+	if len(fs) != 1 || fs[0].Src.Field.String() != "balances[_sender]" {
+		t.Fatalf("write to balances[_sender] has field sources %v", fs)
+	}
+	if fs[0].Card != domain.Card1 {
+		t.Errorf("cardinality = %s, want 1", fs[0].Card)
+	}
+	if !fs[0].Ops["sub"] || len(fs[0].Ops) != 1 {
+		t.Errorf("ops = %v, want {sub}", fs[0].Ops)
+	}
+	if w.C.Prec != domain.Exact {
+		t.Errorf("precision = %s, want Exact", w.C.Prec)
+	}
+
+	// Write(balances[to], <amount & balances[to], 1, add>), via the
+	// option-peeling match (IsKnownOp).
+	w2, ok := findWrite(s, "balances[to]")
+	if !ok {
+		t.Fatal("missing Write(balances[to])")
+	}
+	fs2 := w2.C.FieldSources()
+	if len(fs2) != 1 || fs2[0].Src.Field.String() != "balances[to]" {
+		t.Fatalf("write to balances[to] has field sources %v", fs2)
+	}
+	if fs2[0].Card != domain.Card1 || !fs2[0].Ops["add"] || len(fs2[0].Ops) != 1 {
+		t.Errorf("balances[to] contribution = (%s, %v), want (1, {add})", fs2[0].Card, fs2[0].Ops)
+	}
+	if w2.C.Prec != domain.Exact {
+		t.Errorf("precision = %s, want Exact (option-peel must stay precise)", w2.C.Prec)
+	}
+
+	// A Condition mentioning balances[_sender] must be present.
+	condHasField := false
+	for _, e := range s.Conditions() {
+		for _, sc := range e.C.FieldSources() {
+			if sc.Src.Field.String() == "balances[_sender]" {
+				condHasField = true
+			}
+		}
+	}
+	if !condHasField {
+		t.Error("missing Condition over balances[_sender]")
+	}
+
+	if s.HasTop() {
+		t.Errorf("summary unexpectedly contains ⊤:\n%s", s)
+	}
+}
+
+// TestMintCommutativeWrites: both writes of Mint (balances[recipient]
+// and total_supply) must be linear additions.
+func TestMintSummary(t *testing.T) {
+	s := summarise(t, "FungibleToken", "Mint")
+	for _, field := range []string{"balances[recipient]", "total_supply"} {
+		w, ok := findWrite(s, field)
+		if !ok {
+			t.Fatalf("missing Write(%s)", field)
+		}
+		fs := w.C.FieldSources()
+		if len(fs) != 1 || fs[0].Card != domain.Card1 || !fs[0].Ops["add"] {
+			t.Errorf("%s: contribution %s, want linear add", field, w.C)
+		}
+		if w.C.Prec != domain.Exact {
+			t.Errorf("%s: precision %s, want Exact", field, w.C.Prec)
+		}
+	}
+	if !findRead(s, "current_owner") {
+		t.Error("missing Read(current_owner)")
+	}
+}
+
+// TestApproveSummary: Approve's write is a plain overwrite with no
+// field contribution.
+func TestApproveSummary(t *testing.T) {
+	s := summarise(t, "FungibleToken", "Approve")
+	w, ok := findWrite(s, "allowances[_sender][spender]")
+	if !ok {
+		t.Fatal("missing Write(allowances[_sender][spender])")
+	}
+	if len(w.C.FieldSources()) != 0 {
+		t.Errorf("Approve write should have no field sources, got %s", w.C)
+	}
+}
+
+// TestBalanceOfSendMsg: the callback message must be recovered with a
+// zero _amount and _recipient = _sender.
+func TestBalanceOfSendMsg(t *testing.T) {
+	s := summarise(t, "FungibleToken", "BalanceOf")
+	var sends []domain.Effect
+	for _, e := range s.Effects {
+		if e.Kind == domain.EffSendMsg {
+			sends = append(sends, e)
+		}
+	}
+	if len(sends) != 1 {
+		t.Fatalf("expected 1 SendMsg effect, got %d: %s", len(sends), s)
+	}
+	msg := sends[0].Msg
+	if msg == nil {
+		t.Fatal("SendMsg lost message structure (⊤)")
+	}
+	amt, ok := msg["_amount"]
+	if !ok || !amt.IsZeroLit() {
+		t.Errorf("_amount contribution = %v, want literal zero", amt)
+	}
+	rcp, ok := msg["_recipient"]
+	if !ok {
+		t.Fatal("missing _recipient contribution")
+	}
+	if p, ok := rcp.SingleParam(); !ok || p != "_sender" {
+		t.Errorf("_recipient = %s, want param _sender", rcp)
+	}
+}
+
+// TestSummaryRendering sanity-checks the Fig. 8-style rendering.
+func TestSummaryRendering(t *testing.T) {
+	s := summarise(t, "FungibleToken", "Transfer")
+	str := s.String()
+	for _, want := range []string{
+		"Read(balances[_sender])",
+		"Read(balances[to])",
+		"Write(balances[_sender]",
+		"Write(balances[to]",
+		"Condition(",
+	} {
+		if !strings.Contains(str, want) {
+			t.Errorf("summary rendering missing %q:\n%s", want, str)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cosplit/internal/core/analysis"
+	"cosplit/internal/core/domain"
+	"cosplit/internal/scilla/parser"
+	"cosplit/internal/scilla/typecheck"
+)
+
+// analyzeSrc analyses one transition of an inline contract.
+func analyzeSrc(t *testing.T, src, transition string) *domain.Summary {
+	t.Helper()
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := typecheck.Check(m)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	a, err := analysis.New(chk)
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	s, err := a.Analyze(transition)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return s
+}
+
+const hdr = "scilla_version 0\n"
+
+// TestNonLinearUseKillsCommutativity: f(x) = x + x + 1 does not
+// commute (the paper's Sec. 3.4 cardinality example).
+func TestNonLinearUseKillsCommutativity(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field x : Uint128 = Uint128 0
+transition Bump ()
+  v <- x;
+  d = builtin add v v;
+  one = Uint128 1;
+  nv = builtin add d one;
+  x := nv
+end
+`, "Bump")
+	w, ok := findWrite(s, "x")
+	if !ok {
+		t.Fatal("missing write")
+	}
+	fs := w.C.FieldSources()
+	if len(fs) != 1 || fs[0].Card != domain.CardOmega {
+		t.Errorf("x + x must have cardinality ω, got %v", fs)
+	}
+}
+
+// TestMulNotCommutative: linear use under mul still records the op, so
+// the signature layer rejects IntMerge (ops ⊄ {add, sub}).
+func TestMulNotCommutative(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field x : Uint128 = Uint128 1
+transition Double ()
+  v <- x;
+  two = Uint128 2;
+  nv = builtin mul v two;
+  x := nv
+end
+`, "Double")
+	w, _ := findWrite(s, "x")
+	fs := w.C.FieldSources()
+	if len(fs) != 1 || !fs[0].Ops["mul"] {
+		t.Errorf("mul not recorded: %v", fs)
+	}
+}
+
+// TestFunctionSubstitutionPreservesLinearity: applying a library
+// function substitutes the formal with the argument's contribution at
+// the right cardinality (the App rule of Fig. 7).
+func TestFunctionSubstitutionPreservesLinearity(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+library L
+let add_amount =
+  fun (base : Uint128) =>
+    fun (amt : Uint128) =>
+      builtin add base amt
+
+contract C ()
+field x : Uint128 = Uint128 0
+transition Add (amount : Uint128)
+  v <- x;
+  nv = add_amount v amount;
+  x := nv
+end
+`, "Add")
+	w, _ := findWrite(s, "x")
+	fs := w.C.FieldSources()
+	if len(fs) != 1 || fs[0].Card != domain.Card1 || !fs[0].Ops["add"] {
+		t.Errorf("substituted contribution wrong: %s", w.C)
+	}
+	if w.C.Prec != domain.Exact {
+		t.Errorf("precision = %s, want Exact", w.C.Prec)
+	}
+}
+
+// TestNonLinearFunction: a library function using its formal twice
+// smears the argument to ω through substitution.
+func TestNonLinearFunction(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+library L
+let twice =
+  fun (v : Uint128) =>
+    builtin add v v
+
+contract C ()
+field x : Uint128 = Uint128 0
+transition T ()
+  v <- x;
+  nv = twice v;
+  x := nv
+end
+`, "T")
+	w, _ := findWrite(s, "x")
+	fs := w.C.FieldSources()
+	if len(fs) != 1 || fs[0].Card != domain.CardOmega {
+		t.Errorf("non-linear function must give ω, got %v", fs)
+	}
+}
+
+// TestTwoMsgsTracked: message payloads survive two levels of library
+// helpers (the Msgs-tracking machinery).
+func TestTwoMsgsTracked(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+library L
+let two_msgs =
+  fun (m1 : Message) =>
+    fun (m2 : Message) =>
+      let nil = Nil {Message} in
+      let l1 = Cons {Message} m2 nil in
+      Cons {Message} m1 l1
+
+contract C ()
+transition Pay (a : ByStr20, b : ByStr20, amt : Uint128)
+  m1 = {_tag : "P"; _recipient : a; _amount : amt};
+  m2 = {_tag : "P"; _recipient : b; _amount : amt};
+  msgs = two_msgs m1 m2;
+  send msgs
+end
+`, "Pay")
+	var sends []domain.Effect
+	for _, e := range s.Effects {
+		if e.Kind == domain.EffSendMsg {
+			sends = append(sends, e)
+		}
+	}
+	if len(sends) != 2 {
+		t.Fatalf("expected 2 tracked SendMsg effects, got %d: %s", len(sends), s)
+	}
+	recipients := map[string]bool{}
+	for _, e := range sends {
+		if e.Msg == nil {
+			t.Fatal("message structure lost")
+		}
+		p, ok := e.Msg["_recipient"].SingleParam()
+		if !ok {
+			t.Fatalf("recipient not a single param: %s", e.Msg["_recipient"])
+		}
+		recipients[p] = true
+	}
+	if !recipients["a"] || !recipients["b"] {
+		t.Errorf("recipients = %v, want a and b", recipients)
+	}
+}
+
+// TestInexactDefaultKillsPrecision: a non-unit default in an option
+// peel makes the contribution Inexact (the soundness case discussed in
+// the IsKnownOp design).
+func TestInexactDefaultKillsPrecision(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+transition T (k : ByStr20, amount : Uint128)
+  cur <- m[k];
+  nv = match cur with
+       | Some v => builtin add v amount
+       | None => Uint128 100
+       end;
+  m[k] := nv
+end
+`, "T")
+	w, _ := findWrite(s, "m[k]")
+	if w.C.Prec != domain.Inexact {
+		t.Errorf("non-unit default must be Inexact, got %s", w.C)
+	}
+}
+
+// TestZeroDefaultStaysPrecise: the zero-default peel is a known op.
+func TestZeroDefaultStaysPrecise(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+transition T (k : ByStr20, amount : Uint128)
+  cur <- m[k];
+  zero = Uint128 0;
+  nv = match cur with
+       | Some v => builtin sub v amount
+       | None => zero
+       end;
+  m[k] := nv
+end
+`, "T")
+	w, _ := findWrite(s, "m[k]")
+	if w.C.Prec != domain.Exact {
+		t.Errorf("zero-default peel must stay Exact, got %s", w.C)
+	}
+	fs := w.C.FieldSources()
+	if len(fs) != 1 || !fs[0].Ops["sub"] || fs[0].Card != domain.Card1 {
+		t.Errorf("unexpected contribution: %s", w.C)
+	}
+}
+
+// TestContractParamKeysRejected: map keys must be transition
+// parameters, not contract parameters (the paper's CanSummarise
+// restriction simplifying dispatch).
+func TestContractParamKeysRejected(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C (admin : ByStr20)
+field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+transition T (amount : Uint128)
+  m[admin] := amount
+end
+`, "T")
+	if !s.HasTop() {
+		t.Errorf("contract-parameter key must defeat CanSummarise:\n%s", s)
+	}
+}
+
+// TestKeyAliasOfParamAccepted: a let-bound alias of a transition
+// parameter is still a valid key.
+func TestKeyAliasOfParamAccepted(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+transition T (who : ByStr20, amount : Uint128)
+  k = who;
+  m[k] := amount
+end
+`, "T")
+	if s.HasTop() {
+		t.Errorf("param alias rejected:\n%s", s)
+	}
+	w, ok := findWrite(s, "m[who]")
+	if !ok {
+		t.Fatalf("pseudo-field not canonicalised to the parameter:\n%s", s)
+	}
+	_ = w
+}
+
+// TestReadAfterWriteIsTop: Fig. 7's MapGet rule requires
+// Write(i2[ik]) ∉ Σ.
+func TestReadAfterWriteIsTop(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+transition T (k : ByStr20, amount : Uint128)
+  m[k] := amount;
+  v <- m[k];
+  match v with
+  | Some x =>
+    m[k] := x
+  | None =>
+    throw
+  end
+end
+`, "T")
+	if !s.HasTop() {
+		t.Errorf("read-after-write must be ⊤:\n%s", s)
+	}
+}
+
+// TestBlockchainReadIsConstant: &BLOCKNUMBER contributes a constant.
+func TestBlockchainReadIsConstant(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field last : BNum = BNum 0
+transition T ()
+  blk <- &BLOCKNUMBER;
+  last := blk
+end
+`, "T")
+	w, _ := findWrite(s, "last")
+	if len(w.C.FieldSources()) != 0 {
+		t.Errorf("blockchain read must be constant-like: %s", w.C)
+	}
+	if s.HasTop() {
+		t.Error("unexpected ⊤")
+	}
+}
+
+// TestEventAndThrowNoEffects: events and throws add no sharding
+// effects.
+func TestEventAndThrowNoEffects(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+transition T ()
+  e = {_eventname : "E"};
+  event e;
+  throw
+end
+`, "T")
+	if len(s.Effects) != 0 {
+		t.Errorf("expected empty summary, got:\n%s", s)
+	}
+}
+
+// TestAcceptEffect: accept yields AcceptFunds exactly once.
+func TestAcceptEffect(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+transition T ()
+  accept;
+  accept
+end
+`, "T")
+	n := 0
+	for _, e := range s.Effects {
+		if e.Kind == domain.EffAcceptFunds {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("AcceptFunds count = %d, want 1 (deduplicated)", n)
+	}
+}
+
+// TestMatchArmEffectsUnioned: effects from all arms appear in the
+// summary.
+func TestMatchArmEffectsUnioned(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field a : Uint128 = Uint128 0
+field b : Uint128 = Uint128 0
+transition T (flag : Bool)
+  match flag with
+  | True =>
+    one = Uint128 1;
+    a := one
+  | False =>
+    two = Uint128 2;
+    b := two
+  end
+end
+`, "T")
+	if _, ok := findWrite(s, "a"); !ok {
+		t.Error("arm 1 write missing")
+	}
+	if _, ok := findWrite(s, "b"); !ok {
+		t.Error("arm 2 write missing")
+	}
+	// The condition on a pure parameter has no field sources.
+	for _, e := range s.Conditions() {
+		if len(e.C.FieldSources()) != 0 {
+			t.Errorf("parameter condition has field sources: %s", e.C)
+		}
+	}
+}
+
+// TestExistsOpRecorded: exists reads carry the "exists" op, blocking
+// commutativity if the bool were ever written to an int field.
+func TestExistsOpRecorded(t *testing.T) {
+	s := analyzeSrc(t, hdr+`
+contract C ()
+field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+transition T (k : ByStr20)
+  present <- exists m[k];
+  match present with
+  | True => throw
+  | False => accept
+  end
+end
+`, "T")
+	found := false
+	for _, e := range s.Conditions() {
+		for _, sc := range e.C.FieldSources() {
+			if sc.Ops["exists"] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("exists op not recorded:\n%s", s)
+	}
+}

@@ -1,0 +1,342 @@
+package domain_test
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cosplit/internal/core/domain"
+)
+
+// --- Cardinality lattice laws (Fig. 6) ---
+
+var cards = []domain.Card{domain.Card0, domain.Card1, domain.CardOmega}
+
+func TestCardTables(t *testing.T) {
+	// The exact tables from Fig. 6.
+	plus := map[[2]domain.Card]domain.Card{
+		{domain.Card0, domain.Card0}:         domain.Card0,
+		{domain.Card0, domain.Card1}:         domain.Card1,
+		{domain.Card1, domain.Card1}:         domain.CardOmega,
+		{domain.Card1, domain.CardOmega}:     domain.CardOmega,
+		{domain.Card0, domain.CardOmega}:     domain.CardOmega,
+		{domain.CardOmega, domain.CardOmega}: domain.CardOmega,
+	}
+	for args, want := range plus {
+		if got := args[0].Plus(args[1]); got != want {
+			t.Errorf("%s ⊕ %s = %s, want %s", args[0], args[1], got, want)
+		}
+	}
+	times := map[[2]domain.Card]domain.Card{
+		{domain.Card0, domain.Card0}:         domain.Card0,
+		{domain.Card0, domain.Card1}:         domain.Card0,
+		{domain.Card0, domain.CardOmega}:     domain.Card0,
+		{domain.Card1, domain.Card1}:         domain.Card1,
+		{domain.Card1, domain.CardOmega}:     domain.CardOmega,
+		{domain.CardOmega, domain.CardOmega}: domain.CardOmega,
+	}
+	for args, want := range times {
+		if got := args[0].Times(args[1]); got != want {
+			t.Errorf("%s ⊗ %s = %s, want %s", args[0], args[1], got, want)
+		}
+	}
+}
+
+func TestCardLaws(t *testing.T) {
+	for _, a := range cards {
+		for _, b := range cards {
+			if a.Plus(b) != b.Plus(a) {
+				t.Errorf("⊕ not commutative at %s,%s", a, b)
+			}
+			if a.Join(b) != b.Join(a) {
+				t.Errorf("⊔ not commutative at %s,%s", a, b)
+			}
+			if a.Times(b) != b.Times(a) {
+				t.Errorf("⊗ not commutative at %s,%s", a, b)
+			}
+			for _, c := range cards {
+				if a.Plus(b).Plus(c) != a.Plus(b.Plus(c)) {
+					t.Errorf("⊕ not associative at %s,%s,%s", a, b, c)
+				}
+				if a.Join(b).Join(c) != a.Join(b.Join(c)) {
+					t.Errorf("⊔ not associative at %s,%s,%s", a, b, c)
+				}
+				if a.Times(b).Times(c) != a.Times(b.Times(c)) {
+					t.Errorf("⊗ not associative at %s,%s,%s", a, b, c)
+				}
+			}
+		}
+		if a.Join(a) != a {
+			t.Errorf("⊔ not idempotent at %s", a)
+		}
+		if a.Plus(domain.Card0) != a {
+			t.Errorf("0 not unit of ⊕ at %s", a)
+		}
+		if a.Times(domain.Card1) != a {
+			t.Errorf("1 not unit of ⊗ at %s", a)
+		}
+		if a.Times(domain.Card0) != domain.Card0 {
+			t.Errorf("0 not absorbing for ⊗ at %s", a)
+		}
+	}
+}
+
+func TestPrecisionLattice(t *testing.T) {
+	if domain.Exact.Join(domain.Inexact) != domain.Inexact {
+		t.Error("Exact ⊔ Inexact must be Inexact")
+	}
+	if domain.Exact.Join(domain.Exact) != domain.Exact {
+		t.Error("Exact ⊔ Exact must be Exact")
+	}
+	if domain.Inexact.Join(domain.Inexact) != domain.Inexact {
+		t.Error("Inexact ⊔ Inexact must be Inexact")
+	}
+}
+
+// --- Random contribution generation for property tests ---
+
+func randomContrib(rng *rand.Rand, size int) *domain.Contrib {
+	c := domain.Bot()
+	n := rng.Intn(size + 1)
+	ops := []string{"add", "sub", "mul", "eq", "le", domain.CondOp}
+	for i := 0; i < n; i++ {
+		var src domain.Source
+		switch rng.Intn(3) {
+		case 0:
+			src = domain.FieldSource(domain.FieldRef{
+				Name: []string{"f", "g", "h"}[rng.Intn(3)],
+				Keys: nil,
+			})
+		case 1:
+			src = domain.ParamSource([]string{"x", "y", "z"}[rng.Intn(3)])
+		default:
+			src = domain.ConstSource([]string{"1", "2"}[rng.Intn(2)])
+		}
+		sc := domain.SrcContrib{
+			Src:  src,
+			Card: cards[rng.Intn(3)],
+			Ops:  map[string]bool{},
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			sc.Ops[ops[rng.Intn(len(ops))]] = true
+		}
+		c.Sources[src.Key()] = sc
+	}
+	if rng.Intn(4) == 0 {
+		c.Prec = domain.Inexact
+	}
+	return c
+}
+
+// contribEq compares source maps, precision, and Top-ness.
+func contribEq(a, b *domain.Contrib) bool {
+	if a.Top != b.Top || a.Prec != b.Prec || len(a.Sources) != len(b.Sources) {
+		return false
+	}
+	for k, sa := range a.Sources {
+		sb, ok := b.Sources[k]
+		if !ok || sa.Card != sb.Card || len(sa.Ops) != len(sb.Ops) {
+			return false
+		}
+		for op := range sa.Ops {
+			if !sb.Ops[op] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestContribAddLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomContrib(r, 4), randomContrib(r, 4), randomContrib(r, 4)
+		// Commutativity.
+		if !contribEq(domain.Add(a, b), domain.Add(b, a)) {
+			t.Logf("⊕ not commutative:\n a=%s\n b=%s", a, b)
+			return false
+		}
+		// Associativity.
+		if !contribEq(domain.Add(domain.Add(a, b), c), domain.Add(a, domain.Add(b, c))) {
+			return false
+		}
+		// ⊥ is the unit.
+		if !contribEq(domain.Add(a, domain.Bot()), a) {
+			return false
+		}
+		// ⊤ absorbs.
+		if !domain.Add(a, domain.Top()).Top {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContribJoinLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomContrib(r, 4), randomContrib(r, 4), randomContrib(r, 4)
+		if !contribEq(domain.Join(a, b), domain.Join(b, a)) {
+			return false
+		}
+		if !contribEq(domain.Join(domain.Join(a, b), c), domain.Join(a, domain.Join(b, c))) {
+			return false
+		}
+		// Idempotence.
+		if !contribEq(domain.Join(a, a), a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomContrib(r, 4)
+		// Neutral scaling is the identity on sources.
+		if !contribEq(domain.Scale(a, domain.Card1, nil), a) {
+			return false
+		}
+		// Scaling by 0 zeroes all cardinalities.
+		zeroed := domain.Scale(a, domain.Card0, nil)
+		for _, sc := range zeroed.Sources {
+			if sc.Card != domain.Card0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstIdentity(t *testing.T) {
+	// Substituting a formal that is the whole body yields the argument.
+	body := domain.Single(domain.FormalSource("x#1"))
+	arg := domain.Single(domain.ParamSource("amount"))
+	got := domain.Subst(body, "x#1", arg)
+	if !contribEq(got, arg) {
+		t.Errorf("Subst(x, x, arg) = %s, want %s", got, arg)
+	}
+	// Substituting an absent formal leaves the body unchanged.
+	got2 := domain.Subst(body, "y#2", arg)
+	if !contribEq(got2, body) {
+		t.Errorf("Subst with absent formal changed the body: %s", got2)
+	}
+}
+
+func TestApplySmearOnNative(t *testing.T) {
+	fn := domain.NewNative()
+	arg := domain.Single(domain.ParamSource("p"))
+	res := domain.Apply(fn, arg)
+	if res.Top {
+		t.Fatal("native application should smear, not go to ⊤")
+	}
+	if res.Prec != domain.Inexact {
+		t.Errorf("native application must be Inexact, got %s", res.Prec)
+	}
+	sc, ok := res.Sources[domain.ParamSource("p").Key()]
+	if !ok || sc.Card != domain.CardOmega {
+		t.Errorf("argument must appear with cardinality ω, got %+v", sc)
+	}
+}
+
+func TestLitIntTracking(t *testing.T) {
+	zero := domain.SingleLit("Uint128 0", big.NewInt(0))
+	if !zero.IsZeroLit() {
+		t.Error("zero literal not recognised")
+	}
+	// Any operation clears literal identity.
+	if zero.WithOp("add").IsZeroLit() {
+		t.Error("op application must clear literal identity")
+	}
+	// Adding a non-bot contribution clears it.
+	sum := domain.Add(zero, domain.Single(domain.ParamSource("x")))
+	if sum.IsZeroLit() {
+		t.Error("⊕ must clear literal identity")
+	}
+	// ⊕ with ⊥ keeps it.
+	keep := domain.Add(zero, domain.Bot())
+	if !keep.IsZeroLit() {
+		t.Error("⊕ ⊥ must keep literal identity")
+	}
+}
+
+func TestSingleParam(t *testing.T) {
+	c := domain.Single(domain.ParamSource("to"))
+	if p, ok := c.SingleParam(); !ok || p != "to" {
+		t.Errorf("SingleParam = %q, %v", p, ok)
+	}
+	if _, ok := c.WithOp("eq").SingleParam(); ok {
+		t.Error("op-tainted contribution must not be a single param")
+	}
+	if _, ok := domain.Single(domain.ConstSource("1")).SingleParam(); ok {
+		t.Error("constant is not a param")
+	}
+}
+
+func TestMarkFieldConst(t *testing.T) {
+	c := domain.Single(domain.FieldSource(domain.FieldRef{Name: "owner"}))
+	c = domain.Add(c, domain.Single(domain.ParamSource("x")))
+	marked := c.MarkFieldConst(map[string]bool{"owner": true})
+	for _, sc := range marked.Sources {
+		if sc.Src.Kind == domain.SrcField {
+			t.Errorf("field source survived MarkFieldConst: %s", sc.Src)
+		}
+	}
+	if len(marked.Sources) != 2 {
+		t.Errorf("expected 2 sources (const + param), got %d", len(marked.Sources))
+	}
+}
+
+func TestFieldRefString(t *testing.T) {
+	ref := domain.FieldRef{Name: "allowances", Keys: []string{"from", "_sender"}}
+	if got := ref.String(); got != "allowances[from][_sender]" {
+		t.Errorf("FieldRef.String() = %q", got)
+	}
+	if !ref.Equal(domain.FieldRef{Name: "allowances", Keys: []string{"from", "_sender"}}) {
+		t.Error("Equal failed on identical refs")
+	}
+	if ref.Equal(domain.FieldRef{Name: "allowances", Keys: []string{"from"}}) {
+		t.Error("Equal true on different key counts")
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomContrib(r, 4)
+		cp := a.Copy()
+		if !contribEq(a, cp) {
+			return false
+		}
+		// Mutating the copy must not affect the original.
+		for k, sc := range cp.Sources {
+			sc.Ops["mutated"] = true
+			cp.Sources[k] = domain.SrcContrib{Src: sc.Src, Card: domain.CardOmega, Ops: sc.Ops}
+			break
+		}
+		for _, sc := range a.Sources {
+			if sc.Ops["mutated"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = reflect.DeepEqual

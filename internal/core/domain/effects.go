@@ -1,0 +1,162 @@
+package domain
+
+import (
+	"sort"
+	"strings"
+)
+
+// EffectKind classifies effects (ε in Fig. 6).
+type EffectKind int
+
+// Effect kinds.
+const (
+	EffRead EffectKind = iota
+	EffWrite
+	EffCondition
+	EffAcceptFunds
+	EffSendMsg
+	EffTop
+)
+
+func (k EffectKind) String() string {
+	switch k {
+	case EffRead:
+		return "Read"
+	case EffWrite:
+		return "Write"
+	case EffCondition:
+		return "Condition"
+	case EffAcceptFunds:
+		return "AcceptFunds"
+	case EffSendMsg:
+		return "SendMsg"
+	default:
+		return "⊤"
+	}
+}
+
+// Effect is a single element of a transition summary.
+type Effect struct {
+	Kind  EffectKind
+	Field FieldRef // for Read / Write
+	// C is the written value's contribution (Write), the scrutinised
+	// contribution (Condition), or nil.
+	C *Contrib
+	// Msg is the per-entry contribution of a sent message (SendMsg).
+	// A nil Msg on a SendMsg effect denotes SendMsg(⊤).
+	Msg MsgContrib
+	// Note explains why a ⊤ effect arose (which access defeated the
+	// analysis); it feeds the Sec. 6 repair advisor.
+	Note string
+}
+
+// String renders the effect in the paper's notation (cf. Fig. 8).
+func (e Effect) String() string {
+	switch e.Kind {
+	case EffRead:
+		return "Read(" + e.Field.String() + ")"
+	case EffWrite:
+		return "Write(" + e.Field.String() + ", " + e.C.String() + ")"
+	case EffCondition:
+		return "Condition(" + e.C.String() + ")"
+	case EffAcceptFunds:
+		return "AcceptFunds"
+	case EffSendMsg:
+		if e.Msg == nil {
+			return "SendMsg(⊤)"
+		}
+		keys := make([]string, 0, len(e.Msg))
+		for k := range e.Msg {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		sb.WriteString("SendMsg(")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(k + " = " + e.Msg[k].String())
+		}
+		sb.WriteString(")")
+		return sb.String()
+	default:
+		if e.Note != "" {
+			return "⊤ (" + e.Note + ")"
+		}
+		return "⊤"
+	}
+}
+
+// Summary is the inferred effect summary of one transition (Sec. 3.2).
+type Summary struct {
+	Transition string
+	// Params lists the transition's declared parameter names (including
+	// the implicit _sender, _origin, _amount), used by the signature
+	// solver when resolving key constraints.
+	Params  []string
+	Effects []Effect
+}
+
+// HasTop reports whether the summary contains the uninformative ⊤
+// effect.
+func (s *Summary) HasTop() bool {
+	for _, e := range s.Effects {
+		if e.Kind == EffTop {
+			return true
+		}
+	}
+	return false
+}
+
+// Reads returns all Read effects.
+func (s *Summary) Reads() []Effect {
+	return s.byKind(EffRead)
+}
+
+// Writes returns all Write effects.
+func (s *Summary) Writes() []Effect {
+	return s.byKind(EffWrite)
+}
+
+// Conditions returns all Condition effects.
+func (s *Summary) Conditions() []Effect {
+	return s.byKind(EffCondition)
+}
+
+func (s *Summary) byKind(k EffectKind) []Effect {
+	var out []Effect
+	for _, e := range s.Effects {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the summary one effect per line (cf. Fig. 8).
+func (s *Summary) String() string {
+	var sb strings.Builder
+	for _, e := range s.Effects {
+		sb.WriteString(e.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Copy deep-copies the summary.
+func (s *Summary) Copy() *Summary {
+	out := &Summary{Transition: s.Transition, Params: append([]string{}, s.Params...)}
+	for _, e := range s.Effects {
+		ne := Effect{Kind: e.Kind, Field: e.Field, C: e.C.Copy(), Note: e.Note}
+		if e.Msg != nil {
+			nm := make(MsgContrib, len(e.Msg))
+			for k, v := range e.Msg {
+				nm[k] = v.Copy()
+			}
+			ne.Msg = nm
+		}
+		out.Effects = append(out.Effects, ne)
+	}
+	return out
+}

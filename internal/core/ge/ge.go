@@ -1,0 +1,155 @@
+// Package ge implements the "good enough" sharding-signature analysis
+// of Sec. 5.1.2 (Definitions 5.1-5.3): hogged fields, good-enough (GE)
+// signatures, the largest GE signature, and the set of maximal GE
+// signatures, computed by exhaustive enumeration over transition
+// selections exactly as the paper's offline tooling does.
+package ge
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"cosplit/internal/core/domain"
+	"cosplit/internal/core/signature"
+)
+
+// HoggedFields returns the fields a transition hogs in a signature
+// (Def. 5.1): fields the transition's constraints require a shard to
+// own fully, i.e. whole-field Owns constraints (no map keys). A ⊥
+// transition hogs the pseudo-field "*" (the entire contract state).
+func HoggedFields(sg *signature.Signature, transition string) []string {
+	var out []string
+	for _, c := range sg.Constraints[transition] {
+		switch c.Kind {
+		case signature.CBottom:
+			return []string{"*"}
+		case signature.COwns:
+			if len(c.Field.Keys) == 0 {
+				out = append(out, c.Field.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsGoodEnough reports whether a signature is good enough (Def. 5.2)
+// for its selection of k transitions: for k = 1 the transition hogs no
+// fields; for k > 1 every field is hogged by at most one transition. A
+// selection containing an unshardable (⊥) transition is never GE.
+func IsGoodEnough(sg *signature.Signature) bool {
+	k := len(sg.Selected)
+	if k == 0 {
+		return false
+	}
+	hogCount := map[string]int{}
+	for _, tr := range sg.Selected {
+		hogs := HoggedFields(sg, tr)
+		for _, f := range hogs {
+			if f == "*" {
+				return false
+			}
+			hogCount[f]++
+		}
+	}
+	if k == 1 {
+		return len(hogCount) == 0
+	}
+	for _, n := range hogCount {
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Result summarises the GE analysis of one contract (the data behind
+// Fig. 13 and the Sec. 5.2 table).
+type Result struct {
+	Contract       string
+	NumTransitions int
+	// LargestGE is the size of the largest good-enough selection
+	// (Fig. 13a).
+	LargestGE int
+	// LargestGESelection is one witness selection of that size.
+	LargestGESelection []string
+	// MaximalGE is the number of maximal GE signatures (Fig. 13b).
+	MaximalGE int
+	// MaximalSelections lists the maximal GE selections.
+	MaximalSelections [][]string
+	// Queries is the number of sharding-solver queries performed.
+	Queries int
+}
+
+// Analyze enumerates all non-empty transition selections of a contract
+// and computes the largest and maximal GE signatures. All fields are
+// treated as weakly readable — the analysis quantifies the existence
+// of parallelism, not a particular developer's staleness tolerance.
+// Contracts with more than MaxTransitions transitions are rejected.
+const MaxTransitions = 20
+
+// Analyze runs the GE enumeration for a contract's summaries.
+func Analyze(contract string, summaries map[string]*domain.Summary, fields []string) (*Result, error) {
+	names := make([]string, 0, len(summaries))
+	for tr := range summaries {
+		names = append(names, tr)
+	}
+	sort.Strings(names)
+	n := len(names)
+	if n > MaxTransitions {
+		return nil, fmt.Errorf("contract %s has %d transitions; enumeration capped at %d", contract, n, MaxTransitions)
+	}
+	res := &Result{Contract: contract, NumTransitions: n}
+
+	isGE := make([]bool, 1<<n)
+	for mask := 1; mask < 1<<n; mask++ {
+		var selectedNames []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				selectedNames = append(selectedNames, names[i])
+			}
+		}
+		sg, err := signature.Derive(summaries, signature.Query{
+			Transitions: selectedNames,
+			WeakReads:   fields,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Queries++
+		isGE[mask] = IsGoodEnough(sg)
+		if isGE[mask] && bits.OnesCount(uint(mask)) > res.LargestGE {
+			res.LargestGE = bits.OnesCount(uint(mask))
+			res.LargestGESelection = selectedNames
+		}
+	}
+
+	// A GE selection is maximal iff no strict superset is GE (Def. 5.3).
+	// GE is not downward- or upward-closed, so all strict supersets are
+	// checked, enumerated directly (3^n work overall).
+	full := 1<<n - 1
+	for mask := 1; mask < 1<<n; mask++ {
+		if !isGE[mask] {
+			continue
+		}
+		maximal := true
+		rest := full &^ mask
+		for sub := rest; sub > 0 && maximal; sub = (sub - 1) & rest {
+			if isGE[mask|sub] {
+				maximal = false
+			}
+		}
+		if maximal {
+			var sel []string
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					sel = append(sel, names[i])
+				}
+			}
+			res.MaximalGE++
+			res.MaximalSelections = append(res.MaximalSelections, sel)
+		}
+	}
+	return res, nil
+}

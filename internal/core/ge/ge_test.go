@@ -1,0 +1,211 @@
+package ge_test
+
+import (
+	"testing"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/core/analysis"
+	"cosplit/internal/core/domain"
+	"cosplit/internal/core/ge"
+	"cosplit/internal/core/signature"
+)
+
+func ftSummaries(t *testing.T) (map[string]*domain.Summary, []string) {
+	t.Helper()
+	chk := contracts.MustParse("FungibleToken")
+	a, err := analysis.New(chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := a.AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields []string
+	for f := range chk.FieldTypes {
+		fields = append(fields, f)
+	}
+	return sums, fields
+}
+
+func TestHoggedFields(t *testing.T) {
+	sums, fields := ftSummaries(t)
+
+	// ChangeOwner stores the whole current_owner field: it hogs it.
+	sg, err := signature.Derive(sums, signature.Query{
+		Transitions: []string{"ChangeOwner"},
+		WeakReads:   fields,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hogs := ge.HoggedFields(sg, "ChangeOwner")
+	if len(hogs) != 1 || hogs[0] != "current_owner" {
+		t.Errorf("ChangeOwner hogs %v, want [current_owner]", hogs)
+	}
+	if ge.IsGoodEnough(sg) {
+		t.Error("a single field-hogging transition is not GE")
+	}
+
+	// Transfer hogs nothing: it owns only map entries.
+	sg2, err := signature.Derive(sums, signature.Query{
+		Transitions: []string{"Transfer"},
+		WeakReads:   fields,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hogs := ge.HoggedFields(sg2, "Transfer"); len(hogs) != 0 {
+		t.Errorf("Transfer hogs %v, want none", hogs)
+	}
+	if !ge.IsGoodEnough(sg2) {
+		t.Error("{Transfer} must be GE")
+	}
+}
+
+func TestGEPairs(t *testing.T) {
+	sums, fields := ftSummaries(t)
+	// Mint + Transfer: both commutative/entry-owned; GE.
+	sg, err := signature.Derive(sums, signature.Query{
+		Transitions: []string{"Mint", "Transfer"},
+		WeakReads:   fields,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ge.IsGoodEnough(sg) {
+		t.Errorf("{Mint, Transfer} must be GE:\n%s", sg)
+	}
+}
+
+func TestAnalyzeFungibleToken(t *testing.T) {
+	sums, fields := ftSummaries(t)
+	res, err := ge.Analyze("FungibleToken", sums, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTransitions != 10 {
+		t.Errorf("NumTransitions = %d, want 10", res.NumTransitions)
+	}
+	if res.LargestGE < 6 {
+		t.Errorf("LargestGE = %d (selection %v), want >= 6 (paper reports 6)",
+			res.LargestGE, res.LargestGESelection)
+	}
+	if res.MaximalGE < 1 {
+		t.Errorf("MaximalGE = %d, want >= 1", res.MaximalGE)
+	}
+	if res.Queries != (1<<res.NumTransitions)-1 {
+		t.Errorf("Queries = %d, want %d", res.Queries, (1<<res.NumTransitions)-1)
+	}
+	// Every maximal selection must itself be GE and not a subset of
+	// another maximal selection.
+	for i, a := range res.MaximalSelections {
+		for j, b := range res.MaximalSelections {
+			if i != j && isSubset(a, b) {
+				t.Errorf("maximal selection %v is a subset of %v", a, b)
+			}
+		}
+	}
+}
+
+func isSubset(a, b []string) bool {
+	set := map[string]bool{}
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGEDeterminism: the enumeration is a pure function of the
+// summaries.
+func TestGEDeterminism(t *testing.T) {
+	sums, fields := ftSummaries(t)
+	a, err := ge.Analyze("FungibleToken", sums, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ge.Analyze("FungibleToken", sums, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LargestGE != b.LargestGE || a.MaximalGE != b.MaximalGE || a.Queries != b.Queries {
+		t.Errorf("non-deterministic GE analysis: %+v vs %+v", a, b)
+	}
+}
+
+// TestLargestIsWitnessed: the largest GE selection must itself be GE,
+// and every superset of a maximal selection must not be.
+func TestLargestIsWitnessed(t *testing.T) {
+	sums, fields := ftSummaries(t)
+	res, err := ge.Analyze("FungibleToken", sums, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := signature.Derive(sums, signature.Query{
+		Transitions: res.LargestGESelection, WeakReads: fields,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ge.IsGoodEnough(sg) {
+		t.Error("largest GE selection is not GE")
+	}
+	if len(res.LargestGESelection) != res.LargestGE {
+		t.Error("largest GE size does not match its witness")
+	}
+	// Maximality: adding any other transition to a maximal selection
+	// must break GE.
+	for _, sel := range res.MaximalSelections {
+		in := map[string]bool{}
+		for _, tr := range sel {
+			in[tr] = true
+		}
+		for tr := range sums {
+			if in[tr] {
+				continue
+			}
+			ext := append(append([]string{}, sel...), tr)
+			sg, err := signature.Derive(sums, signature.Query{Transitions: ext, WeakReads: fields})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ge.IsGoodEnough(sg) {
+				t.Errorf("maximal selection %v extends to GE with %s", sel, tr)
+			}
+		}
+	}
+}
+
+// TestBottomNeverGE: the pre-rewrite mainnet NFT's Transfer is ⊥ and
+// can never be part of a GE selection.
+func TestBottomNeverGE(t *testing.T) {
+	chk := contracts.MustParse("NonfungibleTokenMainnet")
+	a, err := analysis.New(chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := a.AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields []string
+	for f := range chk.FieldTypes {
+		fields = append(fields, f)
+	}
+	res, err := ge.Analyze("NonfungibleTokenMainnet", sums, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range res.MaximalSelections {
+		for _, tr := range sel {
+			if tr == "Transfer" {
+				t.Errorf("⊥ transition Transfer appears in GE selection %v", sel)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package repair_test
+
+import (
+	"fmt"
+	"log"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/core/analysis"
+	"cosplit/internal/core/repair"
+)
+
+// ExampleAdvise reproduces the Sec. 6 repair scenario on the
+// pre-rewrite mainnet NFT: the advisor pinpoints the state-dependent
+// map key that defeats the analysis.
+func ExampleAdvise() {
+	checked := contracts.MustParse("NonfungibleTokenMainnet")
+	an, err := analysis.New(checked)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summaries, err := an.AnalyzeAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range repair.Advise(summaries) {
+		if s.Kind == repair.StateDependentKey {
+			fmt.Printf("%s: %s\n", s.Transition, s.Kind)
+		}
+	}
+	// Output:
+	// Transfer: state-dependent map key
+	// Transfer: state-dependent map key
+}

@@ -1,0 +1,148 @@
+// Package repair implements the automated contract-repair advisor
+// sketched in Sec. 6 of the paper: it inspects transition summaries
+// for accesses that defeat the CoSplit analysis (⊤ effects, lost
+// message structure) and suggests the compare-and-swap refactorings
+// that make the contract shardable — e.g. turning a state-dependent
+// map key into a transition parameter validated against the stored
+// value.
+package repair
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"cosplit/internal/core/domain"
+)
+
+// Kind classifies a suggestion.
+type Kind int
+
+// Suggestion kinds.
+const (
+	// StateDependentKey: a map access keyed by a value read from the
+	// contract state (the Sec. 6 NFT example). Fix: pass the expected
+	// value as a transition parameter and validate it (CAS).
+	StateDependentKey Kind = iota
+	// NonBottomAccess: a nested map accessed above its leaf level.
+	NonBottomAccess
+	// ReadAfterWrite: the transition reads a component it already
+	// wrote; restructure to keep the value in a local.
+	ReadAfterWrite
+	// UntrackedMessage: a sent message whose payload the analysis
+	// could not reconstruct.
+	UntrackedMessage
+	// OpaqueTop: any other ⊤ effect.
+	OpaqueTop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StateDependentKey:
+		return "state-dependent map key"
+	case NonBottomAccess:
+		return "non-bottom-level map access"
+	case ReadAfterWrite:
+		return "read after write"
+	case UntrackedMessage:
+		return "untracked message payload"
+	default:
+		return "unsummarisable access"
+	}
+}
+
+// Suggestion is one repair hint for one transition.
+type Suggestion struct {
+	Transition string
+	Kind       Kind
+	// Detail is the analysis' reason (the ⊤ note).
+	Detail string
+	// Advice is the suggested refactoring.
+	Advice string
+}
+
+func (s Suggestion) String() string {
+	return fmt.Sprintf("%s: [%s] %s\n    fix: %s", s.Transition, s.Kind, s.Detail, s.Advice)
+}
+
+var keyNote = regexp.MustCompile(`map key "([^"]+)" into (\S+) is not a transition parameter`)
+
+// Advise inspects the transitions' summaries and produces repair
+// suggestions for everything that blocks sharding.
+func Advise(summaries map[string]*domain.Summary) []Suggestion {
+	var out []Suggestion
+	names := make([]string, 0, len(summaries))
+	for tr := range summaries {
+		names = append(names, tr)
+	}
+	sort.Strings(names)
+	seen := map[string]bool{}
+	add := func(s Suggestion) {
+		key := s.Transition + "|" + s.Detail
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+	for _, tr := range names {
+		for _, e := range summaries[tr].Effects {
+			switch e.Kind {
+			case domain.EffTop:
+				add(classifyTop(tr, e.Note))
+			case domain.EffSendMsg:
+				if e.Msg == nil {
+					add(Suggestion{
+						Transition: tr,
+						Kind:       UntrackedMessage,
+						Detail:     e.Note,
+						Advice: "construct messages with literal {...} syntax and pass them " +
+							"through one_msg/two_msgs-style helpers so the analysis can track " +
+							"_recipient and _amount",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func classifyTop(tr, note string) Suggestion {
+	s := Suggestion{Transition: tr, Kind: OpaqueTop, Detail: note}
+	switch {
+	case keyNote.MatchString(note):
+		m := keyNote.FindStringSubmatch(note)
+		key, field := m[1], m[2]
+		s.Kind = StateDependentKey
+		s.Advice = fmt.Sprintf(
+			"make %q a transition parameter and validate it against the stored value "+
+				"(compare-and-swap): read the authoritative value, check it equals the "+
+				"parameter, and only then index %s with the parameter", key, field)
+	case strings.Contains(note, "not bottom-level"):
+		s.Kind = NonBottomAccess
+		s.Advice = "access the innermost map entries directly (supply all keys) instead of " +
+			"reading or writing an intermediate sub-map"
+	case strings.Contains(note, "after a write"):
+		s.Kind = ReadAfterWrite
+		s.Advice = "keep the written value in a local binding instead of re-reading the field"
+	default:
+		s.Advice = "restructure the access so map keys are transition parameters and fields " +
+			"are not re-read after writes"
+	}
+	return s
+}
+
+// Shardable reports whether a transition's summary is free of analysis
+// blockers (it may still require ownership; this only checks for ⊤).
+func Shardable(s *domain.Summary) bool {
+	for _, e := range s.Effects {
+		if e.Kind == domain.EffTop {
+			return false
+		}
+		if e.Kind == domain.EffSendMsg && e.Msg == nil {
+			return false
+		}
+	}
+	return true
+}

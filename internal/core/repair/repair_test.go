@@ -1,0 +1,83 @@
+package repair_test
+
+import (
+	"strings"
+	"testing"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/core/analysis"
+	"cosplit/internal/core/domain"
+	"cosplit/internal/core/repair"
+)
+
+func summaries(t *testing.T, contract string) map[string]*domain.Summary {
+	t.Helper()
+	chk := contracts.MustParse(contract)
+	a, err := analysis.New(chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := a.AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sums
+}
+
+// TestMainnetNFTGetsCASAdvice reproduces the Sec. 6 example: the
+// pre-rewrite NFT Transfer indexes operator_approvals with the owner
+// read from state; the advisor must suggest the compare-and-swap
+// parameter rewrite.
+func TestMainnetNFTGetsCASAdvice(t *testing.T) {
+	sums := summaries(t, "NonfungibleTokenMainnet")
+	if repair.Shardable(sums["Transfer"]) {
+		t.Fatal("mainnet Transfer should be blocked (⊤)")
+	}
+	suggestions := repair.Advise(sums)
+	found := false
+	for _, s := range suggestions {
+		if s.Transition == "Transfer" && s.Kind == repair.StateDependentKey {
+			found = true
+			if !strings.Contains(s.Detail, "token_owner") {
+				t.Errorf("detail does not name the offending key: %s", s.Detail)
+			}
+			if !strings.Contains(s.Advice, "compare-and-swap") {
+				t.Errorf("advice does not suggest CAS: %s", s.Advice)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no state-dependent-key suggestion for Transfer:\n%v", suggestions)
+	}
+}
+
+// TestMainnetUDGetsAdvice: same for the registry's Configure.
+func TestMainnetUDGetsAdvice(t *testing.T) {
+	sums := summaries(t, "UDRegistryMainnet")
+	suggestions := repair.Advise(sums)
+	found := false
+	for _, s := range suggestions {
+		if s.Transition == "Configure" && s.Kind == repair.StateDependentKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no suggestion for UD Configure:\n%v", suggestions)
+	}
+}
+
+// TestRewrittenContractsAreClean: the CAS-rewritten evaluation
+// contracts must produce no suggestions.
+func TestRewrittenContractsAreClean(t *testing.T) {
+	for _, name := range []string{"FungibleToken", "NonfungibleToken", "UDRegistry", "Crowdfunding", "ProofIPFS"} {
+		sums := summaries(t, name)
+		if got := repair.Advise(sums); len(got) != 0 {
+			t.Errorf("%s: unexpected suggestions:\n%v", name, got)
+		}
+		for tr, s := range sums {
+			if !repair.Shardable(s) {
+				t.Errorf("%s.%s unexpectedly blocked", name, tr)
+			}
+		}
+	}
+}

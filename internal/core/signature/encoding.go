@@ -1,0 +1,155 @@
+package signature
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cosplit/internal/core/domain"
+)
+
+// Wire format for sharding signatures. A contract-deploying transaction
+// carries the developer-computed signature (Sec. 4.3); nodes serialise
+// it for broadcast alongside the contract code and metadata. The format
+// is stable JSON so any component able to (de)serialise contract state
+// can also exchange signatures (the paper's integration does the same
+// over JSON-RPC).
+
+type wireConstraint struct {
+	Kind  string   `json:"kind"`
+	Field string   `json:"field,omitempty"`
+	Keys  []string `json:"keys,omitempty"`
+	Param string   `json:"param,omitempty"`
+	A     []string `json:"a,omitempty"`
+	B     []string `json:"b,omitempty"`
+}
+
+type wireSignature struct {
+	Selected    []string                    `json:"selected"`
+	Constraints map[string][]wireConstraint `json:"constraints"`
+	Joins       map[string]string           `json:"joins"`
+	WeakReads   []string                    `json:"weak_reads,omitempty"`
+	StaleReads  []string                    `json:"stale_reads,omitempty"`
+	Commutative map[string][]wireField      `json:"commutative_writes,omitempty"`
+}
+
+type wireField struct {
+	Field string   `json:"field"`
+	Keys  []string `json:"keys,omitempty"`
+}
+
+var kindNames = map[ConstraintKind]string{
+	COwns:          "owns",
+	CUserAddr:      "user_addr",
+	CNoAliases:     "no_aliases",
+	CSenderShard:   "sender_shard",
+	CContractShard: "contract_shard",
+	CBottom:        "bottom",
+}
+
+var kindValues = func() map[string]ConstraintKind {
+	m := make(map[string]ConstraintKind, len(kindNames))
+	for k, v := range kindNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// MarshalJSON implements json.Marshaler.
+func (sg *Signature) MarshalJSON() ([]byte, error) {
+	w := wireSignature{
+		Selected:    sg.Selected,
+		Constraints: make(map[string][]wireConstraint, len(sg.Constraints)),
+		Joins:       make(map[string]string, len(sg.Joins)),
+		StaleReads:  sg.StaleReads,
+		Commutative: make(map[string][]wireField, len(sg.CommutativeWrites)),
+	}
+	for tr, cs := range sg.Constraints {
+		out := make([]wireConstraint, 0, len(cs))
+		for _, c := range cs {
+			out = append(out, wireConstraint{
+				Kind:  kindNames[c.Kind],
+				Field: c.Field.Name,
+				Keys:  c.Field.Keys,
+				Param: c.Param,
+				A:     c.A,
+				B:     c.B,
+			})
+		}
+		w.Constraints[tr] = out
+	}
+	for f, j := range sg.Joins {
+		w.Joins[f] = j.String()
+	}
+	for f := range sg.WeakReads {
+		w.WeakReads = append(w.WeakReads, f)
+	}
+	sortStrings(w.WeakReads)
+	for tr, refs := range sg.CommutativeWrites {
+		out := make([]wireField, 0, len(refs))
+		for _, r := range refs {
+			out = append(out, wireField{Field: r.Name, Keys: r.Keys})
+		}
+		w.Commutative[tr] = out
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (sg *Signature) UnmarshalJSON(data []byte) error {
+	var w wireSignature
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	sg.Selected = w.Selected
+	sg.Constraints = make(map[string][]Constraint, len(w.Constraints))
+	for tr, cs := range w.Constraints {
+		out := make([]Constraint, 0, len(cs))
+		for _, c := range cs {
+			kind, ok := kindValues[c.Kind]
+			if !ok {
+				return fmt.Errorf("unknown constraint kind %q", c.Kind)
+			}
+			out = append(out, Constraint{
+				Kind:  kind,
+				Field: domain.FieldRef{Name: c.Field, Keys: c.Keys},
+				Param: c.Param,
+				A:     c.A,
+				B:     c.B,
+			})
+		}
+		sg.Constraints[tr] = out
+	}
+	sg.Joins = make(map[string]Join, len(w.Joins))
+	for f, j := range w.Joins {
+		switch j {
+		case "IntMerge":
+			sg.Joins[f] = IntMerge
+		case "OwnOverwrite":
+			sg.Joins[f] = OwnOverwrite
+		default:
+			return fmt.Errorf("unknown join %q", j)
+		}
+	}
+	sg.WeakReads = make(map[string]bool, len(w.WeakReads))
+	for _, f := range w.WeakReads {
+		sg.WeakReads[f] = true
+	}
+	sg.StaleReads = w.StaleReads
+	sg.CommutativeWrites = make(map[string][]domain.FieldRef, len(w.Commutative))
+	for tr, refs := range w.Commutative {
+		out := make([]domain.FieldRef, 0, len(refs))
+		for _, r := range refs {
+			out = append(out, domain.FieldRef{Name: r.Field, Keys: r.Keys})
+		}
+		sg.CommutativeWrites[tr] = out
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package signature_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cosplit/internal/core/signature"
+)
+
+// TestSignatureJSONRoundTrip: the wire format preserves the signature
+// exactly (compared via the canonical rendering, which Deploy-time
+// validation also uses).
+func TestSignatureJSONRoundTrip(t *testing.T) {
+	for _, contract := range []string{"FungibleToken", "NonfungibleToken", "Crowdfunding", "UDRegistry", "ProofIPFS", "NonfungibleTokenMainnet"} {
+		sg := derive(t, contract, paperQueryOrDefault(contract))
+		data, err := json.Marshal(sg)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", contract, err)
+		}
+		var back signature.Signature
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", contract, err)
+		}
+		if back.String() != sg.String() {
+			t.Errorf("%s: round-trip changed the signature:\n%s\n---\n%s",
+				contract, sg, back.String())
+		}
+		// Commutative-write info survives too (it drives delta joins).
+		for tr, refs := range sg.CommutativeWrites {
+			if len(back.CommutativeWrites[tr]) != len(refs) {
+				t.Errorf("%s.%s: commutative writes lost", contract, tr)
+			}
+		}
+	}
+}
+
+func paperQueryOrDefault(contract string) signature.Query {
+	switch contract {
+	case "NonfungibleTokenMainnet":
+		return signature.Query{Transitions: []string{"Mint", "Transfer"}}
+	default:
+		return paperQuery(contract)
+	}
+}
+
+func TestSignatureJSONRejectsGarbage(t *testing.T) {
+	var sg signature.Signature
+	if err := json.Unmarshal([]byte(`{"joins":{"x":"Nope"}}`), &sg); err == nil {
+		t.Error("unknown join accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"constraints":{"T":[{"kind":"wat"}]}}`), &sg); err == nil {
+		t.Error("unknown constraint kind accepted")
+	}
+	if err := json.Unmarshal([]byte(`{nope`), &sg); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

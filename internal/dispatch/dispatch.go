@@ -1,0 +1,268 @@
+// Package dispatch implements the lookup-node transaction dispatcher of
+// Sec. 4.3: it evaluates a contract's sharding signature against a
+// concrete transaction's arguments (the dispatch_oc(T, x) procedure)
+// and routes the transaction to a satisfying shard, or to the DS
+// committee when no shard satisfies the constraints.
+//
+// Ownership of state components (Owns constraints) is static and
+// key-directed, mirroring the deterministic assignment the paper's
+// integration uses: a map component m[k1]...[kn] is owned by the shard
+// of its first key k1 (an address key hashes like an account, so
+// balances[_sender] lands in the sender's home shard and
+// allowances[from][_sender] co-locates with balances[from]); a whole
+// field is owned by the contract's home shard. A transaction whose
+// Owns constraints resolve to different shards cannot be placed and
+// goes to the DS committee — e.g. ProofIPFS registrations touching
+// both ipfsInventory[hash] and registered_items[_sender] (Sec. 5.2.1).
+package dispatch
+
+import (
+	"strings"
+	"sync"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/core/domain"
+	"cosplit/internal/core/signature"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/value"
+)
+
+// DS is the shard index denoting the DS committee.
+const DS = -1
+
+// Decision is the dispatcher's routing verdict for one transaction.
+type Decision struct {
+	Shard  int // DS for the DS committee
+	Reason string
+	// Rejected is true when the transaction is invalid (bad nonce,
+	// replay, unknown contract) and must not be processed at all.
+	Rejected bool
+}
+
+// Dispatcher routes transactions for one epoch.
+type Dispatcher struct {
+	NumShards int
+	Accounts  *chain.Accounts
+	Contracts *chain.Contracts
+	// SplitGasAccounting enables the per-shard gas budget split of
+	// Sec. 4.2.2 (half the balance to the home shard, the rest split
+	// evenly).
+	SplitGasAccounting bool
+
+	mu sync.Mutex
+	// load counts transactions routed per shard (index NumShards = DS).
+	load []int
+	// usedNonces guards against replays within the epoch.
+	usedNonces map[nonceKey]bool
+}
+
+type nonceKey struct {
+	from  chain.Address
+	nonce uint64
+}
+
+// New creates a dispatcher for an epoch.
+func New(numShards int, accounts *chain.Accounts, contracts *chain.Contracts) *Dispatcher {
+	return &Dispatcher{
+		NumShards:  numShards,
+		Accounts:   accounts,
+		Contracts:  contracts,
+		load:       make([]int, numShards+1),
+		usedNonces: make(map[nonceKey]bool),
+	}
+}
+
+// ResetEpoch clears the per-epoch load counters and replay table.
+func (d *Dispatcher) ResetEpoch() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.load = make([]int, d.NumShards+1)
+	d.usedNonces = make(map[nonceKey]bool)
+}
+
+// Load returns a copy of the per-shard load counters (last entry = DS).
+func (d *Dispatcher) Load() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]int{}, d.load...)
+}
+
+// Dispatch routes a transaction. It is safe for concurrent use.
+func (d *Dispatcher) Dispatch(tx *chain.Tx) Decision {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Replay protection (relaxed nonces, Sec. 4.2.1): a nonce may be
+	// used once, and must exceed the committed account nonce.
+	acc := d.Accounts.Get(tx.From)
+	if acc == nil {
+		return Decision{Rejected: true, Reason: "unknown sender"}
+	}
+	if tx.Nonce <= acc.Nonce {
+		return Decision{Rejected: true, Reason: "stale nonce"}
+	}
+	nk := nonceKey{from: tx.From, nonce: tx.Nonce}
+	if d.usedNonces[nk] {
+		return Decision{Rejected: true, Reason: "replayed nonce"}
+	}
+	d.usedNonces[nk] = true
+
+	dec := d.route(tx)
+	if !dec.Rejected {
+		if dec.Shard == DS {
+			d.load[d.NumShards]++
+		} else {
+			d.load[dec.Shard]++
+		}
+	}
+	return dec
+}
+
+func (d *Dispatcher) route(tx *chain.Tx) Decision {
+	switch tx.Kind {
+	case chain.TxTransfer:
+		// User-to-user payments go to the sender's home shard, where
+		// double spends are detected locally (Sec. 4.1).
+		return Decision{Shard: chain.ShardOf(tx.From, d.NumShards), Reason: "sender home shard"}
+	case chain.TxDeploy:
+		return Decision{Shard: DS, Reason: "contract deployment"}
+	}
+
+	c := d.Contracts.Get(tx.To)
+	if c == nil {
+		return Decision{Rejected: true, Reason: "unknown contract"}
+	}
+	if c.Sig == nil {
+		// Baseline strategy: in-shard only when sender and contract
+		// share a home shard; otherwise the DS committee.
+		s, cs := chain.ShardOf(tx.From, d.NumShards), chain.ShardOf(tx.To, d.NumShards)
+		if s == cs {
+			return Decision{Shard: s, Reason: "baseline: sender and contract co-located"}
+		}
+		return Decision{Shard: DS, Reason: "baseline: cross-shard contract call"}
+	}
+	cs, ok := c.Sig.Constraints[tx.Transition]
+	if !ok {
+		return Decision{Shard: DS, Reason: "transition not in sharding signature"}
+	}
+	return d.solve(tx, c, cs)
+}
+
+// solve evaluates the constraint set against the transaction's concrete
+// arguments, implementing dispatch_oc(T, x).
+func (d *Dispatcher) solve(tx *chain.Tx, c *chain.Contract, cs []signature.Constraint) Decision {
+	args := resolveArgs(tx)
+
+	required := -2 // -2: unconstrained; >=0: forced shard; DS on conflict
+	force := func(s int, why string) *Decision {
+		if required == -2 || required == s {
+			required = s
+			return nil
+		}
+		return &Decision{Shard: DS, Reason: "conflicting shard requirements: " + why}
+	}
+
+	for _, con := range cs {
+		switch con.Kind {
+		case signature.CBottom:
+			return Decision{Shard: DS, Reason: "unshardable transition (⊥)"}
+		case signature.CSenderShard:
+			if dec := force(chain.ShardOf(tx.From, d.NumShards), "SenderShard"); dec != nil {
+				return *dec
+			}
+		case signature.CContractShard:
+			if dec := force(chain.ShardOf(tx.To, d.NumShards), "ContractShard"); dec != nil {
+				return *dec
+			}
+		case signature.CUserAddr:
+			v, ok := args[con.Param]
+			if !ok {
+				return Decision{Shard: DS, Reason: "unresolvable UserAddr parameter " + con.Param}
+			}
+			addr, ok := chain.AddressFromValue(v)
+			if !ok {
+				return Decision{Shard: DS, Reason: "non-address UserAddr argument"}
+			}
+			if d.Accounts.IsContract(addr) {
+				return Decision{Shard: DS, Reason: "message recipient is a contract"}
+			}
+		case signature.CNoAliases:
+			av, aok := resolveVec(args, con.A)
+			bv, bok := resolveVec(args, con.B)
+			if !aok || !bok {
+				return Decision{Shard: DS, Reason: "unresolvable NoAliases keys"}
+			}
+			if av == bv {
+				return Decision{Shard: DS, Reason: "aliasing map keys"}
+			}
+		case signature.COwns:
+			s, ok := d.ownerShard(c.Addr, con.Field, args)
+			if !ok {
+				return Decision{Shard: DS, Reason: "unresolvable ownership keys"}
+			}
+			if dec := force(s, "Owns("+con.Field.String()+")"); dec != nil {
+				return *dec
+			}
+		}
+	}
+
+	shard := required
+	if shard == -2 {
+		// Fully unconstrained transactions (e.g. commutative-only
+		// writers like FT Mint) may run anywhere; balance the load.
+		shard = d.leastLoaded()
+	}
+	return Decision{Shard: shard, Reason: "constraints satisfied"}
+}
+
+// ownerShard statically resolves the shard owning a state component: a
+// keyed component is owned by the shard of its first key (addresses
+// hash like accounts), a whole field by the contract home shard.
+func (d *Dispatcher) ownerShard(contract chain.Address, f domain.FieldRef, args map[string]value.Value) (int, bool) {
+	if len(f.Keys) == 0 {
+		return chain.ShardOf(contract, d.NumShards), true
+	}
+	v, ok := args[f.Keys[0]]
+	if !ok {
+		return 0, false
+	}
+	if addr, ok := chain.AddressFromValue(v); ok {
+		return chain.ShardOf(addr, d.NumShards), true
+	}
+	return chain.ShardOfKey(value.CanonicalKey(v), d.NumShards), true
+}
+
+func (d *Dispatcher) leastLoaded() int {
+	best, bestLoad := 0, d.load[0]
+	for i := 1; i < d.NumShards; i++ {
+		if d.load[i] < bestLoad {
+			best, bestLoad = i, d.load[i]
+		}
+	}
+	return best
+}
+
+// resolveArgs builds the parameter valuation for a transaction,
+// including the implicit parameters.
+func resolveArgs(tx *chain.Tx) map[string]value.Value {
+	args := make(map[string]value.Value, len(tx.Args)+3)
+	for k, v := range tx.Args {
+		args[k] = v
+	}
+	args[ast.SenderParam] = tx.From.Value()
+	args[ast.OriginParam] = tx.From.Value()
+	args[ast.AmountParam] = value.Int{Ty: ast.TyUint128, V: tx.Amount}
+	return args
+}
+
+func resolveVec(args map[string]value.Value, names []string) (string, bool) {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		v, ok := args[n]
+		if !ok {
+			return "", false
+		}
+		parts[i] = value.CanonicalKey(v)
+	}
+	return strings.Join(parts, "\x1f"), true
+}

@@ -1,0 +1,86 @@
+package ethdata_test
+
+import (
+	"testing"
+
+	"cosplit/internal/ethdata"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := ethdata.Generate(100, 7)
+	b := ethdata.Generate(100, 7)
+	if len(a.Txs) != len(b.Txs) {
+		t.Fatal("non-deterministic sample size")
+	}
+	for i := range a.Txs {
+		if a.Txs[i] != b.Txs[i] {
+			t.Fatal("non-deterministic sample content")
+		}
+	}
+	c := ethdata.Generate(100, 8)
+	if len(a.Txs) == len(c.Txs) {
+		same := true
+		for i := range a.Txs {
+			if a.Txs[i] != c.Txs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds gave identical samples")
+		}
+	}
+}
+
+// TestFig1Trends verifies the calibrated shapes the paper reports:
+// transfers decline, single calls rise to ~55% in recent blocks, and
+// ERC20 comes to dominate single calls.
+func TestFig1Trends(t *testing.T) {
+	sample := ethdata.Generate(16611, 2020)
+	buckets := ethdata.Analyze(sample)
+	if len(buckets) < 50 {
+		t.Fatalf("only %d buckets", len(buckets))
+	}
+	early := buckets[2]
+	late := buckets[len(buckets)-2]
+
+	if early.Transfer < 80 {
+		t.Errorf("early transfers = %.1f%%, want >80%%", early.Transfer)
+	}
+	if late.Transfer > 45 {
+		t.Errorf("late transfers = %.1f%%, want declining to <45%%", late.Transfer)
+	}
+	if late.SingleCall < 45 || late.SingleCall > 65 {
+		t.Errorf("late single calls = %.1f%%, want ~55%%", late.SingleCall)
+	}
+	if early.SingleCall > 15 {
+		t.Errorf("early single calls = %.1f%%, want small", early.SingleCall)
+	}
+	if late.ERC20OfSingle < 55 {
+		t.Errorf("late ERC20 share of single calls = %.1f%%, want dominant", late.ERC20OfSingle)
+	}
+	if early.ERC20OfSingle > late.ERC20OfSingle {
+		t.Error("ERC20 share must grow over time")
+	}
+}
+
+func TestBucketsPercentagesSum(t *testing.T) {
+	sample := ethdata.Generate(2000, 1)
+	for _, b := range ethdata.Analyze(sample) {
+		total := b.Transfer + b.SingleCall + b.MultiCall + b.Other
+		if total < 99.9 || total > 100.1 {
+			t.Errorf("bucket %d percentages sum to %.2f", b.BlockStart, total)
+		}
+		if b.Count <= 0 {
+			t.Errorf("bucket %d has no transactions", b.BlockStart)
+		}
+	}
+}
+
+func TestSampleScaleMatchesPaper(t *testing.T) {
+	// The paper's sample: 16,611 blocks, ~1.1M transactions.
+	sample := ethdata.Generate(16611, 2020)
+	if len(sample.Txs) < 800_000 || len(sample.Txs) > 1_600_000 {
+		t.Errorf("sample has %d txs; want on the order of 1.1M", len(sample.Txs))
+	}
+}

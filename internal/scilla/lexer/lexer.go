@@ -1,0 +1,342 @@
+// Package lexer tokenises Scilla source text. It is a hand-written
+// single-pass scanner producing a token stream consumed by the parser.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF        Kind = iota
+	Ident           // lower-case identifier (possibly _prefixed)
+	CIdent          // capitalised identifier (constructors, types, transitions)
+	TIdent          // type variable, e.g. 'A
+	IntTok          // integer literal (decimal, possibly negative)
+	StringTok       // string literal (unquoted value in Text)
+	HexTok          // hex byte-string literal, Text excludes the 0x prefix
+	LParen          // (
+	RParen          // )
+	LBrace          // {
+	RBrace          // }
+	LBracket        // [
+	RBracket        // ]
+	Semi            // ;
+	Colon           // :
+	Comma           // ,
+	Eq              // =
+	Arrow           // ->
+	DArrow          // =>
+	LArrow          // <-
+	Assign          // :=
+	Bar             // |
+	At              // @
+	Amp             // &
+	Underscore      // _
+	Dot             // .
+	Keyword         // reserved word; Text holds the word
+)
+
+var keywords = map[string]bool{
+	"scilla_version": true, "library": true, "contract": true,
+	"field": true, "transition": true, "end": true, "let": true,
+	"in": true, "fun": true, "tfun": true, "builtin": true,
+	"match": true, "with": true, "accept": true, "send": true,
+	"event": true, "throw": true, "delete": true, "exists": true,
+	"type": true, "of": true,
+}
+
+// Token is a single lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "<eof>"
+	case StringTok:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// Error is a lexing error with position information.
+type Error struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer scans Scilla source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning all tokens (excluding EOF).
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Line: l.line, Col: l.col}
+}
+
+// skipTrivia consumes whitespace and (* nested comments *).
+func (l *Lexer) skipTrivia() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '(' && l.peekAt(1) == '*':
+			depth := 0
+			for l.pos < len(l.src) {
+				if l.peek() == '(' && l.peekAt(1) == '*' {
+					depth++
+					l.advance()
+					l.advance()
+				} else if l.peek() == '*' && l.peekAt(1) == ')' {
+					depth--
+					l.advance()
+					l.advance()
+					if depth == 0 {
+						break
+					}
+				} else {
+					l.advance()
+				}
+			}
+			if depth != 0 {
+				return l.errf("unterminated comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: l.line, Col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	mk := func(k Kind, text string) Token {
+		return Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	c := l.peek()
+	switch {
+	case c == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X'):
+		l.advance()
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		hex := l.src[start:l.pos]
+		if len(hex) == 0 || len(hex)%2 != 0 {
+			return Token{}, l.errf("malformed hex literal 0x%s", hex)
+		}
+		return mk(HexTok, strings.ToLower(hex)), nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return mk(IntTok, l.src[start:l.pos]), nil
+	case c == '-' && isDigit(l.peekAt(1)):
+		start := l.pos
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return mk(IntTok, l.src[start:l.pos]), nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.pos >= len(l.src) {
+					return Token{}, l.errf("unterminated escape")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(esc)
+				default:
+					return Token{}, l.errf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return mk(StringTok, sb.String()), nil
+	case c == '\'':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.peek()) {
+			l.advance()
+		}
+		if l.pos == start {
+			return Token{}, l.errf("malformed type variable")
+		}
+		return mk(TIdent, "'"+l.src[start:l.pos]), nil
+	case isIdentStart(c):
+		if c == '_' && !isIdentChar(l.peekAt(1)) {
+			l.advance()
+			return mk(Underscore, "_"), nil
+		}
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if keywords[word] {
+			return mk(Keyword, word), nil
+		}
+		if word[0] >= 'A' && word[0] <= 'Z' {
+			return mk(CIdent, word), nil
+		}
+		return mk(Ident, word), nil
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return mk(LParen, "("), nil
+	case ')':
+		return mk(RParen, ")"), nil
+	case '{':
+		return mk(LBrace, "{"), nil
+	case '}':
+		return mk(RBrace, "}"), nil
+	case '[':
+		return mk(LBracket, "["), nil
+	case ']':
+		return mk(RBracket, "]"), nil
+	case ';':
+		return mk(Semi, ";"), nil
+	case ',':
+		return mk(Comma, ","), nil
+	case '|':
+		return mk(Bar, "|"), nil
+	case '@':
+		return mk(At, "@"), nil
+	case '&':
+		return mk(Amp, "&"), nil
+	case '.':
+		return mk(Dot, "."), nil
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(Assign, ":="), nil
+		}
+		return mk(Colon, ":"), nil
+	case '=':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(DArrow, "=>"), nil
+		}
+		return mk(Eq, "="), nil
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(Arrow, "->"), nil
+		}
+		return Token{}, l.errf("unexpected '-'")
+	case '<':
+		if l.peek() == '-' {
+			l.advance()
+			return mk(LArrow, "<-"), nil
+		}
+		return Token{}, l.errf("unexpected '<'")
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}

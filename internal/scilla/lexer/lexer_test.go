@@ -1,0 +1,128 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"cosplit/internal/scilla/lexer"
+)
+
+func kinds(t *testing.T, src string) []lexer.Kind {
+	t.Helper()
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]lexer.Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []lexer.Kind
+	}{
+		{"x <- f", []lexer.Kind{lexer.Ident, lexer.LArrow, lexer.Ident}},
+		{"f := x", []lexer.Kind{lexer.Ident, lexer.Assign, lexer.Ident}},
+		{"x = e", []lexer.Kind{lexer.Ident, lexer.Eq, lexer.Ident}},
+		{"m[k] := v", []lexer.Kind{lexer.Ident, lexer.LBracket, lexer.Ident, lexer.RBracket, lexer.Assign, lexer.Ident}},
+		{"fun (i : t) => e", []lexer.Kind{lexer.Keyword, lexer.LParen, lexer.Ident, lexer.Colon, lexer.Ident, lexer.RParen, lexer.DArrow, lexer.Ident}},
+		{"Int32 -5", []lexer.Kind{lexer.CIdent, lexer.IntTok}},
+		{"a -> b", []lexer.Kind{lexer.Ident, lexer.Arrow, lexer.Ident}},
+		{"@f 'A", []lexer.Kind{lexer.At, lexer.Ident, lexer.TIdent}},
+		{"x <- &BLOCKNUMBER", []lexer.Kind{lexer.Ident, lexer.LArrow, lexer.Amp, lexer.CIdent}},
+		{"_ _x", []lexer.Kind{lexer.Underscore, lexer.Ident}},
+		{`"hi"`, []lexer.Kind{lexer.StringTok}},
+		{"0xAbCd", []lexer.Kind{lexer.HexTok}},
+		{"| Some x =>", []lexer.Kind{lexer.Bar, lexer.CIdent, lexer.Ident, lexer.DArrow}},
+	}
+	for _, c := range cases {
+		got := kinds(t, c.src)
+		if len(got) != len(c.want) {
+			t.Errorf("%q: got %v, want %v", c.src, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q: token %d = %v, want %v", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	toks, err := lexer.Tokenize("let letx in inx match matching end ending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []lexer.Kind{
+		lexer.Keyword, lexer.Ident, lexer.Keyword, lexer.Ident,
+		lexer.Keyword, lexer.Ident, lexer.Keyword, lexer.Ident,
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d (%q) kind = %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := lexer.Tokenize("a (* comment (* nested *) still *) b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+	if _, err := lexer.Tokenize("a (* unterminated"); err == nil {
+		t.Error("unterminated comment not reported")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks, err := lexer.Tokenize(`"a\nb\"c\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\nb\"c\\" {
+		t.Errorf("escape handling: %q", toks[0].Text)
+	}
+	if _, err := lexer.Tokenize(`"unterminated`); err == nil {
+		t.Error("unterminated string not reported")
+	}
+	if _, err := lexer.Tokenize(`"\q"`); err == nil {
+		t.Error("unknown escape not reported")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := lexer.Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("token a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("token b at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestMalformedHex(t *testing.T) {
+	if _, err := lexer.Tokenize("0x123"); err == nil {
+		t.Error("odd-length hex literal not reported")
+	}
+	if _, err := lexer.Tokenize("0x"); err == nil {
+		t.Error("empty hex literal not reported")
+	}
+}
+
+func TestUnexpectedChars(t *testing.T) {
+	for _, src := range []string{"#", "a - b", "a < b"} {
+		if _, err := lexer.Tokenize(src); err == nil {
+			t.Errorf("%q: expected a lex error", src)
+		}
+	}
+}

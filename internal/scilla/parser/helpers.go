@@ -1,0 +1,94 @@
+package parser
+
+import "cosplit/internal/scilla/ast"
+
+func exprAt(pos ast.Pos) ast.ExprBase { return ast.ExprBase{Pos: pos} }
+func stmtAt(pos ast.Pos) ast.StmtBase { return ast.StmtBase{Pos: pos} }
+
+func newLit(pos ast.Pos, lit ast.Literal) ast.Expr {
+	return &ast.LitExpr{ExprBase: exprAt(pos), Lit: lit}
+}
+
+func newVar(pos ast.Pos, name string) ast.Expr {
+	return &ast.VarExpr{ExprBase: exprAt(pos), Name: name}
+}
+
+func newConstr(pos ast.Pos, name string, targs []ast.Type, args []string) ast.Expr {
+	return &ast.ConstrExpr{ExprBase: exprAt(pos), Name: name, TypeArgs: targs, Args: args}
+}
+
+func newBuiltin(pos ast.Pos, name string, args []string) ast.Expr {
+	return &ast.BuiltinExpr{ExprBase: exprAt(pos), Name: name, Args: args}
+}
+
+func newLet(pos ast.Pos, name string, ty ast.Type, bound, body ast.Expr) ast.Expr {
+	return &ast.LetExpr{ExprBase: exprAt(pos), Name: name, Ty: ty, Bound: bound, Body: body}
+}
+
+func newFun(pos ast.Pos, param string, pty ast.Type, body ast.Expr) ast.Expr {
+	return &ast.FunExpr{ExprBase: exprAt(pos), Param: param, ParamType: pty, Body: body}
+}
+
+func newApp(pos ast.Pos, fn string, args []string) ast.Expr {
+	return &ast.AppExpr{ExprBase: exprAt(pos), Func: fn, Args: args}
+}
+
+func newMatchExpr(pos ast.Pos, scrut string, arms []ast.MatchArm) ast.Expr {
+	return &ast.MatchExpr{ExprBase: exprAt(pos), Scrutinee: scrut, Arms: arms}
+}
+
+func newTFun(pos ast.Pos, tv string, body ast.Expr) ast.Expr {
+	return &ast.TFunExpr{ExprBase: exprAt(pos), TVar: tv, Body: body}
+}
+
+func newTApp(pos ast.Pos, name string, targs []ast.Type) ast.Expr {
+	return &ast.TAppExpr{ExprBase: exprAt(pos), Name: name, TypeArgs: targs}
+}
+
+func newAccept(pos ast.Pos) ast.Stmt {
+	return &ast.AcceptStmt{StmtBase: stmtAt(pos)}
+}
+
+func newSend(pos ast.Pos, arg string) ast.Stmt {
+	return &ast.SendStmt{StmtBase: stmtAt(pos), Arg: arg}
+}
+
+func newEvent(pos ast.Pos, arg string) ast.Stmt {
+	return &ast.EventStmt{StmtBase: stmtAt(pos), Arg: arg}
+}
+
+func newThrow(pos ast.Pos, arg string) ast.Stmt {
+	return &ast.ThrowStmt{StmtBase: stmtAt(pos), Arg: arg}
+}
+
+func newLoad(pos ast.Pos, lhs, field string) ast.Stmt {
+	return &ast.LoadStmt{StmtBase: stmtAt(pos), Lhs: lhs, Field: field}
+}
+
+func newStore(pos ast.Pos, field, rhs string) ast.Stmt {
+	return &ast.StoreStmt{StmtBase: stmtAt(pos), Field: field, Rhs: rhs}
+}
+
+func newBind(pos ast.Pos, lhs string, e ast.Expr) ast.Stmt {
+	return &ast.BindStmt{StmtBase: stmtAt(pos), Lhs: lhs, Expr: e}
+}
+
+func newMapUpdate(pos ast.Pos, m string, keys []string, rhs string) ast.Stmt {
+	return &ast.MapUpdateStmt{StmtBase: stmtAt(pos), Map: m, Keys: keys, Rhs: rhs}
+}
+
+func newMapGet(pos ast.Pos, lhs, m string, keys []string, exists bool) ast.Stmt {
+	return &ast.MapGetStmt{StmtBase: stmtAt(pos), Lhs: lhs, Map: m, Keys: keys, Exists: exists}
+}
+
+func newMapDelete(pos ast.Pos, m string, keys []string) ast.Stmt {
+	return &ast.MapDeleteStmt{StmtBase: stmtAt(pos), Map: m, Keys: keys}
+}
+
+func newReadBC(pos ast.Pos, lhs, name string) ast.Stmt {
+	return &ast.ReadBlockchainStmt{StmtBase: stmtAt(pos), Lhs: lhs, Name: name}
+}
+
+func newMatchStmt(pos ast.Pos, scrut string, arms []ast.StmtMatchArm) ast.Stmt {
+	return &ast.MatchStmt{StmtBase: stmtAt(pos), Scrutinee: scrut, Arms: arms}
+}

@@ -1,0 +1,199 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/parser"
+)
+
+func TestParseTypes(t *testing.T) {
+	cases := map[string]string{
+		"Uint128":                           "Uint128",
+		"Map ByStr20 Uint128":               "Map ByStr20 Uint128",
+		"Map ByStr20 (Map ByStr20 Uint128)": "Map ByStr20 (Map ByStr20 Uint128)",
+		"Option Uint32":                     "Option Uint32",
+		"List (Pair ByStr20 Uint128)":       "List (Pair ByStr20 Uint128)",
+		"Uint128 -> Uint128 -> Bool":        "Uint128 -> Uint128 -> Bool",
+		"(Uint128 -> Bool) -> Uint128":      "(Uint128 -> Bool) -> Uint128",
+	}
+	for src, want := range cases {
+		ty, err := parser.ParseType(src)
+		if err != nil {
+			t.Errorf("ParseType(%q): %v", src, err)
+			continue
+		}
+		if got := ty.String(); got != want {
+			t.Errorf("ParseType(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseExprShapes(t *testing.T) {
+	e, err := parser.ParseExpr("let x = Uint128 5 in builtin add x x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	let, ok := e.(*ast.LetExpr)
+	if !ok {
+		t.Fatalf("expected LetExpr, got %T", e)
+	}
+	if _, ok := let.Bound.(*ast.LitExpr); !ok {
+		t.Errorf("bound is %T, want LitExpr", let.Bound)
+	}
+	if b, ok := let.Body.(*ast.BuiltinExpr); !ok || b.Name != "add" {
+		t.Errorf("body is %T, want builtin add", let.Body)
+	}
+
+	e2, err := parser.ParseExpr("fun (m : Message) => Cons {Message} m nil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := e2.(*ast.FunExpr)
+	if !ok {
+		t.Fatalf("expected FunExpr, got %T", e2)
+	}
+	c, ok := fn.Body.(*ast.ConstrExpr)
+	if !ok || c.Name != "Cons" || len(c.TypeArgs) != 1 || len(c.Args) != 2 {
+		t.Errorf("unexpected constructor %+v", fn.Body)
+	}
+
+	e3, err := parser.ParseExpr("@list_map ByStr20 Message")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, ok := e3.(*ast.TAppExpr)
+	if !ok || ta.Name != "list_map" || len(ta.TypeArgs) != 2 {
+		t.Errorf("unexpected TApp %+v", e3)
+	}
+
+	e4, err := parser.ParseExpr(`{_tag : "T"; _recipient : to; _amount : zero}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, ok := e4.(*ast.MsgExpr)
+	if !ok || len(msg.Entries) != 3 {
+		t.Errorf("unexpected message %+v", e4)
+	}
+	if !msg.Entries[0].IsLit || msg.Entries[0].Lit.Str != "T" {
+		t.Errorf("tag entry wrong: %+v", msg.Entries[0])
+	}
+}
+
+func TestParseMatchExpr(t *testing.T) {
+	e, err := parser.ParseExpr("match x with | Some v => v | None => zero end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := e.(*ast.MatchExpr)
+	if !ok || len(m.Arms) != 2 {
+		t.Fatalf("unexpected match %+v", e)
+	}
+	some, ok := m.Arms[0].Pat.(ast.ConstrPat)
+	if !ok || some.Name != "Some" || len(some.Sub) != 1 {
+		t.Errorf("Some pattern wrong: %+v", m.Arms[0].Pat)
+	}
+}
+
+func TestParseNestedPatterns(t *testing.T) {
+	e, err := parser.ParseExpr("match x with | Some (Pair a b) => a | _ => z end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.(*ast.MatchExpr)
+	some := m.Arms[0].Pat.(ast.ConstrPat)
+	pair, ok := some.Sub[0].(ast.ConstrPat)
+	if !ok || pair.Name != "Pair" || len(pair.Sub) != 2 {
+		t.Errorf("nested pattern wrong: %+v", some.Sub[0])
+	}
+	if _, ok := m.Arms[1].Pat.(ast.WildPat); !ok {
+		t.Errorf("wildcard pattern wrong: %+v", m.Arms[1].Pat)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                               // missing version
+		"scilla_version 0",               // missing contract
+		"scilla_version 0 contract x ()", // lowercase contract name
+		"scilla_version 0 contract C",    // missing parens
+		"scilla_version 0 contract C () transition T () accept", // missing end
+	}
+	for _, src := range bad {
+		if _, err := parser.ParseModule(src); err == nil {
+			t.Errorf("%q: expected a parse error", src)
+		}
+	}
+	if _, err := parser.ParseExpr("builtin add"); err == nil {
+		t.Error("builtin with no arguments must be rejected")
+	}
+	if _, err := parser.ParseExpr("match x with end"); err == nil {
+		t.Error("match with no arms must be rejected")
+	}
+}
+
+func TestIntLiteralRange(t *testing.T) {
+	if _, err := parser.ParseExpr("Uint32 4294967295"); err != nil {
+		t.Errorf("max Uint32 rejected: %v", err)
+	}
+	if _, err := parser.ParseExpr("Uint32 4294967296"); err == nil {
+		t.Error("out-of-range Uint32 accepted")
+	}
+	if _, err := parser.ParseExpr("Uint32 -1"); err == nil {
+		t.Error("negative Uint32 accepted")
+	}
+	if _, err := parser.ParseExpr("Int32 -2147483648"); err != nil {
+		t.Error("min Int32 rejected")
+	}
+}
+
+// TestRoundTrip: pretty-printing any corpus contract and re-parsing it
+// yields a structurally identical module (checked by printing again).
+func TestRoundTrip(t *testing.T) {
+	for _, e := range contracts.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			m1, err := parser.ParseModule(e.Source)
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			printed := ast.PrintModule(m1)
+			m2, err := parser.ParseModule(printed)
+			if err != nil {
+				t.Fatalf("re-parse printed module: %v\n%s", err, clip(printed))
+			}
+			printed2 := ast.PrintModule(m2)
+			if printed != printed2 {
+				t.Errorf("print/parse round-trip not stable:\n--- first ---\n%s\n--- second ---\n%s",
+					clip(printed), clip(printed2))
+			}
+		})
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "..."
+	}
+	return s
+}
+
+func TestTransitionPositions(t *testing.T) {
+	src := `scilla_version 0
+contract C ()
+transition A ()
+  accept
+end`
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Contract.Transitions[0].Pos.Line != 3 {
+		t.Errorf("transition position line = %d, want 3", m.Contract.Transitions[0].Pos.Line)
+	}
+	if !strings.Contains(ast.PrintModule(m), "transition A") {
+		t.Error("printer lost the transition")
+	}
+}

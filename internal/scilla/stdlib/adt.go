@@ -1,0 +1,147 @@
+// Package stdlib provides the built-in algebraic data types and the
+// builtin operations of the Scilla subset: their type signatures (used
+// by the typechecker and the CoSplit analysis) and their dynamic
+// semantics (used by the interpreter).
+package stdlib
+
+import (
+	"fmt"
+
+	"cosplit/internal/scilla/ast"
+)
+
+// ConstrInfo describes one constructor of an ADT. ArgTypes may mention
+// the ADT's type parameters as ast.TypeVar.
+type ConstrInfo struct {
+	Name     string
+	ArgTypes []ast.Type
+}
+
+// ADTInfo describes an algebraic data type.
+type ADTInfo struct {
+	Name       string
+	TypeParams []string
+	Constrs    []ConstrInfo
+}
+
+// ConstrByName returns the constructor with the given name, or nil.
+func (a *ADTInfo) ConstrByName(name string) *ConstrInfo {
+	for i := range a.Constrs {
+		if a.Constrs[i].Name == name {
+			return &a.Constrs[i]
+		}
+	}
+	return nil
+}
+
+// Registry maps ADT names and constructor names to their definitions.
+// A registry contains the built-in ADTs plus any contract-defined types.
+type Registry struct {
+	adts    map[string]*ADTInfo
+	constrs map[string]*ADTInfo // constructor name -> owning ADT
+}
+
+// NewRegistry returns a registry populated with the built-in ADTs
+// (Bool, Option, List, Pair).
+func NewRegistry() *Registry {
+	r := &Registry{
+		adts:    make(map[string]*ADTInfo),
+		constrs: make(map[string]*ADTInfo),
+	}
+	tv := func(n string) ast.Type { return ast.TypeVar{Name: n} }
+	builtins := []*ADTInfo{
+		{
+			Name: "Bool",
+			Constrs: []ConstrInfo{
+				{Name: "True"}, {Name: "False"},
+			},
+		},
+		{
+			Name:       "Option",
+			TypeParams: []string{"'A"},
+			Constrs: []ConstrInfo{
+				{Name: "Some", ArgTypes: []ast.Type{tv("'A")}},
+				{Name: "None"},
+			},
+		},
+		{
+			Name:       "List",
+			TypeParams: []string{"'A"},
+			Constrs: []ConstrInfo{
+				{Name: "Cons", ArgTypes: []ast.Type{tv("'A"), ast.ADTType{Name: "List", Args: []ast.Type{tv("'A")}}}},
+				{Name: "Nil"},
+			},
+		},
+		{
+			Name:       "Pair",
+			TypeParams: []string{"'A", "'B"},
+			Constrs: []ConstrInfo{
+				{Name: "Pair", ArgTypes: []ast.Type{tv("'A"), tv("'B")}},
+			},
+		},
+	}
+	for _, a := range builtins {
+		if err := r.Register(a); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Register adds an ADT definition. It is an error to redefine an ADT or
+// reuse a constructor name.
+func (r *Registry) Register(a *ADTInfo) error {
+	if _, ok := r.adts[a.Name]; ok {
+		return fmt.Errorf("ADT %s already defined", a.Name)
+	}
+	for i := range a.Constrs {
+		if _, ok := r.constrs[a.Constrs[i].Name]; ok {
+			return fmt.Errorf("constructor %s already defined", a.Constrs[i].Name)
+		}
+	}
+	r.adts[a.Name] = a
+	for i := range a.Constrs {
+		r.constrs[a.Constrs[i].Name] = a
+	}
+	return nil
+}
+
+// RegisterTypeDef converts and registers a contract-level type
+// definition.
+func (r *Registry) RegisterTypeDef(td ast.TypeDef) error {
+	info := &ADTInfo{Name: td.Name}
+	for _, c := range td.Constrs {
+		info.Constrs = append(info.Constrs, ConstrInfo{Name: c.Name, ArgTypes: c.Args})
+	}
+	return r.Register(info)
+}
+
+// ADT returns the definition of the named ADT, or nil.
+func (r *Registry) ADT(name string) *ADTInfo { return r.adts[name] }
+
+// OwnerOfConstr returns the ADT owning the named constructor, or nil.
+func (r *Registry) OwnerOfConstr(constr string) *ADTInfo { return r.constrs[constr] }
+
+// InstantiateConstr returns the concrete argument types of a constructor
+// applied at the given type arguments.
+func (r *Registry) InstantiateConstr(constr string, typeArgs []ast.Type) ([]ast.Type, ast.Type, error) {
+	adt := r.OwnerOfConstr(constr)
+	if adt == nil {
+		return nil, nil, fmt.Errorf("unknown constructor %s", constr)
+	}
+	if len(typeArgs) != len(adt.TypeParams) {
+		return nil, nil, fmt.Errorf("constructor %s of %s expects %d type arguments, got %d",
+			constr, adt.Name, len(adt.TypeParams), len(typeArgs))
+	}
+	ci := adt.ConstrByName(constr)
+	out := make([]ast.Type, len(ci.ArgTypes))
+	for i, at := range ci.ArgTypes {
+		t := at
+		for j, tp := range adt.TypeParams {
+			t = ast.SubstType(t, tp, typeArgs[j])
+		}
+		out[i] = t
+	}
+	resTy := ast.ADTType{Name: adt.Name, Args: typeArgs}
+	return out, resTy, nil
+}

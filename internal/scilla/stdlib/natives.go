@@ -1,0 +1,213 @@
+package stdlib
+
+import (
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/value"
+)
+
+// ApplyFunc is the callback natives use to apply a Scilla function
+// value (closure or native) to an argument; it is provided by the
+// interpreter to avoid an import cycle.
+type ApplyFunc func(fn value.Value, arg value.Value) (value.Value, error)
+
+// NativeSig describes a native function's polymorphic type signature.
+type NativeSig struct {
+	Name string
+	Type ast.Type
+}
+
+func tv(n string) ast.Type      { return ast.TypeVar{Name: n} }
+func fn(a, r ast.Type) ast.Type { return ast.FunType{Arg: a, Ret: r} }
+
+// NativeSigs returns the type signatures of all native functions; these
+// are bound in the global typing environment.
+func NativeSigs() []NativeSig {
+	listA := ast.TyList(tv("'A"))
+	listB := ast.TyList(tv("'B"))
+	poly1 := func(t ast.Type) ast.Type { return ast.PolyType{Var: "'A", Body: t} }
+	poly2 := func(t ast.Type) ast.Type {
+		return ast.PolyType{Var: "'A", Body: ast.PolyType{Var: "'B", Body: t}}
+	}
+	return []NativeSig{
+		{"list_foldl", poly2(fn(fn(tv("'B"), fn(tv("'A"), tv("'B"))), fn(tv("'B"), fn(listA, tv("'B")))))},
+		{"list_foldr", poly2(fn(fn(tv("'A"), fn(tv("'B"), tv("'B"))), fn(tv("'B"), fn(listA, tv("'B")))))},
+		{"list_map", poly2(fn(fn(tv("'A"), tv("'B")), fn(listA, listB)))},
+		{"list_filter", poly1(fn(fn(tv("'A"), ast.TyBool), fn(listA, listA)))},
+		{"list_length", poly1(fn(listA, ast.TyUint32))},
+		{"list_append", poly1(fn(listA, fn(listA, listA)))},
+		{"list_reverse", poly1(fn(listA, listA))},
+		{"list_mem", poly1(fn(fn(tv("'A"), fn(tv("'A"), ast.TyBool)), fn(tv("'A"), fn(listA, ast.TyBool))))},
+		{"fst", poly2(fn(ast.TyPair(tv("'A"), tv("'B")), tv("'A")))},
+		{"snd", poly2(fn(ast.TyPair(tv("'A"), tv("'B")), tv("'B")))},
+	}
+}
+
+// NativeValues builds the runtime values of the native functions, using
+// apply to invoke Scilla function arguments.
+func NativeValues(apply ApplyFunc) map[string]*value.Native {
+	out := make(map[string]*value.Native)
+	reg := func(name string, needTypes, arity int,
+		f func(targs []ast.Type, args []value.Value) (value.Value, error)) {
+		out[name] = &value.Native{Name: name, NeedTypes: needTypes, Arity: arity, Fn: f}
+	}
+
+	reg("list_foldl", 2, 3, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		f, acc := args[0], args[1]
+		items, ok := value.ListValues(args[2])
+		if !ok {
+			return nil, rtErrf("list_foldl expects a list")
+		}
+		for _, it := range items {
+			partial, err := apply(f, acc)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = apply(partial, it)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	reg("list_foldr", 2, 3, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		f, acc := args[0], args[1]
+		items, ok := value.ListValues(args[2])
+		if !ok {
+			return nil, rtErrf("list_foldr expects a list")
+		}
+		for i := len(items) - 1; i >= 0; i-- {
+			partial, err := apply(f, items[i])
+			if err != nil {
+				return nil, err
+			}
+			acc, err = apply(partial, acc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+	reg("list_map", 2, 2, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		f := args[0]
+		items, ok := value.ListValues(args[1])
+		if !ok {
+			return nil, rtErrf("list_map expects a list")
+		}
+		elemT := ast.Type(ast.TyUnit)
+		if len(targs) == 2 {
+			elemT = targs[1]
+		}
+		res := value.Value(value.NilList(elemT))
+		for i := len(items) - 1; i >= 0; i-- {
+			v, err := apply(f, items[i])
+			if err != nil {
+				return nil, err
+			}
+			res = value.Cons(elemT, v, res)
+		}
+		return res, nil
+	})
+	reg("list_filter", 1, 2, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		f := args[0]
+		items, ok := value.ListValues(args[1])
+		if !ok {
+			return nil, rtErrf("list_filter expects a list")
+		}
+		elemT := ast.Type(ast.TyUnit)
+		if len(targs) == 1 {
+			elemT = targs[0]
+		}
+		var kept []value.Value
+		for _, it := range items {
+			b, err := apply(f, it)
+			if err != nil {
+				return nil, err
+			}
+			if value.IsTrue(b) {
+				kept = append(kept, it)
+			}
+		}
+		res := value.Value(value.NilList(elemT))
+		for i := len(kept) - 1; i >= 0; i-- {
+			res = value.Cons(elemT, kept[i], res)
+		}
+		return res, nil
+	})
+	reg("list_length", 1, 1, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		items, ok := value.ListValues(args[0])
+		if !ok {
+			return nil, rtErrf("list_length expects a list")
+		}
+		return value.Uint32V(uint32(len(items))), nil
+	})
+	reg("list_append", 1, 2, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		a, ok1 := value.ListValues(args[0])
+		b, ok2 := value.ListValues(args[1])
+		if !ok1 || !ok2 {
+			return nil, rtErrf("list_append expects lists")
+		}
+		elemT := ast.Type(ast.TyUnit)
+		if len(targs) == 1 {
+			elemT = targs[0]
+		}
+		res := value.Value(value.NilList(elemT))
+		for i := len(b) - 1; i >= 0; i-- {
+			res = value.Cons(elemT, b[i], res)
+		}
+		for i := len(a) - 1; i >= 0; i-- {
+			res = value.Cons(elemT, a[i], res)
+		}
+		return res, nil
+	})
+	reg("list_reverse", 1, 1, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		items, ok := value.ListValues(args[0])
+		if !ok {
+			return nil, rtErrf("list_reverse expects a list")
+		}
+		elemT := ast.Type(ast.TyUnit)
+		if len(targs) == 1 {
+			elemT = targs[0]
+		}
+		res := value.Value(value.NilList(elemT))
+		for _, it := range items {
+			res = value.Cons(elemT, it, res)
+		}
+		return res, nil
+	})
+	reg("list_mem", 1, 3, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		eq, needle := args[0], args[1]
+		items, ok := value.ListValues(args[2])
+		if !ok {
+			return nil, rtErrf("list_mem expects a list")
+		}
+		for _, it := range items {
+			partial, err := apply(eq, needle)
+			if err != nil {
+				return nil, err
+			}
+			b, err := apply(partial, it)
+			if err != nil {
+				return nil, err
+			}
+			if value.IsTrue(b) {
+				return value.True(), nil
+			}
+		}
+		return value.False(), nil
+	})
+	reg("fst", 2, 1, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		p, ok := args[0].(value.ADT)
+		if !ok || p.Constr != "Pair" || len(p.Args) != 2 {
+			return nil, rtErrf("fst expects a pair")
+		}
+		return p.Args[0], nil
+	})
+	reg("snd", 2, 1, func(targs []ast.Type, args []value.Value) (value.Value, error) {
+		p, ok := args[0].(value.ADT)
+		if !ok || p.Constr != "Pair" || len(p.Args) != 2 {
+			return nil, rtErrf("snd expects a pair")
+		}
+		return p.Args[1], nil
+	})
+	return out
+}

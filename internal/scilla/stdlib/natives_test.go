@@ -1,0 +1,179 @@
+package stdlib_test
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/stdlib"
+	"cosplit/internal/scilla/value"
+)
+
+// testApply applies native function values (sufficient for testing the
+// native library without the full interpreter).
+func testApply(fn value.Value, arg value.Value) (value.Value, error) {
+	n, ok := fn.(*value.Native)
+	if !ok {
+		return nil, fmt.Errorf("testApply: not a native: %T", fn)
+	}
+	nf := n.WithArg(arg)
+	if nf.Saturated() {
+		return nf.Fn(nf.TypeArgs, nf.Args)
+	}
+	return nf, nil
+}
+
+// goFn wraps a Go function as an applicable native value.
+func goFn(arity int, f func(args []value.Value) (value.Value, error)) *value.Native {
+	return &value.Native{
+		Name: "test", Arity: arity,
+		Fn: func(_ []ast.Type, args []value.Value) (value.Value, error) {
+			return f(args)
+		},
+	}
+}
+
+func natives(t *testing.T) map[string]*value.Native {
+	t.Helper()
+	return stdlib.NativeValues(testApply)
+}
+
+func mkList(vals ...uint64) value.Value {
+	out := value.Value(value.NilList(ast.TyUint128))
+	for i := len(vals) - 1; i >= 0; i-- {
+		out = value.Cons(ast.TyUint128, value.Uint128(vals[i]), out)
+	}
+	return out
+}
+
+func applyAll(t *testing.T, n *value.Native, targs []ast.Type, args ...value.Value) value.Value {
+	t.Helper()
+	cur := value.Value(n.WithTypeArgs(targs))
+	for _, a := range args {
+		v, err := testApply(cur, a)
+		if err != nil {
+			t.Fatalf("apply %s: %v", n.Name, err)
+		}
+		cur = v
+	}
+	return cur
+}
+
+func TestListFoldl(t *testing.T) {
+	ns := natives(t)
+	add := goFn(2, func(args []value.Value) (value.Value, error) {
+		return stdlib.Eval("add", args)
+	})
+	got := applyAll(t, ns["list_foldl"],
+		[]ast.Type{ast.TyUint128, ast.TyUint128},
+		add, value.Uint128(0), mkList(1, 2, 3, 4))
+	if got.(value.Int).V.Uint64() != 10 {
+		t.Errorf("foldl sum = %s, want 10", got)
+	}
+}
+
+func TestListFoldrOrder(t *testing.T) {
+	ns := natives(t)
+	// foldr with subtraction distinguishes order: 1-(2-(3-0)) = 2.
+	sub := goFn(2, func(args []value.Value) (value.Value, error) {
+		a, b := args[0].(value.Int).V.Int64(), args[1].(value.Int).V.Int64()
+		return value.Int{Ty: ast.TyInt64, V: bigInt(a - b)}, nil
+	})
+	l := value.Value(value.NilList(ast.TyInt64))
+	for _, v := range []int64{3, 2, 1} {
+		l = value.Cons(ast.TyInt64, value.Int{Ty: ast.TyInt64, V: bigInt(v)}, l)
+	}
+	got := applyAll(t, ns["list_foldr"],
+		[]ast.Type{ast.TyInt64, ast.TyInt64},
+		sub, value.Int{Ty: ast.TyInt64, V: bigInt(0)}, l)
+	if got.(value.Int).V.Int64() != 2 {
+		t.Errorf("foldr = %s, want 2", got)
+	}
+}
+
+func TestListMapFilter(t *testing.T) {
+	ns := natives(t)
+	double := goFn(1, func(args []value.Value) (value.Value, error) {
+		return stdlib.Eval("add", []value.Value{args[0], args[0]})
+	})
+	mapped := applyAll(t, ns["list_map"],
+		[]ast.Type{ast.TyUint128, ast.TyUint128}, double, mkList(1, 2, 3))
+	items, _ := value.ListValues(mapped)
+	if len(items) != 3 || items[1].(value.Int).V.Uint64() != 4 {
+		t.Errorf("map = %v", items)
+	}
+
+	isBig := goFn(1, func(args []value.Value) (value.Value, error) {
+		return value.Bool(args[0].(value.Int).V.Uint64() > 2), nil
+	})
+	filtered := applyAll(t, ns["list_filter"],
+		[]ast.Type{ast.TyUint128}, isBig, mkList(1, 2, 3, 4))
+	items2, _ := value.ListValues(filtered)
+	if len(items2) != 2 || items2[0].(value.Int).V.Uint64() != 3 {
+		t.Errorf("filter = %v", items2)
+	}
+}
+
+func TestListLengthAppendReverse(t *testing.T) {
+	ns := natives(t)
+	if got := applyAll(t, ns["list_length"], []ast.Type{ast.TyUint128}, mkList(1, 2, 3)); got.(value.Int).V.Uint64() != 3 {
+		t.Errorf("length = %s", got)
+	}
+	app := applyAll(t, ns["list_append"], []ast.Type{ast.TyUint128}, mkList(1, 2), mkList(3))
+	items, _ := value.ListValues(app)
+	if len(items) != 3 || items[2].(value.Int).V.Uint64() != 3 {
+		t.Errorf("append = %v", items)
+	}
+	rev := applyAll(t, ns["list_reverse"], []ast.Type{ast.TyUint128}, mkList(1, 2, 3))
+	items2, _ := value.ListValues(rev)
+	if items2[0].(value.Int).V.Uint64() != 3 {
+		t.Errorf("reverse = %v", items2)
+	}
+}
+
+func TestListMem(t *testing.T) {
+	ns := natives(t)
+	eq := goFn(2, func(args []value.Value) (value.Value, error) {
+		return value.Bool(value.Equal(args[0], args[1])), nil
+	})
+	hit := applyAll(t, ns["list_mem"], []ast.Type{ast.TyUint128},
+		eq, value.Uint128(2), mkList(1, 2, 3))
+	if !value.IsTrue(hit) {
+		t.Error("list_mem missed an element")
+	}
+	miss := applyAll(t, ns["list_mem"], []ast.Type{ast.TyUint128},
+		eq, value.Uint128(9), mkList(1, 2, 3))
+	if value.IsTrue(miss) {
+		t.Error("list_mem found a phantom element")
+	}
+}
+
+func TestFstSnd(t *testing.T) {
+	ns := natives(t)
+	p := value.PairV(ast.TyUint128, ast.TyString, value.Uint128(7), value.Str{S: "x"})
+	if got := applyAll(t, ns["fst"], []ast.Type{ast.TyUint128, ast.TyString}, p); got.(value.Int).V.Uint64() != 7 {
+		t.Errorf("fst = %s", got)
+	}
+	if got := applyAll(t, ns["snd"], []ast.Type{ast.TyUint128, ast.TyString}, p); got.(value.Str).S != "x" {
+		t.Errorf("snd = %s", got)
+	}
+	if _, err := testApply(ns["fst"].WithTypeArgs(nil), value.Uint128(1)); err == nil {
+		t.Error("fst of non-pair accepted")
+	}
+}
+
+func TestNativeSigsCoverValues(t *testing.T) {
+	sigs := stdlib.NativeSigs()
+	vals := natives(t)
+	if len(sigs) != len(vals) {
+		t.Errorf("%d signatures for %d native values", len(sigs), len(vals))
+	}
+	for _, s := range sigs {
+		if _, ok := vals[s.Name]; !ok {
+			t.Errorf("signature %s has no runtime value", s.Name)
+		}
+	}
+}
+
+func bigInt(v int64) *big.Int { return big.NewInt(v) }

@@ -1,0 +1,42 @@
+package value
+
+import "cosplit/internal/scilla/ast"
+
+// Native is a partially-applied native (stdlib) function such as
+// list_foldl. Natives are polymorphic: they first collect NeedTypes
+// type arguments (via @name T ...), then Arity value arguments, and
+// then reduce by calling Fn.
+type Native struct {
+	Name      string
+	NeedTypes int
+	Arity     int
+	TypeArgs  []ast.Type
+	Args      []Value
+	Fn        func(typeArgs []ast.Type, args []Value) (Value, error)
+}
+
+func (*Native) value() {}
+
+// Type implements Value. Natives report an opaque type; the typechecker
+// resolves native types statically from their registered signatures.
+func (n *Native) Type() ast.Type { return ast.TyUnit }
+
+func (n *Native) String() string { return "<native " + n.Name + ">" }
+
+// WithTypeArgs returns a copy of the native with additional type
+// arguments applied.
+func (n *Native) WithTypeArgs(targs []ast.Type) *Native {
+	out := *n
+	out.TypeArgs = append(append([]ast.Type{}, n.TypeArgs...), targs...)
+	return &out
+}
+
+// WithArg returns a copy of the native with one more value argument.
+func (n *Native) WithArg(v Value) *Native {
+	out := *n
+	out.Args = append(append([]Value{}, n.Args...), v)
+	return &out
+}
+
+// Saturated reports whether the native has all its value arguments.
+func (n *Native) Saturated() bool { return len(n.Args) == n.Arity }

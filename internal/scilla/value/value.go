@@ -1,0 +1,477 @@
+// Package value defines the runtime value representation shared by the
+// Scilla interpreter, the builtin library, and the blockchain state
+// machinery.
+package value
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"cosplit/internal/scilla/ast"
+)
+
+// Value is a runtime Scilla value.
+type Value interface {
+	value()
+	// Type returns the static type of the value.
+	Type() ast.Type
+	// String renders the value for display and canonical key encoding.
+	String() string
+}
+
+// Int is an integer value of a specific signed/unsigned width.
+type Int struct {
+	Ty ast.PrimType
+	V  *big.Int
+}
+
+func (Int) value() {}
+
+// Type implements Value.
+func (i Int) Type() ast.Type { return i.Ty }
+
+func (i Int) String() string { return i.V.String() }
+
+// NewInt builds an integer value, panicking if out of range (callers
+// validate or construct from checked arithmetic).
+func NewInt(t ast.PrimType, v *big.Int) Int {
+	if !ast.InRange(t, v) {
+		panic(fmt.Sprintf("value %s out of range for %s", v, t))
+	}
+	return Int{Ty: t, V: v}
+}
+
+// Uint128 builds a Uint128 value from a uint64.
+func Uint128(v uint64) Int {
+	return Int{Ty: ast.TyUint128, V: new(big.Int).SetUint64(v)}
+}
+
+// Uint32V builds a Uint32 value from a uint32.
+func Uint32V(v uint32) Int {
+	return Int{Ty: ast.TyUint32, V: new(big.Int).SetUint64(uint64(v))}
+}
+
+// Str is a string value.
+type Str struct{ S string }
+
+func (Str) value() {}
+
+// Type implements Value.
+func (Str) Type() ast.Type { return ast.TyString }
+
+func (s Str) String() string { return s.S }
+
+// ByStr is a byte-string value (fixed-width ByStr20/ByStr32 or dynamic).
+type ByStr struct {
+	Ty ast.PrimType
+	B  []byte
+}
+
+func (ByStr) value() {}
+
+// Type implements Value.
+func (b ByStr) Type() ast.Type { return b.Ty }
+
+func (b ByStr) String() string {
+	var sb strings.Builder
+	sb.WriteString("0x")
+	for _, x := range b.B {
+		fmt.Fprintf(&sb, "%02x", x)
+	}
+	return sb.String()
+}
+
+// BNum is a block-number value.
+type BNum struct{ V *big.Int }
+
+func (BNum) value() {}
+
+// Type implements Value.
+func (BNum) Type() ast.Type { return ast.TyBNum }
+
+func (b BNum) String() string { return b.V.String() }
+
+// ADT is a constructed algebraic value such as True, Some x, or Cons h t.
+type ADT struct {
+	TypeName string // ADT name, e.g. "Option"
+	Constr   string // constructor name, e.g. "Some"
+	TypeArgs []ast.Type
+	Args     []Value
+}
+
+func (ADT) value() {}
+
+// Type implements Value.
+func (a ADT) Type() ast.Type {
+	return ast.ADTType{Name: a.TypeName, Args: a.TypeArgs}
+}
+
+func (a ADT) String() string {
+	if len(a.Args) == 0 {
+		return a.Constr
+	}
+	parts := make([]string, 0, len(a.Args)+1)
+	parts = append(parts, a.Constr)
+	for _, v := range a.Args {
+		s := v.String()
+		if adt, ok := v.(ADT); ok && len(adt.Args) > 0 {
+			s = "(" + s + ")"
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Map is a mutable key-value map. Keys are stored by their canonical
+// string encoding; KeyVals remembers the original key values.
+type Map struct {
+	KeyType ast.Type
+	ValType ast.Type
+	Entries map[string]Value // canonical key -> value
+	KeyVals map[string]Value // canonical key -> key value
+}
+
+func (*Map) value() {}
+
+// Type implements Value.
+func (m *Map) Type() ast.Type { return ast.MapType{Key: m.KeyType, Val: m.ValType} }
+
+// NewMap builds an empty map value.
+func NewMap(kt, vt ast.Type) *Map {
+	return &Map{
+		KeyType: kt, ValType: vt,
+		Entries: make(map[string]Value),
+		KeyVals: make(map[string]Value),
+	}
+}
+
+// Get returns the value at key k, if present.
+func (m *Map) Get(k Value) (Value, bool) {
+	v, ok := m.Entries[CanonicalKey(k)]
+	return v, ok
+}
+
+// Set stores v at key k.
+func (m *Map) Set(k, v Value) {
+	ck := CanonicalKey(k)
+	m.Entries[ck] = v
+	m.KeyVals[ck] = k
+}
+
+// Delete removes key k.
+func (m *Map) Delete(k Value) {
+	ck := CanonicalKey(k)
+	delete(m.Entries, ck)
+	delete(m.KeyVals, ck)
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return len(m.Entries) }
+
+// SortedKeys returns the canonical keys in sorted order (for
+// deterministic iteration and printing).
+func (m *Map) SortedKeys() []string {
+	keys := make([]string, 0, len(m.Entries))
+	for k := range m.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (m *Map) String() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, k := range m.SortedKeys() {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "%s => %s", k, m.Entries[k].String())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Copy returns a deep copy of the map (values are copied via Copy).
+func (m *Map) Copy() *Map {
+	out := NewMap(m.KeyType, m.ValType)
+	for k, v := range m.Entries {
+		out.Entries[k] = Copy(v)
+		out.KeyVals[k] = m.KeyVals[k]
+	}
+	return out
+}
+
+// Msg is a constructed message or event payload.
+type Msg struct {
+	Entries map[string]Value
+}
+
+func (Msg) value() {}
+
+// Type implements Value.
+func (Msg) Type() ast.Type { return ast.TyMessage }
+
+func (m Msg) String() string {
+	keys := make([]string, 0, len(m.Entries))
+	for k := range m.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "%s : %s", k, m.Entries[k].String())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Env is a lexical environment for closures.
+type Env struct {
+	parent *Env
+	vars   map[string]Value
+}
+
+// NewEnv returns an empty environment with the given parent (may be nil).
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, vars: make(map[string]Value)}
+}
+
+// Lookup resolves a name through the environment chain.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Bind adds a binding to this environment frame.
+func (e *Env) Bind(name string, v Value) { e.vars[name] = v }
+
+// Closure is a function value: a lambda plus its captured environment.
+type Closure struct {
+	Param     string
+	ParamType ast.Type
+	Body      ast.Expr
+	Env       *Env
+}
+
+func (*Closure) value() {}
+
+// Type implements Value. The return type is not tracked dynamically,
+// so closures report only their parameter type.
+func (c *Closure) Type() ast.Type {
+	return ast.FunType{Arg: c.ParamType, Ret: ast.TyUnit}
+}
+
+func (c *Closure) String() string { return "<closure>" }
+
+// TClosure is a type-abstraction value (tfun).
+type TClosure struct {
+	TVar string
+	Body ast.Expr
+	Env  *Env
+}
+
+func (*TClosure) value() {}
+
+// Type implements Value.
+func (c *TClosure) Type() ast.Type {
+	return ast.PolyType{Var: c.TVar, Body: ast.TyUnit}
+}
+
+func (c *TClosure) String() string { return "<tfun>" }
+
+// Unit is the unit value.
+type Unit struct{}
+
+func (Unit) value() {}
+
+// Type implements Value.
+func (Unit) Type() ast.Type { return ast.TyUnit }
+
+func (Unit) String() string { return "()" }
+
+// CanonicalKey renders a value as a canonical map key. Only primitive
+// values are legal map keys; compound values fall back to String.
+func CanonicalKey(v Value) string {
+	switch k := v.(type) {
+	case Int:
+		return k.Ty.String() + ":" + k.V.String()
+	case Str:
+		return "s:" + k.S
+	case ByStr:
+		return "b:" + k.String()
+	case BNum:
+		return "n:" + k.V.String()
+	default:
+		return "x:" + v.String()
+	}
+}
+
+// Copy deep-copies a value. Immutable values are returned as-is; maps
+// are copied structurally.
+func Copy(v Value) Value {
+	switch val := v.(type) {
+	case *Map:
+		return val.Copy()
+	case ADT:
+		args := make([]Value, len(val.Args))
+		for i, a := range val.Args {
+			args[i] = Copy(a)
+		}
+		return ADT{TypeName: val.TypeName, Constr: val.Constr, TypeArgs: val.TypeArgs, Args: args}
+	case Int:
+		return Int{Ty: val.Ty, V: new(big.Int).Set(val.V)}
+	default:
+		return v
+	}
+}
+
+// Equal reports structural equality of two values. Closures are never
+// equal. Maps compare entry-wise.
+func Equal(a, b Value) bool {
+	switch av := a.(type) {
+	case Int:
+		bv, ok := b.(Int)
+		return ok && av.Ty == bv.Ty && av.V.Cmp(bv.V) == 0
+	case Str:
+		bv, ok := b.(Str)
+		return ok && av.S == bv.S
+	case ByStr:
+		bv, ok := b.(ByStr)
+		return ok && av.Ty == bv.Ty && string(av.B) == string(bv.B)
+	case BNum:
+		bv, ok := b.(BNum)
+		return ok && av.V.Cmp(bv.V) == 0
+	case ADT:
+		bv, ok := b.(ADT)
+		if !ok || av.Constr != bv.Constr || len(av.Args) != len(bv.Args) {
+			return false
+		}
+		for i := range av.Args {
+			if !Equal(av.Args[i], bv.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *Map:
+		bv, ok := b.(*Map)
+		if !ok || av.Len() != bv.Len() {
+			return false
+		}
+		for k, v := range av.Entries {
+			bvv, ok := bv.Entries[k]
+			if !ok || !Equal(v, bvv) {
+				return false
+			}
+		}
+		return true
+	case Msg:
+		bv, ok := b.(Msg)
+		if !ok || len(av.Entries) != len(bv.Entries) {
+			return false
+		}
+		for k, v := range av.Entries {
+			bvv, ok := bv.Entries[k]
+			if !ok || !Equal(v, bvv) {
+				return false
+			}
+		}
+		return true
+	case Unit:
+		_, ok := b.(Unit)
+		return ok
+	}
+	return false
+}
+
+// Convenience ADT constructors.
+
+// True is the Bool True value.
+func True() ADT { return ADT{TypeName: "Bool", Constr: "True"} }
+
+// False is the Bool False value.
+func False() ADT { return ADT{TypeName: "Bool", Constr: "False"} }
+
+// Bool converts a Go bool to a Scilla Bool.
+func Bool(b bool) ADT {
+	if b {
+		return True()
+	}
+	return False()
+}
+
+// IsTrue reports whether v is the Bool True value.
+func IsTrue(v Value) bool {
+	a, ok := v.(ADT)
+	return ok && a.TypeName == "Bool" && a.Constr == "True"
+}
+
+// Some wraps a value in Option.
+func Some(t ast.Type, v Value) ADT {
+	return ADT{TypeName: "Option", Constr: "Some", TypeArgs: []ast.Type{t}, Args: []Value{v}}
+}
+
+// None is the empty Option of element type t.
+func None(t ast.Type) ADT {
+	return ADT{TypeName: "Option", Constr: "None", TypeArgs: []ast.Type{t}}
+}
+
+// NilList is the empty List of element type t.
+func NilList(t ast.Type) ADT {
+	return ADT{TypeName: "List", Constr: "Nil", TypeArgs: []ast.Type{t}}
+}
+
+// Cons prepends a value to a list.
+func Cons(t ast.Type, h, tl Value) ADT {
+	return ADT{TypeName: "List", Constr: "Cons", TypeArgs: []ast.Type{t}, Args: []Value{h, tl}}
+}
+
+// PairV builds a Pair value.
+func PairV(ta, tb ast.Type, a, b Value) ADT {
+	return ADT{TypeName: "Pair", Constr: "Pair", TypeArgs: []ast.Type{ta, tb}, Args: []Value{a, b}}
+}
+
+// FromLiteral converts an AST literal to a runtime value.
+func FromLiteral(l ast.Literal) Value {
+	switch {
+	case l.Type.IsInt():
+		return Int{Ty: l.Type, V: new(big.Int).Set(l.Int)}
+	case l.Type.Kind == ast.StringKind:
+		return Str{S: l.Str}
+	case l.Type.Kind == ast.BNum:
+		return BNum{V: new(big.Int).Set(l.Int)}
+	default:
+		b := make([]byte, len(l.Bytes))
+		copy(b, l.Bytes)
+		return ByStr{Ty: l.Type, B: b}
+	}
+}
+
+// ListValues converts a Scilla List ADT into a Go slice.
+func ListValues(v Value) ([]Value, bool) {
+	var out []Value
+	for {
+		a, ok := v.(ADT)
+		if !ok || a.TypeName != "List" {
+			return nil, false
+		}
+		if a.Constr == "Nil" {
+			return out, true
+		}
+		if a.Constr != "Cons" || len(a.Args) != 2 {
+			return nil, false
+		}
+		out = append(out, a.Args[0])
+		v = a.Args[1]
+	}
+}

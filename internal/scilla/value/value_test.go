@@ -1,0 +1,189 @@
+package value_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/value"
+)
+
+func randomValue(r *rand.Rand, depth int) value.Value {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return value.Uint128(uint64(r.Intn(1000)))
+		case 1:
+			return value.Str{S: []string{"a", "b", "c"}[r.Intn(3)]}
+		case 2:
+			b := make([]byte, 20)
+			r.Read(b)
+			return value.ByStr{Ty: ast.TyByStr20, B: b}
+		default:
+			return value.Bool(r.Intn(2) == 0)
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return value.Some(ast.TyUint128, randomValue(r, depth-1))
+	case 1:
+		m := value.NewMap(ast.TyString, ast.TyUint128)
+		for i := 0; i < r.Intn(4); i++ {
+			m.Set(value.Str{S: string(rune('a' + i))}, randomValue(r, 0))
+		}
+		return m
+	default:
+		return value.Cons(ast.TyUint128, randomValue(r, depth-1), value.NilList(ast.TyUint128))
+	}
+}
+
+// Equal must be reflexive; Copy must produce an Equal value.
+func TestEqualCopyLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 2)
+		if !value.Equal(v, v) {
+			return false
+		}
+		cp := value.Copy(v)
+		return value.Equal(v, cp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Copy must be deep for maps: mutating the copy leaves the original.
+func TestMapCopyIsDeep(t *testing.T) {
+	m := value.NewMap(ast.TyString, ast.TyUint128)
+	m.Set(value.Str{S: "k"}, value.Uint128(1))
+	cp := value.Copy(m).(*value.Map)
+	cp.Set(value.Str{S: "k"}, value.Uint128(2))
+	v, _ := m.Get(value.Str{S: "k"})
+	if v.(value.Int).V.Uint64() != 1 {
+		t.Error("map copy is shallow")
+	}
+}
+
+// CanonicalKey must distinguish differently-typed equal renderings and
+// be injective on primitive values of one type.
+func TestCanonicalKey(t *testing.T) {
+	if value.CanonicalKey(value.Uint128(1)) == value.CanonicalKey(value.Uint32V(1)) {
+		t.Error("canonical keys collide across integer widths")
+	}
+	if value.CanonicalKey(value.Str{S: "1"}) == value.CanonicalKey(value.Uint128(1)) {
+		t.Error("canonical keys collide across types")
+	}
+	f := func(a, b uint32) bool {
+		ka := value.CanonicalKey(value.Uint32V(a))
+		kb := value.CanonicalKey(value.Uint32V(b))
+		return (ka == kb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapOperations(t *testing.T) {
+	m := value.NewMap(ast.TyByStr20, ast.TyUint128)
+	k1 := value.ByStr{Ty: ast.TyByStr20, B: make([]byte, 20)}
+	if _, ok := m.Get(k1); ok {
+		t.Error("empty map contains a key")
+	}
+	m.Set(k1, value.Uint128(5))
+	if v, ok := m.Get(k1); !ok || v.(value.Int).V.Uint64() != 5 {
+		t.Error("set/get failed")
+	}
+	if m.Len() != 1 {
+		t.Error("len wrong")
+	}
+	m.Delete(k1)
+	if m.Len() != 0 {
+		t.Error("delete failed")
+	}
+}
+
+func TestSortedKeysDeterministic(t *testing.T) {
+	m := value.NewMap(ast.TyString, ast.TyUint128)
+	for _, s := range []string{"z", "a", "m"} {
+		m.Set(value.Str{S: s}, value.Uint128(1))
+	}
+	keys := m.SortedKeys()
+	if len(keys) != 3 || keys[0] > keys[1] || keys[1] > keys[2] {
+		t.Errorf("SortedKeys not sorted: %v", keys)
+	}
+}
+
+func TestListValues(t *testing.T) {
+	l := value.Cons(ast.TyUint128, value.Uint128(1),
+		value.Cons(ast.TyUint128, value.Uint128(2), value.NilList(ast.TyUint128)))
+	items, ok := value.ListValues(l)
+	if !ok || len(items) != 2 {
+		t.Fatalf("ListValues = %v, %v", items, ok)
+	}
+	if items[0].(value.Int).V.Uint64() != 1 || items[1].(value.Int).V.Uint64() != 2 {
+		t.Error("list order wrong")
+	}
+	if _, ok := value.ListValues(value.Uint128(1)); ok {
+		t.Error("non-list accepted")
+	}
+}
+
+func TestFromLiteral(t *testing.T) {
+	l := ast.IntLit(ast.TyUint128, 42)
+	v := value.FromLiteral(l)
+	if v.(value.Int).V.Uint64() != 42 {
+		t.Error("int literal conversion failed")
+	}
+	// The literal's big.Int must not be aliased.
+	v.(value.Int).V.SetUint64(7)
+	if l.Int.Uint64() != 42 {
+		t.Error("FromLiteral aliased the literal's big.Int")
+	}
+	s := value.FromLiteral(ast.StrLit("hi"))
+	if s.(value.Str).S != "hi" {
+		t.Error("string literal conversion failed")
+	}
+}
+
+func TestBoolHelpers(t *testing.T) {
+	if !value.IsTrue(value.True()) || value.IsTrue(value.False()) {
+		t.Error("IsTrue wrong")
+	}
+	if !value.IsTrue(value.Bool(true)) || value.IsTrue(value.Bool(false)) {
+		t.Error("Bool wrong")
+	}
+}
+
+func TestEnvScoping(t *testing.T) {
+	outer := value.NewEnv(nil)
+	outer.Bind("x", value.Uint128(1))
+	inner := value.NewEnv(outer)
+	inner.Bind("x", value.Uint128(2))
+	if v, _ := inner.Lookup("x"); v.(value.Int).V.Uint64() != 2 {
+		t.Error("inner binding not shadowing")
+	}
+	if v, _ := outer.Lookup("x"); v.(value.Int).V.Uint64() != 1 {
+		t.Error("outer binding clobbered")
+	}
+	if _, ok := inner.Lookup("y"); ok {
+		t.Error("unbound name resolved")
+	}
+}
+
+func TestIntRangeHelpers(t *testing.T) {
+	if !ast.InRange(ast.TyUint128, big.NewInt(0)) {
+		t.Error("0 not in Uint128 range")
+	}
+	if ast.InRange(ast.TyUint128, big.NewInt(-1)) {
+		t.Error("-1 in Uint128 range")
+	}
+	if !ast.InRange(ast.TyInt32, big.NewInt(-2147483648)) {
+		t.Error("Int32 min not in range")
+	}
+	if ast.InRange(ast.TyInt32, big.NewInt(2147483648)) {
+		t.Error("Int32 max+1 in range")
+	}
+}

@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"fmt"
+	"math/big"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// maxCallDepth bounds inter-contract message chains in the DS
+// committee.
+const maxCallDepth = 8
+
+// runDS executes the DS committee's queue sequentially on the merged
+// canonical state (after the shard deltas were folded in), up to the
+// DS gas limit. Unlike shards, the DS committee may process
+// inter-contract calls.
+func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*chain.Tx, err error) {
+	var gasUsed uint64
+	// The DS committee owns the canonical state during this phase; it
+	// works on per-contract mutable copies taken once per epoch and
+	// installs them at the end.
+	working := make(map[chain.Address]*eval.MemState)
+	for i, tx := range queue {
+		if gasUsed >= n.Cfg.DSGasLimit {
+			deferred = append(deferred, queue[i:]...)
+			break
+		}
+		rec := n.executeDS(tx, working)
+		rec.Shard = -1
+		rec.Epoch = n.Epoch
+		gasUsed += rec.GasUsed
+		n.record(rec)
+		if rec.Success {
+			committed++
+		} else {
+			failed++
+		}
+	}
+	for addr, st := range working {
+		n.Contracts.Get(addr).ReplaceState(st)
+	}
+	return committed, failed, deferred, nil
+}
+
+// workingState returns the DS committee's mutable copy of a contract's
+// state, creating it on first touch.
+func (n *Network) workingState(working map[chain.Address]*eval.MemState, addr chain.Address) *eval.MemState {
+	st, ok := working[addr]
+	if !ok {
+		st = n.Contracts.Get(addr).Snapshot().Copy()
+		working[addr] = st
+	}
+	return st
+}
+
+// executeDS runs one transaction with full (non-sharded) semantics on
+// the DS working state.
+func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemState) *chain.Receipt {
+	rec := &chain.Receipt{TxID: tx.ID}
+	delta := chain.NewAccountDelta()
+
+	gasCost := func(used uint64) *big.Int {
+		return new(big.Int).Mul(new(big.Int).SetUint64(used), new(big.Int).SetUint64(tx.GasPrice))
+	}
+	senderAcc := n.Accounts.Get(tx.From)
+	if senderAcc == nil {
+		rec.Error = "unknown sender"
+		return rec
+	}
+	if senderAcc.Balance.Cmp(tx.GasBudget()) < 0 {
+		rec.Error = "insufficient balance for gas"
+		return rec
+	}
+
+	switch tx.Kind {
+	case chain.TxTransfer:
+		total := new(big.Int).Add(tx.Amount, tx.GasBudget())
+		if senderAcc.Balance.Cmp(total) < 0 {
+			rec.Error = "insufficient balance"
+			return rec
+		}
+		rec.GasUsed = 1
+		delta.AddBalance(tx.From, new(big.Int).Neg(new(big.Int).Add(tx.Amount, gasCost(rec.GasUsed))))
+		delta.AddBalance(tx.To, tx.Amount)
+		delta.BumpNonce(tx.From, tx.Nonce)
+		if err := n.Accounts.Apply(delta); err != nil {
+			rec.Error = err.Error()
+			return rec
+		}
+		rec.Success = true
+		return rec
+	case chain.TxCall:
+		// Execute against per-contract overlays over the working state;
+		// commit everything atomically on success.
+		overlays := make(map[chain.Address]*chain.Overlay)
+		events, gas, err := n.dsCall(tx.From, tx.From, tx.To, tx.Transition, tx.Args,
+			tx.Amount, tx.GasLimit, 0, overlays, delta, working)
+		rec.GasUsed = gas
+		delta.AddBalance(tx.From, new(big.Int).Neg(gasCost(gas)))
+		delta.BumpNonce(tx.From, tx.Nonce)
+		if err != nil {
+			// Gas and nonce are still charged.
+			d2 := chain.NewAccountDelta()
+			d2.AddBalance(tx.From, new(big.Int).Neg(gasCost(gas)))
+			d2.BumpNonce(tx.From, tx.Nonce)
+			if aerr := n.Accounts.Apply(d2); aerr != nil {
+				rec.Error = aerr.Error()
+				return rec
+			}
+			rec.Error = err.Error()
+			return rec
+		}
+		if err := n.Accounts.Apply(delta); err != nil {
+			rec.Error = err.Error()
+			return rec
+		}
+		// Commit contract state changes into the working copies.
+		for addr, ov := range overlays {
+			if !ov.Touched() {
+				continue
+			}
+			if err := ov.ApplyTo(n.workingState(working, addr)); err != nil {
+				rec.Error = err.Error()
+				return rec
+			}
+		}
+		rec.Success = true
+		rec.Events = events
+		return rec
+	default:
+		rec.Error = "unsupported transaction kind"
+		return rec
+	}
+}
+
+// dsCall executes one (possibly nested) contract call, following
+// emitted messages to other contracts up to maxCallDepth.
+func (n *Network) dsCall(origin, sender, to chain.Address, transition string,
+	args map[string]value.Value, amount *big.Int, gasLimit uint64, depth int,
+	overlays map[chain.Address]*chain.Overlay, delta *chain.AccountDelta,
+	working map[chain.Address]*eval.MemState) ([]value.Msg, uint64, error) {
+
+	if depth > maxCallDepth {
+		return nil, 0, fmt.Errorf("call depth exceeded")
+	}
+	c := n.Contracts.Get(to)
+	if c == nil {
+		return nil, 0, fmt.Errorf("unknown contract %s", to)
+	}
+	ov, ok := overlays[to]
+	if !ok {
+		ov = chain.NewOverlay(n.workingState(working, to), c.Checked.FieldTypes)
+		overlays[to] = ov
+	}
+	bal := big.NewInt(0)
+	if acc := n.Accounts.Get(to); acc != nil {
+		bal.Set(acc.Balance)
+	}
+	ctx := &eval.Context{
+		Sender:          sender.Value(),
+		Origin:          origin.Value(),
+		Amount:          value.Int{Ty: ast.TyUint128, V: amount},
+		BlockNumber:     new(big.Int).SetUint64(n.BlockNumber),
+		State:           ov,
+		GasLimit:        gasLimit,
+		ContractBalance: bal,
+	}
+	res, err := c.Interp.Run(ctx, transition, args)
+	if err != nil {
+		return nil, ctx.GasUsed, err
+	}
+	gas := ctx.GasUsed
+	if res.Accepted && amount.Sign() > 0 {
+		delta.AddBalance(sender, new(big.Int).Neg(amount))
+		delta.AddBalance(to, amount)
+	}
+	events := res.Events
+	for _, m := range res.Messages {
+		rcp, ok := m.Entries["_recipient"]
+		if !ok {
+			return nil, gas, fmt.Errorf("message without _recipient")
+		}
+		addr, ok := chain.AddressFromValue(rcp)
+		if !ok {
+			return nil, gas, fmt.Errorf("malformed _recipient")
+		}
+		var msgAmount big.Int
+		if amt, ok := m.Entries["_amount"]; ok {
+			iv, ok := amt.(value.Int)
+			if !ok {
+				return nil, gas, fmt.Errorf("malformed _amount")
+			}
+			msgAmount.Set(iv.V)
+		}
+		if n.Accounts.IsContract(addr) {
+			tag, ok := m.Entries["_tag"].(value.Str)
+			if !ok {
+				return nil, gas, fmt.Errorf("contract call without _tag")
+			}
+			callArgs := make(map[string]value.Value)
+			for k, v := range m.Entries {
+				if k == "_tag" || k == "_recipient" || k == "_amount" {
+					continue
+				}
+				callArgs[k] = v
+			}
+			rem := uint64(0)
+			if gasLimit > gas {
+				rem = gasLimit - gas
+			}
+			subEvents, subGas, err := n.dsCall(origin, to, addr, tag.S, callArgs,
+				new(big.Int).Set(&msgAmount), rem, depth+1, overlays, delta, working)
+			gas += subGas
+			if err != nil {
+				return nil, gas, err
+			}
+			events = append(events, subEvents...)
+		} else if msgAmount.Sign() > 0 {
+			delta.AddBalance(to, new(big.Int).Neg(&msgAmount))
+			delta.AddBalance(addr, &msgAmount)
+		}
+	}
+	return events, gas, nil
+}

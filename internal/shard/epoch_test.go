@@ -1,0 +1,237 @@
+package shard_test
+
+import (
+	"math/big"
+	"testing"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/contracts"
+	"cosplit/internal/scilla/value"
+	"cosplit/internal/shard"
+)
+
+// TestGasLimitDefersTransactions: transactions beyond the shard gas
+// limit are deferred to the next epoch, not dropped.
+func TestGasLimitDefersTransactions(t *testing.T) {
+	cfg := shard.DefaultConfig(1)
+	cfg.ShardGasLimit = 100 // roughly 2 transfers
+	cfg.DSGasLimit = 100
+	net := shard.NewNetwork(cfg)
+	deployer := chain.AddrFromUint(999)
+	net.CreateUser(deployer, 1<<40)
+	owner := chain.AddrFromUint(1)
+	net.CreateUser(owner, 1<<40)
+	contract, err := net.DeployContract(deployer, contracts.FungibleToken, ftParams(owner), ftQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		net.Submit(transferTx(owner, chain.AddrFromUint(uint64(100+i)), contract, uint64(i+1), 1))
+	}
+	committed := 0
+	epochs := 0
+	for net.MempoolSize() > 0 {
+		stats, err := net.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed += stats.Committed
+		epochs++
+		if epochs > 20 {
+			t.Fatal("gas-limited epochs never drained the mempool")
+		}
+	}
+	if committed != total {
+		t.Errorf("committed %d of %d across %d epochs", committed, total, epochs)
+	}
+	if epochs < 3 {
+		t.Errorf("expected the gas limit to force multiple epochs, got %d", epochs)
+	}
+}
+
+// TestInterContractCallInDS: a contract-to-contract message chain is
+// executed by the DS committee.
+func TestInterContractCallInDS(t *testing.T) {
+	const routerSrc = `
+scilla_version 0
+
+library Router
+
+let one_msg =
+  fun (m : Message) =>
+    let nil = Nil {Message} in
+    Cons {Message} m nil
+
+contract Router
+(token : ByStr20)
+
+field forwarded : Uint128 = Uint128 0
+
+transition Forward (to : ByStr20, amount : Uint128)
+  zero = Uint128 0;
+  m = {_tag : "Transfer"; _recipient : token; _amount : zero; to : to; amount : amount};
+  msgs = one_msg m;
+  send msgs;
+  f <- forwarded;
+  one = Uint128 1;
+  nf = builtin add f one;
+  forwarded := nf
+end
+`
+	net := shard.NewNetwork(shard.DefaultConfig(3))
+	deployer := chain.AddrFromUint(999)
+	net.CreateUser(deployer, 1<<40)
+	owner := chain.AddrFromUint(1)
+	net.CreateUser(owner, 1<<40)
+	token, err := net.DeployContract(deployer, contracts.FungibleToken, ftParams(owner), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := net.DeployContract(deployer, routerSrc, map[string]value.Value{
+		"token": token.Value(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The router holds no tokens, so we first give it some. The token's
+	// balances are keyed by the router's address when it calls
+	// Transfer (the router is the _sender of the inner call).
+	net.Submit(&chain.Tx{
+		Kind: chain.TxCall, From: owner, To: token, Nonce: 1,
+		Amount: big.NewInt(0), GasLimit: 100_000, GasPrice: 1,
+		Transition: "Transfer",
+		Args: map[string]value.Value{
+			"to": router.Value(), "amount": u128(500),
+		},
+	})
+	if _, err := net.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	dest := chain.AddrFromUint(77)
+	net.CreateUser(dest, 0)
+	id := net.Submit(&chain.Tx{
+		Kind: chain.TxCall, From: owner, To: router, Nonce: 2,
+		Amount: big.NewInt(0), GasLimit: 100_000, GasPrice: 1,
+		Transition: "Forward",
+		Args: map[string]value.Value{
+			"to": dest.Value(), "amount": u128(123),
+		},
+	})
+	if _, err := net.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	rec := net.Receipt(id)
+	if rec == nil || !rec.Success {
+		t.Fatalf("forward receipt: %+v", rec)
+	}
+	if rec.Shard != -1 {
+		t.Errorf("inter-contract call executed in shard %d, want DS", rec.Shard)
+	}
+	if got := balanceOf(t, net, token, dest); got != 123 {
+		t.Errorf("dest token balance = %d, want 123", got)
+	}
+	// The router's own state advanced atomically with the inner call.
+	c := net.Contracts.Get(router)
+	f, err := c.Snapshot().LoadField("forwarded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.(value.Int).V.Uint64() != 1 {
+		t.Errorf("forwarded = %s, want 1", f)
+	}
+}
+
+// TestDeltaStatsReported: EpochStats counts merged components.
+func TestDeltaStatsReported(t *testing.T) {
+	net, contract, users := deployFT(t, 3, 5, true)
+	for i := 1; i < 5; i++ {
+		net.Submit(transferTx(users[0], users[i], contract, uint64(i), 10))
+	}
+	stats, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeltaEntries == 0 {
+		t.Error("no delta entries recorded for sharded transfers")
+	}
+	if stats.MergeTime <= 0 {
+		t.Error("merge time not measured")
+	}
+}
+
+// TestSplitGasAccounting: with the Sec. 4.2.2 split enabled, a sender
+// whose balance barely covers gas cannot overdraw through a non-home
+// shard.
+func TestSplitGasAccounting(t *testing.T) {
+	cfg := shard.DefaultConfig(4)
+	cfg.SplitGasAccounting = true
+	net := shard.NewNetwork(cfg)
+	deployer := chain.AddrFromUint(999)
+	net.CreateUser(deployer, 1<<40)
+	owner := chain.AddrFromUint(1)
+	net.CreateUser(owner, 1<<40)
+	contract, err := net.DeployContract(deployer, contracts.FungibleToken, ftParams(owner), ftQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A poor user: balance 100. Their per-shard allowance outside the
+	// home shard is 100/2/(4-1) = 16, below the 10k gas budget.
+	poor := chain.AddrFromUint(5)
+	net.CreateUser(poor, 100)
+	id := net.Submit(transferTx(poor, owner, contract, 1, 0))
+	if _, err := net.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	rec := net.Receipt(id)
+	if rec == nil {
+		t.Fatal("no receipt")
+	}
+	if rec.Success {
+		t.Error("tx with gas budget above the per-shard allowance committed")
+	}
+}
+
+// TestParallelShardsEquivalent: goroutine-parallel shard execution
+// produces the same state as the sequential max-time simulation.
+func TestParallelShardsEquivalent(t *testing.T) {
+	run := func(parallel bool) map[chain.Address]uint64 {
+		cfg := shard.DefaultConfig(4)
+		cfg.ParallelShards = parallel
+		net := shard.NewNetwork(cfg)
+		deployer := chain.AddrFromUint(999)
+		net.CreateUser(deployer, 1<<40)
+		users := make([]chain.Address, 10)
+		for i := range users {
+			users[i] = chain.AddrFromUint(uint64(i + 1))
+			net.CreateUser(users[i], 1<<40)
+		}
+		contract, err := net.DeployContract(deployer, contracts.FungibleToken, ftParams(users[0]), ftQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			from := users[i%10]
+			to := users[(i+1)%10]
+			net.Submit(transferTx(from, to, contract, uint64(i/10+1), 3))
+		}
+		for net.MempoolSize() > 0 {
+			if _, err := net.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := map[chain.Address]uint64{}
+		for _, u := range users {
+			out[u] = balanceOf(t, net, contract, u)
+		}
+		return out
+	}
+	seq, par := run(false), run(true)
+	for a, want := range seq {
+		if par[a] != want {
+			t.Errorf("parallel execution diverged at %s: %d vs %d", a, par[a], want)
+		}
+	}
+}

@@ -1,0 +1,667 @@
+// Package shard implements the sharded transaction-processing pipeline
+// of Fig. 10: per-epoch dispatch of the mempool to shards, parallel
+// in-shard execution producing MicroBlocks and StateDeltas, the DS
+// committee's three-way merge into a FinalBlock, and sequential DS
+// execution of the transactions no shard could take.
+package shard
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/consensus"
+	"cosplit/internal/core/signature"
+	"cosplit/internal/dispatch"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// Config parameterises the simulated network.
+type Config struct {
+	NumShards     int
+	NodesPerShard int
+	// ShardGasLimit caps the gas a shard commits per epoch; DSGasLimit
+	// caps the DS committee. These mirror Zilliqa's per-MicroBlock and
+	// per-FinalBlock gas limits.
+	ShardGasLimit uint64
+	DSGasLimit    uint64
+	// SplitGasAccounting enables the Sec. 4.2.2 per-shard gas budgets.
+	SplitGasAccounting bool
+	// ModelConsensus adds the PBFT timing model to epoch wall time.
+	ModelConsensus bool
+	// ParallelShards executes shard queues on concurrent goroutines.
+	// The default (false) executes them sequentially and models the
+	// parallel epoch time as the maximum per-shard execution time,
+	// which is immune to host core counts and lock contention and
+	// keeps the simulation deterministic.
+	ParallelShards bool
+	// OverflowGuard enables the Sec. 6 conservative integer-overflow
+	// check: a shard rejects a transaction whose cumulative IntMerge
+	// delta on any component exceeds ⌊(MAX_INT − v₀)/N⌋ (or the
+	// symmetric bound below zero), guaranteeing the joined deltas of N
+	// shards cannot overflow at merge time.
+	OverflowGuard bool
+}
+
+// DefaultConfig mirrors the paper's experimental setup: 5 nodes per
+// shard, mainnet-like gas limits.
+func DefaultConfig(numShards int) Config {
+	return Config{
+		NumShards:          numShards,
+		NodesPerShard:      5,
+		ShardGasLimit:      2_000_000,
+		DSGasLimit:         2_000_000,
+		SplitGasAccounting: true,
+		ModelConsensus:     true,
+	}
+}
+
+// MicroBlock is a shard's per-epoch output (MB + SD in Fig. 10).
+type MicroBlock struct {
+	Shard    int
+	Epoch    uint64
+	Receipts []*chain.Receipt
+	Deltas   []*chain.StateDelta
+	Accounts *chain.AccountDelta
+	GasUsed  uint64
+	// Deferred are transactions that did not fit in the gas limit.
+	Deferred []*chain.Tx
+	ExecTime time.Duration
+}
+
+// EpochStats reports what happened in one epoch.
+type EpochStats struct {
+	Epoch     uint64
+	Committed int
+	Failed    int
+	Rejected  int
+	Deferred  int
+	// PerShard counts committed transactions per shard; DSCount counts
+	// the DS committee's.
+	PerShard []int
+	DSCount  int
+	// Timings.
+	DispatchTime  time.Duration
+	ShardExecTime time.Duration // max over shards (they run in parallel)
+	MergeTime     time.Duration
+	DSExecTime    time.Duration
+	ConsensusTime time.Duration
+	WallTime      time.Duration
+	// DeltaEntries is the total number of merged state components.
+	DeltaEntries int
+}
+
+// Network is the simulated sharded blockchain.
+type Network struct {
+	Cfg       Config
+	Accounts  *chain.Accounts
+	Contracts *chain.Contracts
+	Disp      *dispatch.Dispatcher
+
+	Epoch       uint64
+	BlockNumber uint64
+
+	mempool  []*chain.Tx
+	receipts map[uint64]*chain.Receipt
+	nextTxID uint64
+	mu       sync.Mutex
+
+	shardModel consensus.PBFTModel
+	dsModel    consensus.PBFTModel
+}
+
+// NewNetwork builds a network with the given configuration.
+func NewNetwork(cfg Config) *Network {
+	accounts := chain.NewAccounts()
+	contracts := chain.NewContracts()
+	d := dispatch.New(cfg.NumShards, accounts, contracts)
+	d.SplitGasAccounting = cfg.SplitGasAccounting
+	return &Network{
+		Cfg:        cfg,
+		Accounts:   accounts,
+		Contracts:  contracts,
+		Disp:       d,
+		receipts:   make(map[uint64]*chain.Receipt),
+		shardModel: consensus.DefaultModel(cfg.NodesPerShard),
+		dsModel:    consensus.DefaultModel(cfg.NodesPerShard * 2),
+		nextTxID:   1,
+		Epoch:      1,
+	}
+}
+
+// CreateUser registers a user account with an initial balance.
+func (n *Network) CreateUser(addr chain.Address, balance uint64) {
+	n.Accounts.Create(addr, balance, false)
+}
+
+// DeployContract deploys a contract immediately (deployments are
+// DS-committee work; the simulator applies them synchronously).
+func (n *Network) DeployContract(deployer chain.Address, source string,
+	params map[string]value.Value, query *signature.Query) (chain.Address, error) {
+	acc := n.Accounts.Get(deployer)
+	if acc == nil {
+		return chain.Address{}, fmt.Errorf("unknown deployer %s", deployer)
+	}
+	addr := chain.ContractAddress(deployer, acc.Nonce+1)
+	dep := &chain.Deployment{Source: source, Params: params, Query: query}
+	c, err := chain.Deploy(addr, source, params, dep)
+	if err != nil {
+		return chain.Address{}, err
+	}
+	n.Accounts.Create(addr, 0, true)
+	n.Contracts.Add(c)
+	// Bump the deployer's nonce.
+	d := chain.NewAccountDelta()
+	d.BumpNonce(deployer, acc.Nonce+1)
+	if err := n.Accounts.Apply(d); err != nil {
+		return chain.Address{}, err
+	}
+	return addr, nil
+}
+
+// Submit queues a transaction, assigning it an id.
+func (n *Network) Submit(tx *chain.Tx) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	tx.ID = n.nextTxID
+	n.nextTxID++
+	n.mempool = append(n.mempool, tx)
+	return tx.ID
+}
+
+// Receipt returns the receipt for a transaction id, if processed.
+func (n *Network) Receipt(id uint64) *chain.Receipt {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.receipts[id]
+}
+
+// MempoolSize returns the number of pending transactions.
+func (n *Network) MempoolSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mempool)
+}
+
+// RunEpoch processes the current mempool through one full epoch and
+// returns its statistics.
+func (n *Network) RunEpoch() (*EpochStats, error) {
+	n.mu.Lock()
+	pending := n.mempool
+	n.mempool = nil
+	n.mu.Unlock()
+
+	stats := &EpochStats{Epoch: n.Epoch, PerShard: make([]int, n.Cfg.NumShards)}
+	n.Disp.ResetEpoch()
+
+	// Phase 1: lookup nodes dispatch the packet (Sec. 4.3).
+	t0 := time.Now()
+	queues := make([][]*chain.Tx, n.Cfg.NumShards)
+	var dsQueue []*chain.Tx
+	for _, tx := range pending {
+		dec := n.Disp.Dispatch(tx)
+		if dec.Rejected {
+			stats.Rejected++
+			n.record(&chain.Receipt{TxID: tx.ID, Success: false, Error: dec.Reason, Shard: -2, Epoch: n.Epoch})
+			continue
+		}
+		if dec.Shard == dispatch.DS {
+			dsQueue = append(dsQueue, tx)
+		} else {
+			queues[dec.Shard] = append(queues[dec.Shard], tx)
+		}
+	}
+	stats.DispatchTime = time.Since(t0)
+
+	// Phase 2: shards execute (logically) in parallel; wall time is the
+	// maximum per-shard execution time either way.
+	blocks := make([]*MicroBlock, n.Cfg.NumShards)
+	if n.Cfg.ParallelShards {
+		var wg sync.WaitGroup
+		errs := make([]error, n.Cfg.NumShards)
+		for s := 0; s < n.Cfg.NumShards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				mb, err := n.runShard(s, queues[s])
+				blocks[s], errs[s] = mb, err
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for s := 0; s < n.Cfg.NumShards; s++ {
+			mb, err := n.runShard(s, queues[s])
+			if err != nil {
+				return nil, err
+			}
+			blocks[s] = mb
+		}
+	}
+
+	var allDeltas []*chain.StateDelta
+	accDelta := chain.NewAccountDelta()
+	perShardCounts := make([]int, n.Cfg.NumShards)
+	for s, mb := range blocks {
+		if mb.ExecTime > stats.ShardExecTime {
+			stats.ShardExecTime = mb.ExecTime
+		}
+		for _, r := range mb.Receipts {
+			n.record(r)
+			if r.Success {
+				stats.Committed++
+				stats.PerShard[s]++
+			} else {
+				stats.Failed++
+			}
+		}
+		perShardCounts[s] = len(mb.Receipts)
+		allDeltas = append(allDeltas, mb.Deltas...)
+		accDelta.Merge(mb.Accounts)
+		stats.Deferred += len(mb.Deferred)
+		n.requeue(mb.Deferred)
+	}
+
+	// Phase 3: the DS committee merges all StateDeltas (three-way
+	// merge, Sec. 4.3) and applies the account delta.
+	t1 := time.Now()
+	byContract := make(map[chain.Address][]*chain.StateDelta)
+	for _, d := range allDeltas {
+		stats.DeltaEntries += d.Size()
+		byContract[d.Contract] = append(byContract[d.Contract], d)
+	}
+	for addr, ds := range byContract {
+		c := n.Contracts.Get(addr)
+		merged := c.Snapshot().Copy()
+		if err := chain.MergeDeltas(merged, ds); err != nil {
+			return nil, fmt.Errorf("epoch %d: %w", n.Epoch, err)
+		}
+		c.ReplaceState(merged)
+	}
+	if err := n.Accounts.Apply(accDelta); err != nil {
+		return nil, err
+	}
+	stats.MergeTime = time.Since(t1)
+
+	// Phase 4: the DS committee executes the remaining potentially
+	// conflicting transactions sequentially on the merged state.
+	t2 := time.Now()
+	dsCommitted, dsFailed, dsDeferred, err := n.runDS(dsQueue)
+	if err != nil {
+		return nil, err
+	}
+	stats.DSExecTime = time.Since(t2)
+	stats.Committed += dsCommitted
+	stats.DSCount = dsCommitted
+	stats.Failed += dsFailed
+	stats.Deferred += len(dsDeferred)
+	n.requeue(dsDeferred)
+
+	// Phase 5: modelled consensus cost.
+	if n.Cfg.ModelConsensus {
+		stats.ConsensusTime = consensus.EpochConsensus(
+			n.shardModel, n.dsModel, perShardCounts, len(dsQueue))
+	}
+	stats.WallTime = stats.DispatchTime + stats.ShardExecTime +
+		stats.MergeTime + stats.DSExecTime + stats.ConsensusTime
+
+	n.Epoch++
+	n.BlockNumber++
+	return stats, nil
+}
+
+func (n *Network) record(r *chain.Receipt) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.receipts[r.TxID] = r
+}
+
+func (n *Network) requeue(txs []*chain.Tx) {
+	if len(txs) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mempool = append(n.mempool, txs...)
+}
+
+// shardRun is the per-shard execution context for one epoch.
+type shardRun struct {
+	net      *Network
+	shard    int
+	overlays map[chain.Address]*chain.Overlay
+	accDelta *chain.AccountDelta
+	// localBal tracks each account's balance view inside the shard
+	// (base balance + local deltas) for overdraft checks.
+	localBal map[chain.Address]*big.Int
+	// gasSpent tracks per-sender gas spending for split gas accounting.
+	gasSpent map[chain.Address]*big.Int
+}
+
+func (n *Network) newShardRun(s int) *shardRun {
+	return &shardRun{
+		net:      n,
+		shard:    s,
+		overlays: make(map[chain.Address]*chain.Overlay),
+		accDelta: chain.NewAccountDelta(),
+		localBal: make(map[chain.Address]*big.Int),
+		gasSpent: make(map[chain.Address]*big.Int),
+	}
+}
+
+func (r *shardRun) overlayFor(c *chain.Contract) *chain.Overlay {
+	ov, ok := r.overlays[c.Addr]
+	if !ok {
+		ov = chain.NewOverlay(c.Snapshot(), c.Checked.FieldTypes)
+		r.overlays[c.Addr] = ov
+	}
+	return ov
+}
+
+// balanceView returns the shard-local view of an account balance.
+func (r *shardRun) balanceView(a chain.Address) *big.Int {
+	if b, ok := r.localBal[a]; ok {
+		return b
+	}
+	acc := r.net.Accounts.Get(a)
+	b := new(big.Int)
+	if acc != nil {
+		b.Set(acc.Balance)
+	}
+	r.localBal[a] = b
+	return b
+}
+
+func (r *shardRun) credit(a chain.Address, v *big.Int) {
+	r.balanceView(a).Add(r.balanceView(a), v)
+	r.accDelta.AddBalance(a, v)
+}
+
+func (r *shardRun) debit(a chain.Address, v *big.Int) {
+	neg := new(big.Int).Neg(v)
+	r.credit(a, neg)
+}
+
+// gasAllowance returns how much native token the sender may spend on
+// gas within this shard (Sec. 4.2.2).
+func (r *shardRun) gasAllowance(sender chain.Address) *big.Int {
+	acc := r.net.Accounts.Get(sender)
+	if acc == nil {
+		return new(big.Int)
+	}
+	if !r.net.Cfg.SplitGasAccounting || r.net.Cfg.NumShards <= 1 {
+		return new(big.Int).Set(acc.Balance)
+	}
+	// Half the balance to the sender's home shard, the rest split
+	// across the other shards.
+	half := new(big.Int).Rsh(acc.Balance, 1)
+	if chain.ShardOf(sender, r.net.Cfg.NumShards) == r.shard {
+		return half
+	}
+	return half.Div(half, big.NewInt(int64(r.net.Cfg.NumShards-1)))
+}
+
+// runShard executes a shard's transaction queue sequentially, within
+// the shard gas limit, and produces its MicroBlock.
+func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
+	run := n.newShardRun(s)
+	mb := &MicroBlock{Shard: s, Epoch: n.Epoch, Accounts: run.accDelta}
+	start := time.Now()
+	for i, tx := range queue {
+		if mb.GasUsed >= n.Cfg.ShardGasLimit {
+			mb.Deferred = append(mb.Deferred, queue[i:]...)
+			break
+		}
+		rec := run.execute(tx)
+		rec.Shard = s
+		rec.Epoch = n.Epoch
+		mb.Receipts = append(mb.Receipts, rec)
+		mb.GasUsed += rec.GasUsed
+	}
+	mb.ExecTime = time.Since(start)
+
+	// Extract per-contract state deltas.
+	for addr, ov := range run.overlays {
+		if !ov.Touched() {
+			continue
+		}
+		c := n.Contracts.Get(addr)
+		joins := map[string]signature.Join{}
+		if c.Sig != nil {
+			joins = c.Sig.Joins
+		}
+		d, err := ov.ExtractDelta(addr, s, joins)
+		if err != nil {
+			return nil, err
+		}
+		mb.Deltas = append(mb.Deltas, d)
+	}
+	return mb, nil
+}
+
+// execute runs one transaction inside a shard.
+func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
+	rec := &chain.Receipt{TxID: tx.ID}
+	gasCost := func(used uint64) *big.Int {
+		return new(big.Int).Mul(new(big.Int).SetUint64(used), new(big.Int).SetUint64(tx.GasPrice))
+	}
+
+	// Split gas accounting: refuse when the sender's shard budget is
+	// exhausted.
+	spent := r.gasSpent[tx.From]
+	if spent == nil {
+		spent = new(big.Int)
+		r.gasSpent[tx.From] = spent
+	}
+	budget := tx.GasBudget()
+	if new(big.Int).Add(spent, budget).Cmp(r.gasAllowance(tx.From)) > 0 {
+		rec.Error = "per-shard gas allowance exceeded"
+		return rec
+	}
+
+	switch tx.Kind {
+	case chain.TxTransfer:
+		total := new(big.Int).Add(tx.Amount, budget)
+		if r.balanceView(tx.From).Cmp(total) < 0 {
+			rec.Error = "insufficient balance"
+			return rec
+		}
+		r.debit(tx.From, tx.Amount)
+		r.credit(tx.To, tx.Amount)
+		rec.GasUsed = 1
+		r.debit(tx.From, gasCost(rec.GasUsed))
+		spent.Add(spent, gasCost(rec.GasUsed))
+		r.accDelta.BumpNonce(tx.From, tx.Nonce)
+		rec.Success = true
+		return rec
+	case chain.TxCall:
+		c := r.net.Contracts.Get(tx.To)
+		if c == nil {
+			rec.Error = "unknown contract"
+			return rec
+		}
+		shardOv := r.overlayFor(c)
+		txOv := chain.NewOverlay(shardOv, c.Checked.FieldTypes)
+		ctx := &eval.Context{
+			Sender:          tx.From.Value(),
+			Origin:          tx.From.Value(),
+			Amount:          value.Int{Ty: ast.TyUint128, V: tx.Amount},
+			BlockNumber:     new(big.Int).SetUint64(r.net.BlockNumber),
+			State:           txOv,
+			GasLimit:        tx.GasLimit,
+			ContractBalance: new(big.Int).Set(r.balanceView(tx.To)),
+		}
+		res, err := c.Interp.Run(ctx, tx.Transition, tx.Args)
+		rec.GasUsed = ctx.GasUsed
+		cost := gasCost(rec.GasUsed)
+		// Gas is charged whether or not the transition succeeds.
+		r.debit(tx.From, cost)
+		spent.Add(spent, cost)
+		r.accDelta.BumpNonce(tx.From, tx.Nonce)
+		if err != nil {
+			rec.Error = err.Error()
+			return rec
+		}
+		// Native token movement: accept pulls the amount into the
+		// contract; outgoing messages push funds to user recipients.
+		if res.Accepted && tx.Amount.Sign() > 0 {
+			if r.balanceView(tx.From).Cmp(tx.Amount) < 0 {
+				rec.Error = "insufficient balance for accepted amount"
+				return rec
+			}
+			r.debit(tx.From, tx.Amount)
+			r.credit(tx.To, tx.Amount)
+		}
+		for _, m := range res.Messages {
+			if err := r.deliverToUser(c.Addr, m); err != nil {
+				rec.Error = err.Error()
+				return rec
+			}
+		}
+		if bad, err := r.overflowGuardViolation(c, shardOv, txOv); err != nil {
+			rec.Error = err.Error()
+			return rec
+		} else if bad {
+			// Sec. 6: conservative per-shard overflow bound exceeded;
+			// the transaction is rejected in-shard (a production system
+			// would reroute it to the DS committee).
+			rec.Error = "conservative overflow guard tripped"
+			return rec
+		}
+		txOv.CommitTo(shardOv)
+		rec.Success = true
+		rec.Events = res.Events
+		return rec
+	default:
+		rec.Error = "unsupported transaction kind in shard"
+		return rec
+	}
+}
+
+// deliverToUser applies a contract-emitted message to a user account
+// (shards may only send to users; contract recipients are filtered at
+// dispatch).
+func (r *shardRun) deliverToUser(from chain.Address, m value.Msg) error {
+	rcp, ok := m.Entries["_recipient"]
+	if !ok {
+		return fmt.Errorf("message without _recipient")
+	}
+	addr, ok := chain.AddressFromValue(rcp)
+	if !ok {
+		return fmt.Errorf("malformed _recipient")
+	}
+	if r.net.Accounts.IsContract(addr) {
+		return fmt.Errorf("in-shard message to a contract %s", addr)
+	}
+	if amt, ok := m.Entries["_amount"]; ok {
+		iv, ok := amt.(value.Int)
+		if !ok {
+			return fmt.Errorf("malformed _amount")
+		}
+		if iv.V.Sign() > 0 {
+			if r.balanceView(from).Cmp(iv.V) < 0 {
+				return fmt.Errorf("contract balance insufficient for send")
+			}
+			r.debit(from, iv.V)
+			r.credit(addr, iv.V)
+		}
+	}
+	return nil
+}
+
+// overflowGuardViolation implements the Sec. 6 conservative check: for
+// every IntMerge component the transaction (overlay txOv) changed,
+// the shard's cumulative delta relative to the epoch-start value v0
+// must stay within ⌊(MAX − v0)/N⌋ above and ⌊(v0 − MIN)/N⌋ below, so
+// that N shards' deltas can never jointly overflow.
+func (r *shardRun) overflowGuardViolation(c *chain.Contract, shardOv, txOv *chain.Overlay) (bool, error) {
+	if !r.net.Cfg.OverflowGuard || c.Sig == nil {
+		return false, nil
+	}
+	n := int64(r.net.Cfg.NumShards)
+	if n <= 1 {
+		return false, nil
+	}
+	d, err := txOv.ExtractDelta(c.Addr, r.shard, c.Sig.Joins)
+	if err != nil {
+		return false, err
+	}
+	base := c.Snapshot()
+	for f, fd := range d.Fields {
+		if c.Sig.Joins[f] != signature.IntMerge {
+			continue
+		}
+		check := func(keys []value.Value) (bool, error) {
+			// Cumulative shard value after this tx vs epoch start.
+			var cur, v0 value.Value
+			var ok bool
+			if keys == nil {
+				cur, err = txOv.LoadField(f)
+				if err != nil {
+					return false, err
+				}
+				v0, err = base.LoadField(f)
+				if err != nil {
+					return false, err
+				}
+			} else {
+				cur, ok, err = txOv.MapGet(f, keys)
+				if err != nil || !ok {
+					return false, err
+				}
+				v0, ok, err = base.MapGet(f, keys)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					v0 = nil
+				}
+			}
+			ci, ok := cur.(value.Int)
+			if !ok {
+				return false, nil
+			}
+			zero := big.NewInt(0)
+			base0 := zero
+			if v0 != nil {
+				if vi, ok := v0.(value.Int); ok {
+					base0 = vi.V
+				}
+			}
+			delta := new(big.Int).Sub(ci.V, base0)
+			if delta.Sign() >= 0 {
+				headroom := new(big.Int).Sub(ast.MaxInt(ci.Ty), base0)
+				headroom.Div(headroom, big.NewInt(n))
+				return delta.Cmp(headroom) > 0, nil
+			}
+			footroom := new(big.Int).Sub(base0, ast.MinInt(ci.Ty))
+			footroom.Div(footroom, big.NewInt(n))
+			neg := new(big.Int).Neg(delta)
+			return neg.Cmp(footroom) > 0, nil
+		}
+		if fd.Whole != nil {
+			bad, err := check(nil)
+			if err != nil || bad {
+				return bad, err
+			}
+		}
+		for _, e := range fd.Entries {
+			if e.Kind != chain.IntAdd {
+				continue
+			}
+			bad, err := check(e.Keys)
+			if err != nil || bad {
+				return bad, err
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,240 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/contracts"
+	"cosplit/internal/core/signature"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/value"
+	"cosplit/internal/shard"
+)
+
+// fieldFingerprint renders a contract field deterministically for
+// cross-run comparison.
+func fieldFingerprint(t *testing.T, net *shard.Network, contract chain.Address, field string) string {
+	t.Helper()
+	c := net.Contracts.Get(contract)
+	v, err := c.Snapshot().LoadField(field)
+	if err != nil {
+		t.Fatalf("LoadField(%s): %v", field, err)
+	}
+	return v.String()
+}
+
+func u256v(v uint64) value.Int {
+	return value.Int{Ty: ast.TyUint256, V: new(big.Int).SetUint64(v)}
+}
+
+// TestNFTShardedMatchesSequential: a random mint+transfer batch over
+// the NFT contract yields the same token_owners / owned_count /
+// total_tokens state at 1 and 4 shards.
+func TestNFTShardedMatchesSequential(t *testing.T) {
+	const nUsers = 12
+	const nTokens = 40
+	rng := rand.New(rand.NewSource(11))
+
+	type xfer struct{ token, newOwner int }
+	var transfers []xfer
+	for i := 0; i < 60; i++ {
+		transfers = append(transfers, xfer{token: rng.Intn(nTokens) + 1, newOwner: rng.Intn(nUsers)})
+	}
+
+	run := func(numShards int) map[string]string {
+		net := shard.NewNetwork(shard.DefaultConfig(numShards))
+		deployer := chain.AddrFromUint(999)
+		net.CreateUser(deployer, 1<<50)
+		minter := chain.AddrFromUint(1)
+		net.CreateUser(minter, 1<<50)
+		users := make([]chain.Address, nUsers)
+		for i := range users {
+			users[i] = chain.AddrFromUint(uint64(100 + i))
+			net.CreateUser(users[i], 1<<40)
+		}
+		contract, err := net.DeployContract(deployer, contracts.NonfungibleToken, map[string]value.Value{
+			"contract_owner": minter.Value(),
+			"name":           value.Str{S: "N"},
+			"symbol":         value.Str{S: "N"},
+		}, &signature.Query{
+			Transitions: []string{"Mint", "Transfer"},
+			WeakReads:   []string{"owned_count", "total_tokens"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mint tokens 1..nTokens to users round-robin, then settle.
+		for i := 1; i <= nTokens; i++ {
+			net.Submit(&chain.Tx{
+				Kind: chain.TxCall, From: minter, To: contract, Nonce: uint64(i),
+				Amount: big.NewInt(0), GasLimit: 100_000, GasPrice: 1,
+				Transition: "Mint",
+				Args: map[string]value.Value{
+					"to": users[i%nUsers].Value(), "token_id": u256v(uint64(i)),
+				},
+			})
+		}
+		for net.MempoolSize() > 0 {
+			if _, err := net.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Apply the transfer schedule, tracking owners client-side;
+		// each epoch carries at most one transfer per token so the CAS
+		// owner parameter is always current.
+		owner := make([]int, nTokens+1)
+		for i := 1; i <= nTokens; i++ {
+			owner[i] = i % nUsers
+		}
+		nonces := map[chain.Address]uint64{minter: uint64(nTokens)}
+		i := 0
+		for i < len(transfers) {
+			seen := map[int]bool{}
+			for i < len(transfers) && !seen[transfers[i].token] {
+				x := transfers[i]
+				seen[x.token] = true
+				from := users[owner[x.token]]
+				nonces[from]++
+				net.Submit(&chain.Tx{
+					Kind: chain.TxCall, From: from, To: contract, Nonce: nonces[from],
+					Amount: big.NewInt(0), GasLimit: 100_000, GasPrice: 1,
+					Transition: "Transfer",
+					Args: map[string]value.Value{
+						"to":          users[x.newOwner].Value(),
+						"token_id":    u256v(uint64(x.token)),
+						"token_owner": from.Value(),
+					},
+				})
+				owner[x.token] = x.newOwner
+				i++
+			}
+			for net.MempoolSize() > 0 {
+				if _, err := net.RunEpoch(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		out := map[string]string{}
+		for _, f := range []string{"token_owners", "owned_count", "total_tokens"} {
+			out[f] = fieldFingerprint(t, net, contract, f)
+		}
+		return out
+	}
+
+	sequential := run(1)
+	sharded := run(4)
+	for f, want := range sequential {
+		if sharded[f] != want {
+			t.Errorf("field %s diverged:\n 1 shard: %s\n 4 shards: %s", f, want, sharded[f])
+		}
+	}
+}
+
+// TestUDShardedMatchesSequential: bestow + configure batches.
+func TestUDShardedMatchesSequential(t *testing.T) {
+	const nDomains = 30
+	const nUsers = 10
+	rng := rand.New(rand.NewSource(5))
+
+	type cfg struct {
+		domain int
+		key    string
+		val    string
+	}
+	var cfgs []cfg
+	for i := 0; i < 80; i++ {
+		cfgs = append(cfgs, cfg{
+			domain: rng.Intn(nDomains) + 1,
+			key:    fmt.Sprintf("k%d", rng.Intn(3)),
+			val:    fmt.Sprintf("v%d", i),
+		})
+	}
+
+	node := func(i int) value.ByStr {
+		b := make([]byte, 32)
+		b[31] = byte(i)
+		b[30] = byte(i >> 8)
+		return value.ByStr{Ty: ast.TyByStr32, B: b}
+	}
+
+	run := func(numShards int) string {
+		net := shard.NewNetwork(shard.DefaultConfig(numShards))
+		deployer := chain.AddrFromUint(999)
+		net.CreateUser(deployer, 1<<50)
+		admin := chain.AddrFromUint(1)
+		net.CreateUser(admin, 1<<50)
+		users := make([]chain.Address, nUsers)
+		for i := range users {
+			users[i] = chain.AddrFromUint(uint64(100 + i))
+			net.CreateUser(users[i], 1<<40)
+		}
+		contract, err := net.DeployContract(deployer, contracts.UDRegistry, map[string]value.Value{
+			"registry_owner": admin.Value(),
+		}, &signature.Query{
+			Transitions: []string{"Bestow", "Configure", "ConfigureResolver"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= nDomains; i++ {
+			net.Submit(&chain.Tx{
+				Kind: chain.TxCall, From: admin, To: contract, Nonce: uint64(i),
+				Amount: big.NewInt(0), GasLimit: 100_000, GasPrice: 1,
+				Transition: "Bestow",
+				Args: map[string]value.Value{
+					"node": node(i), "owner": users[i%nUsers].Value(),
+				},
+			})
+		}
+		for net.MempoolSize() > 0 {
+			if _, err := net.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Same-domain configures are ordered within a shard (keyed by
+		// node); different domains commute. Last-writer-wins per key is
+		// deterministic because each epoch carries at most one write
+		// per (domain, key).
+		nonces := map[chain.Address]uint64{}
+		i := 0
+		for i < len(cfgs) {
+			seen := map[string]bool{}
+			for i < len(cfgs) {
+				c := cfgs[i]
+				slot := fmt.Sprintf("%d/%s", c.domain, c.key)
+				if seen[slot] {
+					break
+				}
+				seen[slot] = true
+				who := users[c.domain%nUsers]
+				nonces[who]++
+				net.Submit(&chain.Tx{
+					Kind: chain.TxCall, From: who, To: contract, Nonce: nonces[who],
+					Amount: big.NewInt(0), GasLimit: 100_000, GasPrice: 1,
+					Transition: "Configure",
+					Args: map[string]value.Value{
+						"node":  node(c.domain),
+						"owner": who.Value(),
+						"key":   value.Str{S: c.key},
+						"val":   value.Str{S: c.val},
+					},
+				})
+				i++
+			}
+			for net.MempoolSize() > 0 {
+				if _, err := net.RunEpoch(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return fieldFingerprint(t, net, contract, "record_data") +
+			fieldFingerprint(t, net, contract, "records")
+	}
+
+	if a, b := run(1), run(5); a != b {
+		t.Errorf("UD registry state diverged between 1 and 5 shards:\n%s\n---\n%s", a, b)
+	}
+}

@@ -1,0 +1,106 @@
+package shard_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/scilla/value"
+	"cosplit/internal/shard"
+	"math/big"
+)
+
+// TestStressShardedMatchesSequential is a heavier version of the
+// soundness theorem: 2000 mixed transactions (transfers, mints,
+// self-transfers that fall to DS) over 50 users at 1 vs 5 shards.
+func TestStressShardedMatchesSequential(t *testing.T) {
+	const nUsers = 50
+	const nTxs = 2000
+	rng := rand.New(rand.NewSource(99))
+
+	type op struct {
+		kind, a, b int
+		amt        uint64
+	}
+	ops := make([]op, nTxs)
+	for i := range ops {
+		ops[i] = op{kind: rng.Intn(10), a: rng.Intn(nUsers), b: rng.Intn(nUsers), amt: uint64(rng.Intn(20) + 1)}
+	}
+
+	run := func(numShards int) map[chain.Address]uint64 {
+		net, contract, users := deployFT(t, numShards, nUsers, true)
+		owner := users[0]
+		nonce := uint64(0)
+		for _, u := range users {
+			nonce++
+			net.Submit(&chain.Tx{
+				Kind: chain.TxCall, From: owner, To: contract, Nonce: nonce,
+				Amount: big.NewInt(0), GasLimit: 100_000, GasPrice: 1,
+				Transition: "Mint",
+				Args:       map[string]value.Value{"recipient": u.Value(), "amount": u128(1 << 30)},
+			})
+		}
+		if _, err := net.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		nonces := make([]uint64, nUsers)
+		nonces[0] = nonce
+		for _, o := range ops {
+			switch {
+			case o.kind == 0: // mint to random user (owner-only)
+				nonces[0]++
+				net.Submit(&chain.Tx{
+					Kind: chain.TxCall, From: owner, To: contract, Nonce: nonces[0],
+					Amount: big.NewInt(0), GasLimit: 100_000, GasPrice: 1,
+					Transition: "Mint",
+					Args:       map[string]value.Value{"recipient": users[o.b].Value(), "amount": u128(o.amt)},
+				})
+			case o.kind == 1: // deliberate self-transfer (DS path)
+				nonces[o.a]++
+				net.Submit(transferTx(users[o.a], users[o.a], contract, nonces[o.a], o.amt))
+			default: // ordinary transfer
+				to := o.b
+				if to == o.a {
+					to = (to + 1) % nUsers
+				}
+				nonces[o.a]++
+				net.Submit(transferTx(users[o.a], users[to], contract, nonces[o.a], o.amt))
+			}
+			// Run an epoch every ~400 submissions to interleave
+			// dispatch, execution and merging.
+			if net.MempoolSize() >= 400 {
+				if _, err := net.RunEpoch(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for net.MempoolSize() > 0 {
+			if _, err := net.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make(map[chain.Address]uint64, nUsers)
+		for _, u := range users {
+			out[u] = balanceOf(t, net, contract, u)
+		}
+		// total_supply must also agree.
+		ts, err := net.Contracts.Get(contract).Snapshot().LoadField("total_supply")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[chain.Address{}] = ts.(value.Int).V.Uint64()
+		return out
+	}
+
+	seq := run(1)
+	for _, n := range []int{2, 5} {
+		got := run(n)
+		for a, want := range seq {
+			if got[a] != want {
+				t.Errorf("%d shards: %s = %d, want %d", n, a, got[a], want)
+			}
+		}
+	}
+}
+
+var _ = shard.DefaultConfig
