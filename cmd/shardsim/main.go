@@ -1,7 +1,8 @@
 // Command shardsim runs the sharded-blockchain throughput experiments:
 // Fig. 14 (TPS per workload under baseline and CoSplit sharding), the
-// Sec. 5.2.2 overhead measurements, and the Sec. 5.2.3 ownership-vs-
-// commutativity ablation.
+// Sec. 5.2.2 overhead measurements, the Sec. 5.2.3 ownership-vs-
+// commutativity ablation, and the sequential-vs-parallel epoch
+// pipeline benchmark (-epoch-bench, JSON via -bench-out).
 package main
 
 import (
@@ -25,6 +26,10 @@ func main() {
 		overheads = flag.Bool("overheads", false, "measure Sec. 5.2.2 overheads instead of Fig. 14")
 		strategy  = flag.Bool("strategies", false, "run the Sec. 5.2.3 ownership-vs-commutativity ablation")
 		listFlag  = flag.Bool("list", false, "list workloads")
+		parallel  = flag.Bool("parallel", false, "execute shard queues on the worker pool")
+		epochB    = flag.Bool("epoch-bench", false, "run the sequential-vs-parallel epoch pipeline benchmark")
+		benchOut  = flag.String("bench-out", "", "write the -epoch-bench report as JSON to this file")
+		benchWl   = flag.String("bench-workload", "FT transfer", "workload for -epoch-bench")
 	)
 	flag.Parse()
 
@@ -41,9 +46,30 @@ func main() {
 		NodesPerShard: *nodes,
 		ShardGasLimit: *shardGas,
 		DSGasLimit:    *dsGas,
+		Parallel:      *parallel,
 	}
 
 	switch {
+	case *epochB:
+		ecfg := bench.DefaultEpochBenchConfig()
+		ecfg.Workload = *benchWl
+		ecfg.NodesPerShard = *nodes
+		// Open the output before the (multi-second) benchmark runs so a
+		// bad path fails immediately.
+		var out *os.File
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			fail(err)
+			out = f
+		}
+		rep, err := bench.RunEpochBench(ecfg)
+		fail(err)
+		bench.PrintEpochBench(os.Stdout, rep)
+		if out != nil {
+			fail(rep.WriteJSON(out))
+			fail(out.Close())
+			fmt.Printf("\nwrote %s\n", *benchOut)
+		}
 	case *overheads:
 		r, err := bench.MeasureOverheads(5000)
 		fail(err)

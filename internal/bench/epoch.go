@@ -1,0 +1,343 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+	"cosplit/internal/shard"
+	"cosplit/internal/workload"
+)
+
+// EpochBenchConfig parameterises the epoch-throughput benchmark that
+// produces BENCH_epoch.json: one workload, sequential vs parallel
+// pipelines across a range of shard counts, with per-stage timings.
+type EpochBenchConfig struct {
+	Workload      string `json:"workload"`
+	ShardCounts   []int  `json:"shard_counts"`
+	Epochs        int    `json:"epochs"`
+	TxsPerEpoch   int    `json:"txs_per_epoch"`
+	NodesPerShard int    `json:"nodes_per_shard"`
+	ShardGasLimit uint64 `json:"shard_gas_limit"`
+	DSGasLimit    uint64 `json:"ds_gas_limit"`
+}
+
+// DefaultEpochBenchConfig is the configuration the committed
+// BENCH_epoch.json is generated with.
+func DefaultEpochBenchConfig() EpochBenchConfig {
+	return EpochBenchConfig{
+		Workload:      "FT transfer",
+		ShardCounts:   []int{1, 2, 4, 8},
+		Epochs:        5,
+		TxsPerEpoch:   2000,
+		NodesPerShard: 5,
+		ShardGasLimit: 2_000_000,
+		DSGasLimit:    2_000_000,
+	}
+}
+
+// StageMillis reports cumulative per-stage host timings for a run.
+type StageMillis struct {
+	Dispatch   float64 `json:"dispatch"`
+	ExecuteMax float64 `json:"execute_max"`
+	ExecuteSum float64 `json:"execute_sum"`
+	Merge      float64 `json:"merge"`
+	DS         float64 `json:"ds"`
+}
+
+// EpochBenchRow is one (shard count, pipeline mode) measurement.
+//
+// ModeledMS charges shard execution the way the simulated network
+// incurs it: the parallel pipeline pays the slowest shard (shards are
+// distinct machines), the sequential pipeline pays the sum (queues
+// executed back-to-back). MeasuredMS is the host wall-clock actually
+// spent, reported side by side; on a single-core host the two modes
+// measure alike even though the modelled pipelines differ.
+type EpochBenchRow struct {
+	Shards      int         `json:"shards"`
+	Parallel    bool        `json:"parallel"`
+	Committed   int         `json:"committed"`
+	Failed      int         `json:"failed"`
+	DSCommitted int         `json:"ds_committed"`
+	ModeledMS   float64     `json:"modeled_ms"`
+	MeasuredMS  float64     `json:"measured_ms"`
+	TPSModeled  float64     `json:"tps_modeled"`
+	TPSMeasured float64     `json:"tps_measured"`
+	Stages      StageMillis `json:"stages_ms"`
+}
+
+// Microbench is one testing.B data point.
+type Microbench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// EpochBenchReport is the serialised form of BENCH_epoch.json.
+type EpochBenchReport struct {
+	Schema     string           `json:"schema"`
+	Config     EpochBenchConfig `json:"config"`
+	HostCPUs   int              `json:"host_cpus"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Rows       []EpochBenchRow  `json:"rows"`
+	// SpeedupModeled maps shard count -> parallel/sequential modeled
+	// throughput ratio.
+	SpeedupModeled map[string]float64 `json:"speedup_modeled"`
+	// Microbench holds testing.B numbers measured at generation time;
+	// MicrobenchBaseline pins the numbers measured at the seed commit
+	// (before plan caching and the overlay keypath work) so future PRs
+	// have a fixed reference for regressions.
+	Microbench         []Microbench `json:"microbench"`
+	MicrobenchBaseline []Microbench `json:"microbench_baseline"`
+	GeneratedBy        string       `json:"generated_by"`
+}
+
+// seedMicrobench are the microbenchmark numbers recorded at the seed
+// commit of this PR (sequential dispatcher with per-transaction
+// signature interpretation, per-op Keypath string joins), on the same
+// class of host the committed BENCH_epoch.json is generated on.
+// The seed dispatcher had no pure Decide entry point; its
+// "dispatch.Decide" row is the seed's Dispatch (routing evaluation plus
+// replay/load bookkeeping), the closest equivalent operation.
+var seedMicrobench = []Microbench{
+	{Name: "dispatch.Decide", NsPerOp: 4843, BytesPerOp: 1149, AllocsPerOp: 26},
+	{Name: "chain.Keypath/1key", NsPerOp: 1627, BytesPerOp: 216, AllocsPerOp: 7},
+	{Name: "chain.Keypath/2keys", NsPerOp: 3037, BytesPerOp: 528, AllocsPerOp: 14},
+	{Name: "chain.Overlay.MapSet", NsPerOp: 1729, BytesPerOp: 288, AllocsPerOp: 11},
+	{Name: "chain.Overlay.ReadModifyWrite", NsPerOp: 3407, BytesPerOp: 504, AllocsPerOp: 18},
+}
+
+// measureEpochRun drives one workload through Epochs epochs in one
+// pipeline mode and accumulates the per-stage timings.
+func measureEpochRun(w *workload.Workload, shards int, parallel bool, cfg EpochBenchConfig) (*EpochBenchRow, error) {
+	scfg := shard.Config{
+		NumShards:          shards,
+		NodesPerShard:      cfg.NodesPerShard,
+		ShardGasLimit:      cfg.ShardGasLimit,
+		DSGasLimit:         cfg.DSGasLimit,
+		SplitGasAccounting: true,
+		// Consensus is excluded: this benchmark isolates the execution
+		// pipeline (dispatch, execute, merge, DS) the PR optimises.
+		ModelConsensus: false,
+		ParallelShards: parallel,
+	}
+	env, err := workload.Provision(w, scfg, true)
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	row := &EpochBenchRow{Shards: shards, Parallel: parallel}
+	var modeled, measured time.Duration
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i := env.Net.MempoolSize(); i < cfg.TxsPerEpoch; i++ {
+			env.Net.Submit(w.Next(env))
+		}
+		stats, err := env.Net.RunEpoch()
+		if err != nil {
+			return nil, err
+		}
+		row.Committed += stats.Committed
+		row.Failed += stats.Failed
+		row.DSCommitted += stats.DSCount
+		if parallel {
+			modeled += stats.WallTime
+		} else {
+			modeled += stats.SequentialPipelineTime()
+		}
+		measured += stats.MeasuredTime
+		row.Stages.Dispatch += ms(stats.DispatchTime)
+		row.Stages.ExecuteMax += ms(stats.ShardExecTime)
+		row.Stages.ExecuteSum += ms(stats.SumShardExecTime)
+		row.Stages.Merge += ms(stats.MergeTime)
+		row.Stages.DS += ms(stats.DSExecTime)
+	}
+	row.ModeledMS = ms(modeled)
+	row.MeasuredMS = ms(measured)
+	if modeled > 0 {
+		row.TPSModeled = float64(row.Committed) / modeled.Seconds()
+	}
+	if measured > 0 {
+		row.TPSMeasured = float64(row.Committed) / measured.Seconds()
+	}
+	return row, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// RunEpochBench runs the full sequential-vs-parallel epoch benchmark
+// and collects the microbenchmark numbers.
+func RunEpochBench(cfg EpochBenchConfig) (*EpochBenchReport, error) {
+	w, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	rep := &EpochBenchReport{
+		Schema:             "cosplit-epoch-bench/v1",
+		Config:             cfg,
+		HostCPUs:           runtime.NumCPU(),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		SpeedupModeled:     make(map[string]float64),
+		MicrobenchBaseline: seedMicrobench,
+		GeneratedBy:        "go run ./cmd/shardsim -epoch-bench -bench-out BENCH_epoch.json",
+	}
+	for _, shards := range cfg.ShardCounts {
+		seq, err := measureEpochRun(w, shards, false, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s sequential %d shards: %w", cfg.Workload, shards, err)
+		}
+		par, err := measureEpochRun(w, shards, true, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel %d shards: %w", cfg.Workload, shards, err)
+		}
+		rep.Rows = append(rep.Rows, *seq, *par)
+		if seq.TPSModeled > 0 {
+			rep.SpeedupModeled[fmt.Sprint(shards)] = par.TPSModeled / seq.TPSModeled
+		}
+	}
+	rep.Microbench, err = RunEpochMicrobench()
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// RunEpochMicrobench measures the dispatch.Decide, chain.Keypath, and
+// Overlay.MapSet microbenchmarks via testing.Benchmark, mirroring the
+// testing.B benchmarks in the dispatch and chain packages.
+func RunEpochMicrobench() ([]Microbench, error) {
+	w := workload.FTTransfer()
+	w.Setup = nil // routing needs no token balances
+	env, err := workload.Provision(w, shard.DefaultConfig(8), true)
+	if err != nil {
+		return nil, err
+	}
+	tx := w.Next(env)
+	tx.ID = 1
+
+	types := map[string]ast.Type{
+		"balances": ast.MapType{Key: ast.TyByStr20, Val: ast.TyUint128},
+	}
+	base := eval.NewMemState(types)
+	base.Fields["balances"] = value.NewMap(ast.TyByStr20, ast.TyUint128)
+	key1 := []value.Value{chain.AddrFromUint(42).Value()}
+	key2 := []value.Value{chain.AddrFromUint(7).Value(), chain.AddrFromUint(9).Value()}
+	amount := value.Uint128(1)
+
+	runs := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"dispatch.Decide", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if r := env.Net.Disp.Decide(tx); r.Rejected {
+					b.Fatal(r.Reason)
+				}
+			}
+		}},
+		{"chain.Keypath/1key", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if chain.Keypath(key1) == "" {
+					b.Fatal("empty keypath")
+				}
+			}
+		}},
+		{"chain.Keypath/2keys", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if chain.Keypath(key2) == "" {
+					b.Fatal("empty keypath")
+				}
+			}
+		}},
+		{"chain.Overlay.MapSet", func(b *testing.B) {
+			ov := chain.NewOverlay(base, types)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ov.MapSet("balances", key1, amount); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"chain.Overlay.ReadModifyWrite", func(b *testing.B) {
+			ov := chain.NewOverlay(base, types)
+			if err := ov.MapSet("balances", key1, amount); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ov.MapGet("balances", key1); err != nil {
+					b.Fatal(err)
+				}
+				if err := ov.MapSet("balances", key1, amount); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	out := make([]Microbench, 0, len(runs))
+	for _, r := range runs {
+		res := testing.Benchmark(r.fn)
+		out = append(out, Microbench{
+			Name:        r.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return out, nil
+}
+
+// WriteJSON serialises the report.
+func (r *EpochBenchReport) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintEpochBench renders the report as a table.
+func PrintEpochBench(out io.Writer, r *EpochBenchReport) {
+	fmt.Fprintf(out, "epoch benchmark: %s (epochs=%d, txs/epoch=%d, host CPUs=%d)\n",
+		r.Config.Workload, r.Config.Epochs, r.Config.TxsPerEpoch, r.HostCPUs)
+	fmt.Fprintf(out, "%7s %10s %10s %12s %12s %12s %10s\n",
+		"shards", "mode", "committed", "modeled-ms", "measured-ms", "tps-modeled", "speedup")
+	for _, row := range r.Rows {
+		mode := "seq"
+		if row.Parallel {
+			mode = "parallel"
+		}
+		speedup := ""
+		if row.Parallel {
+			if s, ok := r.SpeedupModeled[fmt.Sprint(row.Shards)]; ok {
+				speedup = fmt.Sprintf("%.2fx", s)
+			}
+		}
+		fmt.Fprintf(out, "%7d %10s %10d %12.1f %12.1f %12.0f %10s\n",
+			row.Shards, mode, row.Committed, row.ModeledMS, row.MeasuredMS, row.TPSModeled, speedup)
+	}
+	fmt.Fprintln(out, "\nmicrobenchmarks (current vs seed baseline):")
+	base := map[string]Microbench{}
+	for _, m := range r.MicrobenchBaseline {
+		base[m.Name] = m
+	}
+	fmt.Fprintf(out, "%-32s %12s %12s %14s\n", "benchmark", "ns/op", "allocs/op", "seed allocs/op")
+	for _, m := range r.Microbench {
+		b, ok := base[m.Name]
+		seed := "-"
+		if ok {
+			seed = fmt.Sprint(b.AllocsPerOp)
+		}
+		fmt.Fprintf(out, "%-32s %12.0f %12d %14s\n", m.Name, m.NsPerOp, m.AllocsPerOp, seed)
+	}
+}

@@ -25,6 +25,9 @@ type ThroughputConfig struct {
 	// are scaled down from mainnet so the offered load saturates them.
 	ShardGasLimit uint64
 	DSGasLimit    uint64
+	// Parallel executes shard queues on the worker pool (the epoch
+	// results are bit-identical to the sequential pipeline).
+	Parallel bool
 }
 
 // DefaultThroughputConfig mirrors the paper's setup (10 epochs, 5
@@ -66,6 +69,7 @@ func MeasureThroughput(w *workload.Workload, numShards int, sharded bool, cfg Th
 		DSGasLimit:         cfg.DSGasLimit,
 		SplitGasAccounting: true,
 		ModelConsensus:     true,
+		ParallelShards:     cfg.Parallel,
 	}
 	env, err := workload.Provision(w, scfg, sharded)
 	if err != nil {

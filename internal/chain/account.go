@@ -59,6 +59,19 @@ func (as *Accounts) Get(addr Address) *Account {
 	return a.Copy()
 }
 
+// NonceOf returns the committed nonce of an account without copying it
+// (the dispatch hot path only needs the nonce, and Get's defensive copy
+// costs three allocations per transaction).
+func (as *Accounts) NonceOf(addr Address) (uint64, bool) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	a, ok := as.m[addr]
+	if !ok {
+		return 0, false
+	}
+	return a.Nonce, true
+}
+
 // IsContract reports whether the address holds a contract.
 func (as *Accounts) IsContract(addr Address) bool {
 	as.mu.RLock()

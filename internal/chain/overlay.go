@@ -19,13 +19,25 @@ type StateReader interface {
 // keypathSep separates canonical keys in a flattened nested-map path.
 const keypathSep = "\x1f"
 
-// Keypath renders a key vector canonically.
+// Keypath renders a key vector canonically. The single-key case (flat
+// maps such as balances[addr], by far the most common shape) avoids the
+// intermediate parts slice entirely; deeper paths are assembled in one
+// strings.Builder pass.
 func Keypath(keys []value.Value) string {
-	parts := make([]string, len(keys))
-	for i, k := range keys {
-		parts[i] = value.CanonicalKey(k)
+	switch len(keys) {
+	case 0:
+		return ""
+	case 1:
+		return value.CanonicalKey(keys[0])
 	}
-	return strings.Join(parts, keypathSep)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(keypathSep)
+		}
+		sb.WriteString(value.CanonicalKey(k))
+	}
+	return sb.String()
 }
 
 type mapEntry struct {
@@ -47,6 +59,26 @@ type Overlay struct {
 	scalars map[string]value.Value
 	// mapWrites holds per-entry writes: field -> keypath -> entry.
 	mapWrites map[string]map[string]mapEntry
+	// kpKeys/kpPath memoise the last computed keypath by key-slice
+	// identity: the dominant access pattern is a MapGet immediately
+	// followed by a MapSet of the same key vector (read-modify-write),
+	// which reuses the canonicalisation instead of re-encoding it.
+	kpKeys []value.Value
+	kpPath string
+	// merged caches the materialised merge of LoadField for map fields
+	// with pending entry writes; invalidated by any write to the field.
+	merged map[string]value.Value
+}
+
+// keypath returns Keypath(keys), memoising the last result.
+func (o *Overlay) keypath(keys []value.Value) string {
+	if len(keys) > 0 && len(o.kpKeys) == len(keys) && &o.kpKeys[0] == &keys[0] {
+		return o.kpPath
+	}
+	p := Keypath(keys)
+	o.kpKeys = keys
+	o.kpPath = p
+	return p
 }
 
 // NewOverlay creates an overlay over base.
@@ -86,6 +118,9 @@ func (o *Overlay) LoadField(name string) (value.Value, error) {
 	if len(writes) == 0 {
 		return baseVal, nil
 	}
+	if v, ok := o.merged[name]; ok {
+		return v, nil
+	}
 	bm, ok := baseVal.(*value.Map)
 	if !ok {
 		return nil, fmt.Errorf("field %s has entry writes but is not a map", name)
@@ -98,6 +133,10 @@ func (o *Overlay) LoadField(name string) (value.Value, error) {
 			return nil, err
 		}
 	}
+	if o.merged == nil {
+		o.merged = make(map[string]value.Value)
+	}
+	o.merged[name] = merged
 	return merged, nil
 }
 
@@ -108,6 +147,7 @@ func (o *Overlay) StoreField(name string, v value.Value) error {
 	}
 	// A wholesale store supersedes any pending entry writes.
 	delete(o.mapWrites, name)
+	delete(o.merged, name)
 	o.scalars[name] = value.Copy(v)
 	return nil
 }
@@ -121,7 +161,7 @@ func (o *Overlay) MapGet(field string, keys []value.Value) (value.Value, bool, e
 		}
 		return getNested(m, keys)
 	}
-	if e, ok := o.mapWrites[field][Keypath(keys)]; ok {
+	if e, ok := o.mapWrites[field][o.keypath(keys)]; ok {
 		if e.deleted {
 			return nil, false, nil
 		}
@@ -144,7 +184,8 @@ func (o *Overlay) MapSet(field string, keys []value.Value, v value.Value) error 
 		w = make(map[string]mapEntry)
 		o.mapWrites[field] = w
 	}
-	w[Keypath(keys)] = mapEntry{keys: keys, val: value.Copy(v)}
+	delete(o.merged, field)
+	w[o.keypath(keys)] = mapEntry{keys: keys, val: value.Copy(v)}
 	return nil
 }
 
@@ -163,7 +204,8 @@ func (o *Overlay) MapDelete(field string, keys []value.Value) error {
 		w = make(map[string]mapEntry)
 		o.mapWrites[field] = w
 	}
-	w[Keypath(keys)] = mapEntry{keys: keys, deleted: true}
+	delete(o.merged, field)
+	w[o.keypath(keys)] = mapEntry{keys: keys, deleted: true}
 	return nil
 }
 

@@ -1,0 +1,31 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"cosplit/internal/scilla/eval"
+)
+
+// StateRoot hashes a canonical rendering of a contract state: fields in
+// sorted order, each hashed with its deterministic string rendering
+// (value.Map renders entries in sorted canonical-key order). Two states
+// are observably identical iff their roots match, which is what the
+// parallel-vs-sequential determinism tests and the FinalBlock assertions
+// rely on.
+func StateRoot(st *eval.MemState) string {
+	h := sha256.New()
+	names := make([]string, 0, len(st.Fields))
+	for f := range st.Fields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+		h.Write([]byte(st.Fields[f].String()))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

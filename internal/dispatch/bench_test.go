@@ -1,0 +1,88 @@
+package dispatch_test
+
+import (
+	"math/big"
+	"testing"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/contracts"
+	"cosplit/internal/dispatch"
+	"cosplit/internal/scilla/value"
+)
+
+// newBenchDispatcher stands up an FT contract with the paper's sharding
+// query and a small user population, mirroring newFixture but usable
+// from benchmarks.
+func newBenchDispatcher(b *testing.B, numShards int) (*dispatch.Dispatcher, *chain.Contract, []chain.Address) {
+	b.Helper()
+	accounts := chain.NewAccounts()
+	cs := chain.NewContracts()
+	owner := chain.AddrFromUint(1)
+	accounts.Create(owner, 1<<40, false)
+	users := []chain.Address{owner}
+	for i := 2; i <= 64; i++ {
+		a := chain.AddrFromUint(uint64(i))
+		accounts.Create(a, 1<<40, false)
+		users = append(users, a)
+	}
+	addr := chain.ContractAddress(owner, 1)
+	entry, err := contracts.Get("FungibleToken")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := chain.Deploy(addr, entry.Source, map[string]value.Value{
+		"contract_owner": owner.Value(),
+		"token_name":     value.Str{S: "T"},
+		"token_symbol":   value.Str{S: "T"},
+		"decimals":       value.Uint32V(6),
+		"init_supply":    value.Uint128(1000),
+	}, &chain.Deployment{Query: ftQuery()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	accounts.Create(addr, 0, true)
+	cs.Add(c)
+	return dispatch.New(numShards, accounts, cs), c, users
+}
+
+func benchTransferTx(c *chain.Contract, from, to chain.Address, nonce uint64) *chain.Tx {
+	return &chain.Tx{
+		ID: nonce, Kind: chain.TxCall, From: from, To: c.Addr,
+		Nonce: nonce, Amount: big.NewInt(0), GasLimit: 1000, GasPrice: 1,
+		Transition: "Transfer",
+		Args: map[string]value.Value{
+			"to": to.Value(), "amount": value.Uint128(1),
+		},
+	}
+}
+
+// BenchmarkDecide measures the pure routing decision (dispatch_oc
+// evaluation) on the FT Transfer hot path.
+func BenchmarkDecide(b *testing.B) {
+	d, c, users := newBenchDispatcher(b, 8)
+	tx := benchTransferTx(c, users[1], users[2], 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := d.Decide(tx)
+		if r.Rejected || r.Shard == dispatch.DS {
+			b.Fatalf("unexpected routing: %+v", r)
+		}
+	}
+}
+
+// BenchmarkDispatch measures the full stateful dispatch path (routing
+// plus replay table and load accounting).
+func BenchmarkDispatch(b *testing.B) {
+	d, c, users := newBenchDispatcher(b, 8)
+	tx := benchTransferTx(c, users[1], users[2], 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Nonce = uint64(i) + 1
+		dec := d.Dispatch(tx)
+		if dec.Rejected {
+			b.Fatalf("rejected: %s", dec.Reason)
+		}
+	}
+}

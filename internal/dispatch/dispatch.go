@@ -14,17 +14,21 @@
 // Owns constraints resolve to different shards cannot be placed and
 // goes to the DS committee — e.g. ProofIPFS registrations touching
 // both ipfsInventory[hash] and registered_items[_sender] (Sec. 5.2.1).
+//
+// The dispatcher is built for the parallel epoch pipeline: constraint
+// sets are compiled once per (contract, transition) and cached, the
+// routing decision (Decide) touches no mutable dispatcher state, and
+// the per-epoch replay table and load counters are striped/atomic so
+// concurrent dispatch never serialises on a single mutex. DispatchAll
+// routes a whole mempool packet with worker-pool parallelism while
+// keeping the resulting decisions bit-identical to a sequential pass.
 package dispatch
 
 import (
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cosplit/internal/chain"
-	"cosplit/internal/core/domain"
-	"cosplit/internal/core/signature"
-	"cosplit/internal/scilla/ast"
-	"cosplit/internal/scilla/value"
 )
 
 // DS is the shard index denoting the DS committee.
@@ -39,6 +43,31 @@ type Decision struct {
 	Rejected bool
 }
 
+// Routing is Decide's pure verdict: the Decision plus the placement
+// notes the stateful commit step needs.
+type Routing struct {
+	Decision
+	// Unconstrained marks a transaction any shard may execute; the
+	// commit step places it on the least-loaded shard.
+	Unconstrained bool
+	// Invalid marks a rejection that precedes replay accounting
+	// (unknown sender, stale nonce): the nonce is not consumed.
+	Invalid bool
+}
+
+// nonceStripes must be a power of two.
+const nonceStripes = 64
+
+type nonceKey struct {
+	from  chain.Address
+	nonce uint64
+}
+
+type nonceStripe struct {
+	mu sync.Mutex
+	m  map[nonceKey]struct{}
+}
+
 // Dispatcher routes transactions for one epoch.
 type Dispatcher struct {
 	NumShards int
@@ -49,220 +78,225 @@ type Dispatcher struct {
 	// evenly).
 	SplitGasAccounting bool
 
-	mu sync.Mutex
-	// load counts transactions routed per shard (index NumShards = DS).
-	load []int
-	// usedNonces guards against replays within the epoch.
-	usedNonces map[nonceKey]bool
+	// load counts transactions routed per shard (index NumShards = DS),
+	// updated atomically so concurrent dispatch does not serialise.
+	load []atomic.Int64
+	// nonces guards against replays within the epoch, striped by
+	// (sender, nonce) to keep the hot path off a single mutex.
+	nonces [nonceStripes]nonceStripe
+	// plans caches the compiled per-(contract, transition) constraint
+	// plan; signatures are immutable once a contract is deployed.
+	plans sync.Map // planKey -> *plan
 }
 
-type nonceKey struct {
-	from  chain.Address
-	nonce uint64
+type planKey struct {
+	contract   chain.Address
+	transition string
 }
 
 // New creates a dispatcher for an epoch.
 func New(numShards int, accounts *chain.Accounts, contracts *chain.Contracts) *Dispatcher {
-	return &Dispatcher{
-		NumShards:  numShards,
-		Accounts:   accounts,
-		Contracts:  contracts,
-		load:       make([]int, numShards+1),
-		usedNonces: make(map[nonceKey]bool),
+	d := &Dispatcher{
+		NumShards: numShards,
+		Accounts:  accounts,
+		Contracts: contracts,
+		load:      make([]atomic.Int64, numShards+1),
 	}
+	for i := range d.nonces {
+		d.nonces[i].m = make(map[nonceKey]struct{})
+	}
+	return d
 }
 
-// ResetEpoch clears the per-epoch load counters and replay table.
+// ResetEpoch clears the per-epoch load counters and replay table in
+// place, reusing the allocated slice and stripe maps across epochs.
 func (d *Dispatcher) ResetEpoch() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.load = make([]int, d.NumShards+1)
-	d.usedNonces = make(map[nonceKey]bool)
+	for i := range d.load {
+		d.load[i].Store(0)
+	}
+	for i := range d.nonces {
+		s := &d.nonces[i]
+		s.mu.Lock()
+		clear(s.m)
+		s.mu.Unlock()
+	}
 }
 
 // Load returns a copy of the per-shard load counters (last entry = DS).
 func (d *Dispatcher) Load() []int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return append([]int{}, d.load...)
+	out := make([]int, len(d.load))
+	for i := range d.load {
+		out[i] = int(d.load[i].Load())
+	}
+	return out
 }
 
-// Dispatch routes a transaction. It is safe for concurrent use.
-func (d *Dispatcher) Dispatch(tx *chain.Tx) Decision {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-
-	// Replay protection (relaxed nonces, Sec. 4.2.1): a nonce may be
-	// used once, and must exceed the committed account nonce.
-	acc := d.Accounts.Get(tx.From)
-	if acc == nil {
-		return Decision{Rejected: true, Reason: "unknown sender"}
+// markNonce records a (sender, nonce) use; it reports false on replay.
+func (d *Dispatcher) markNonce(from chain.Address, nonce uint64) bool {
+	s := &d.nonces[(uint64(from[0])^nonce)&(nonceStripes-1)]
+	k := nonceKey{from: from, nonce: nonce}
+	s.mu.Lock()
+	_, dup := s.m[k]
+	if !dup {
+		s.m[k] = struct{}{}
 	}
-	if tx.Nonce <= acc.Nonce {
-		return Decision{Rejected: true, Reason: "stale nonce"}
-	}
-	nk := nonceKey{from: tx.From, nonce: tx.Nonce}
-	if d.usedNonces[nk] {
-		return Decision{Rejected: true, Reason: "replayed nonce"}
-	}
-	d.usedNonces[nk] = true
-
-	dec := d.route(tx)
-	if !dec.Rejected {
-		if dec.Shard == DS {
-			d.load[d.NumShards]++
-		} else {
-			d.load[dec.Shard]++
-		}
-	}
-	return dec
+	s.mu.Unlock()
+	return !dup
 }
 
-func (d *Dispatcher) route(tx *chain.Tx) Decision {
+// Decide computes the routing verdict for a transaction without
+// touching any per-epoch mutable state (no replay table, no load
+// counters). It is the pure dispatch_oc(T, x) evaluation and is safe
+// to run concurrently with itself and with Dispatch.
+func (d *Dispatcher) Decide(tx *chain.Tx) Routing {
+	// Validity (relaxed nonces, Sec. 4.2.1): the nonce must exceed the
+	// committed account nonce.
+	nonce, ok := d.Accounts.NonceOf(tx.From)
+	if !ok {
+		return Routing{Decision: Decision{Rejected: true, Reason: "unknown sender"}, Invalid: true}
+	}
+	if tx.Nonce <= nonce {
+		return Routing{Decision: Decision{Rejected: true, Reason: "stale nonce"}, Invalid: true}
+	}
+
 	switch tx.Kind {
 	case chain.TxTransfer:
 		// User-to-user payments go to the sender's home shard, where
 		// double spends are detected locally (Sec. 4.1).
-		return Decision{Shard: chain.ShardOf(tx.From, d.NumShards), Reason: "sender home shard"}
+		return Routing{Decision: Decision{Shard: chain.ShardOf(tx.From, d.NumShards), Reason: "sender home shard"}}
 	case chain.TxDeploy:
-		return Decision{Shard: DS, Reason: "contract deployment"}
+		return Routing{Decision: Decision{Shard: DS, Reason: "contract deployment"}}
 	}
 
 	c := d.Contracts.Get(tx.To)
 	if c == nil {
-		return Decision{Rejected: true, Reason: "unknown contract"}
+		return Routing{Decision: Decision{Rejected: true, Reason: "unknown contract"}}
 	}
 	if c.Sig == nil {
 		// Baseline strategy: in-shard only when sender and contract
 		// share a home shard; otherwise the DS committee.
 		s, cs := chain.ShardOf(tx.From, d.NumShards), chain.ShardOf(tx.To, d.NumShards)
 		if s == cs {
-			return Decision{Shard: s, Reason: "baseline: sender and contract co-located"}
+			return Routing{Decision: Decision{Shard: s, Reason: "baseline: sender and contract co-located"}}
 		}
-		return Decision{Shard: DS, Reason: "baseline: cross-shard contract call"}
+		return Routing{Decision: Decision{Shard: DS, Reason: "baseline: cross-shard contract call"}}
 	}
-	cs, ok := c.Sig.Constraints[tx.Transition]
-	if !ok {
-		return Decision{Shard: DS, Reason: "transition not in sharding signature"}
+	p := d.planFor(c, tx.Transition)
+	if p == nil {
+		return dsRouting(reasonNotInSig)
 	}
-	return d.solve(tx, c, cs)
+	return p.eval(d, tx)
 }
 
-// solve evaluates the constraint set against the transaction's concrete
-// arguments, implementing dispatch_oc(T, x).
-func (d *Dispatcher) solve(tx *chain.Tx, c *chain.Contract, cs []signature.Constraint) Decision {
-	args := resolveArgs(tx)
-
-	required := -2 // -2: unconstrained; >=0: forced shard; DS on conflict
-	force := func(s int, why string) *Decision {
-		if required == -2 || required == s {
-			required = s
-			return nil
-		}
-		return &Decision{Shard: DS, Reason: "conflicting shard requirements: " + why}
+// planFor returns the compiled constraint plan for (contract,
+// transition), compiling and caching it on first use. A nil return
+// means the transition is not in the sharding signature.
+func (d *Dispatcher) planFor(c *chain.Contract, transition string) *plan {
+	k := planKey{contract: c.Addr, transition: transition}
+	if p, ok := d.plans.Load(k); ok {
+		return p.(*plan)
 	}
-
-	for _, con := range cs {
-		switch con.Kind {
-		case signature.CBottom:
-			return Decision{Shard: DS, Reason: "unshardable transition (⊥)"}
-		case signature.CSenderShard:
-			if dec := force(chain.ShardOf(tx.From, d.NumShards), "SenderShard"); dec != nil {
-				return *dec
-			}
-		case signature.CContractShard:
-			if dec := force(chain.ShardOf(tx.To, d.NumShards), "ContractShard"); dec != nil {
-				return *dec
-			}
-		case signature.CUserAddr:
-			v, ok := args[con.Param]
-			if !ok {
-				return Decision{Shard: DS, Reason: "unresolvable UserAddr parameter " + con.Param}
-			}
-			addr, ok := chain.AddressFromValue(v)
-			if !ok {
-				return Decision{Shard: DS, Reason: "non-address UserAddr argument"}
-			}
-			if d.Accounts.IsContract(addr) {
-				return Decision{Shard: DS, Reason: "message recipient is a contract"}
-			}
-		case signature.CNoAliases:
-			av, aok := resolveVec(args, con.A)
-			bv, bok := resolveVec(args, con.B)
-			if !aok || !bok {
-				return Decision{Shard: DS, Reason: "unresolvable NoAliases keys"}
-			}
-			if av == bv {
-				return Decision{Shard: DS, Reason: "aliasing map keys"}
-			}
-		case signature.COwns:
-			s, ok := d.ownerShard(c.Addr, con.Field, args)
-			if !ok {
-				return Decision{Shard: DS, Reason: "unresolvable ownership keys"}
-			}
-			if dec := force(s, "Owns("+con.Field.String()+")"); dec != nil {
-				return *dec
-			}
-		}
+	cs, ok := c.Sig.Constraints[transition]
+	if !ok {
+		d.plans.Store(k, (*plan)(nil))
+		return nil
 	}
+	p := compilePlan(cs)
+	actual, _ := d.plans.LoadOrStore(k, p)
+	return actual.(*plan)
+}
 
-	shard := required
-	if shard == -2 {
-		// Fully unconstrained transactions (e.g. commutative-only
-		// writers like FT Mint) may run anywhere; balance the load.
+// commit applies the stateful half of dispatch: replay accounting,
+// load-balanced placement of unconstrained transactions, and the load
+// counters. Callers that need deterministic results (DispatchAll) call
+// it sequentially in submission order.
+func (d *Dispatcher) commit(tx *chain.Tx, r Routing) Decision {
+	if r.Invalid {
+		return r.Decision
+	}
+	// Replay protection: a nonce may be used once per epoch. As in the
+	// sequential dispatcher, the nonce is consumed even when routing
+	// subsequently rejects the transaction (unknown contract).
+	if !d.markNonce(tx.From, tx.Nonce) {
+		return Decision{Rejected: true, Reason: reasonReplayedNonce}
+	}
+	if r.Rejected {
+		return r.Decision
+	}
+	shard := r.Shard
+	if r.Unconstrained {
 		shard = d.leastLoaded()
 	}
-	return Decision{Shard: shard, Reason: "constraints satisfied"}
+	if shard == DS {
+		d.load[d.NumShards].Add(1)
+	} else {
+		d.load[shard].Add(1)
+	}
+	return Decision{Shard: shard, Reason: r.Reason}
 }
 
-// ownerShard statically resolves the shard owning a state component: a
-// keyed component is owned by the shard of its first key (addresses
-// hash like accounts), a whole field by the contract home shard.
-func (d *Dispatcher) ownerShard(contract chain.Address, f domain.FieldRef, args map[string]value.Value) (int, bool) {
-	if len(f.Keys) == 0 {
-		return chain.ShardOf(contract, d.NumShards), true
+// Dispatch routes a transaction. It is safe for concurrent use; for
+// whole-packet routing with deterministic placement, use DispatchAll.
+func (d *Dispatcher) Dispatch(tx *chain.Tx) Decision {
+	return d.commit(tx, d.Decide(tx))
+}
+
+// dispatchChunk is the unit of work the DispatchAll worker pool claims.
+const dispatchChunk = 64
+
+// DispatchAll routes a whole mempool packet, returning decisions
+// indexed by position in txs. With workers > 1 the constraint
+// evaluation (the expensive half) runs on a bounded worker pool;
+// replay detection, load accounting and the load-balanced placement of
+// unconstrained transactions are then applied sequentially in
+// submission order, so the decisions are bit-identical regardless of
+// worker count or goroutine scheduling.
+func (d *Dispatcher) DispatchAll(txs []*chain.Tx, workers int) []Decision {
+	routings := make([]Routing, len(txs))
+	if workers > len(txs) {
+		workers = len(txs)
 	}
-	v, ok := args[f.Keys[0]]
-	if !ok {
-		return 0, false
+	if workers <= 1 || len(txs) <= dispatchChunk {
+		for i, tx := range txs {
+			routings[i] = d.Decide(tx)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(dispatchChunk)) - dispatchChunk
+					if lo >= len(txs) {
+						return
+					}
+					hi := lo + dispatchChunk
+					if hi > len(txs) {
+						hi = len(txs)
+					}
+					for i := lo; i < hi; i++ {
+						routings[i] = d.Decide(txs[i])
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	if addr, ok := chain.AddressFromValue(v); ok {
-		return chain.ShardOf(addr, d.NumShards), true
+	out := make([]Decision, len(txs))
+	for i, tx := range txs {
+		out[i] = d.commit(tx, routings[i])
 	}
-	return chain.ShardOfKey(value.CanonicalKey(v), d.NumShards), true
+	return out
 }
 
 func (d *Dispatcher) leastLoaded() int {
-	best, bestLoad := 0, d.load[0]
+	best, bestLoad := 0, d.load[0].Load()
 	for i := 1; i < d.NumShards; i++ {
-		if d.load[i] < bestLoad {
-			best, bestLoad = i, d.load[i]
+		if l := d.load[i].Load(); l < bestLoad {
+			best, bestLoad = i, l
 		}
 	}
 	return best
-}
-
-// resolveArgs builds the parameter valuation for a transaction,
-// including the implicit parameters.
-func resolveArgs(tx *chain.Tx) map[string]value.Value {
-	args := make(map[string]value.Value, len(tx.Args)+3)
-	for k, v := range tx.Args {
-		args[k] = v
-	}
-	args[ast.SenderParam] = tx.From.Value()
-	args[ast.OriginParam] = tx.From.Value()
-	args[ast.AmountParam] = value.Int{Ty: ast.TyUint128, V: tx.Amount}
-	return args
-}
-
-func resolveVec(args map[string]value.Value, names []string) (string, bool) {
-	parts := make([]string, len(names))
-	for i, n := range names {
-		v, ok := args[n]
-		if !ok {
-			return "", false
-		}
-		parts[i] = value.CanonicalKey(v)
-	}
-	return strings.Join(parts, "\x1f"), true
 }

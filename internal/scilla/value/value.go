@@ -4,6 +4,7 @@
 package value
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math/big"
 	"sort"
@@ -75,12 +76,10 @@ func (ByStr) value() {}
 func (b ByStr) Type() ast.Type { return b.Ty }
 
 func (b ByStr) String() string {
-	var sb strings.Builder
-	sb.WriteString("0x")
-	for _, x := range b.B {
-		fmt.Fprintf(&sb, "%02x", x)
-	}
-	return sb.String()
+	buf := make([]byte, 2+2*len(b.B))
+	buf[0], buf[1] = '0', 'x'
+	hex.Encode(buf[2:], b.B)
+	return string(buf)
 }
 
 // BNum is a block-number value.
@@ -309,7 +308,10 @@ func CanonicalKey(v Value) string {
 	case Str:
 		return "s:" + k.S
 	case ByStr:
-		return "b:" + k.String()
+		buf := make([]byte, 4+2*len(k.B))
+		copy(buf, "b:0x")
+		hex.Encode(buf[4:], k.B)
+		return string(buf)
 	case BNum:
 		return "n:" + k.V.String()
 	default:

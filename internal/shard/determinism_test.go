@@ -1,0 +1,117 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cosplit/internal/shard"
+	"cosplit/internal/workload"
+)
+
+// The parallel epoch pipeline must be observationally identical to the
+// sequential one: same state roots, same receipts, same per-shard gas.
+// This is the acceptance bar for Config.ParallelShards — worker-pool
+// scheduling may reorder execution in time but never in effect.
+
+type pipelineResult struct {
+	root     string
+	receipts map[uint64]string
+	shardGas map[int]uint64
+}
+
+// runPipeline provisions a fresh environment for the named workload
+// and drives it through several epochs in one pipeline mode.
+func runPipeline(t *testing.T, name string, parallel bool) *pipelineResult {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Users > 500 {
+		// CF donate provisions 100k donor accounts for throughput runs;
+		// determinism needs population diversity, not scale.
+		w.Users = 500
+	}
+	cfg := shard.Config{
+		NumShards:          8,
+		NodesPerShard:      5,
+		ShardGasLimit:      200_000,
+		DSGasLimit:         200_000,
+		SplitGasAccounting: true,
+		ModelConsensus:     false,
+		ParallelShards:     parallel,
+	}
+	env, err := workload.Provision(w, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint64
+	const epochs, txsPerEpoch = 3, 500
+	for e := 0; e < epochs; e++ {
+		for i := env.Net.MempoolSize(); i < txsPerEpoch; i++ {
+			ids = append(ids, env.Net.Submit(w.Next(env)))
+		}
+		if _, err := env.Net.RunEpoch(); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	res := &pipelineResult{
+		root:     env.Net.StateRoot(),
+		receipts: make(map[uint64]string, len(ids)),
+		shardGas: make(map[int]uint64),
+	}
+	for _, id := range ids {
+		r := env.Net.Receipt(id)
+		if r == nil {
+			res.receipts[id] = "pending"
+			continue
+		}
+		res.receipts[id] = fmt.Sprintf("success=%v gas=%d err=%q shard=%d epoch=%d",
+			r.Success, r.GasUsed, r.Error, r.Shard, r.Epoch)
+		res.shardGas[r.Shard] += r.GasUsed
+	}
+	return res
+}
+
+// TestParallelPipelineDeterminism runs every evaluation contract's
+// workload through the sequential and the worker-pooled pipeline and
+// requires bit-identical outcomes.
+func TestParallelPipelineDeterminism(t *testing.T) {
+	workloads := []string{
+		"FT transfer",        // FungibleToken
+		"NFT mint",           // NonfungibleToken
+		"CF donate",          // Crowdfunding
+		"ProofIPFS register", // ProofIPFS
+		"UD bestow",          // UDRegistry
+	}
+	for _, name := range workloads {
+		t.Run(name, func(t *testing.T) {
+			seq := runPipeline(t, name, false)
+			par := runPipeline(t, name, true)
+			if seq.root != par.root {
+				t.Errorf("state roots diverge: sequential %s, parallel %s", seq.root, par.root)
+			}
+			if len(seq.receipts) != len(par.receipts) {
+				t.Fatalf("receipt counts diverge: sequential %d, parallel %d",
+					len(seq.receipts), len(par.receipts))
+			}
+			mismatches := 0
+			for id, want := range seq.receipts {
+				if got := par.receipts[id]; got != want {
+					mismatches++
+					if mismatches <= 5 {
+						t.Errorf("tx %d: sequential %s, parallel %s", id, want, got)
+					}
+				}
+			}
+			if mismatches > 5 {
+				t.Errorf("... and %d more receipt mismatches", mismatches-5)
+			}
+			for s, want := range seq.shardGas {
+				if got := par.shardGas[s]; got != want {
+					t.Errorf("shard %d gas diverges: sequential %d, parallel %d", s, want, got)
+				}
+			}
+		})
+	}
+}
