@@ -177,7 +177,7 @@ func BenchmarkFig14(b *testing.B) {
 func benchmarkDispatch(b *testing.B, sharded bool) {
 	w := workload.FTTransfer()
 	w.Setup = nil
-	env, err := workload.Provision(w, shard.DefaultConfig(3), sharded)
+	env, err := workload.Provision(w, sharded, shard.WithShards(3))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -3,33 +3,45 @@
 // Sec. 5.2.2 overhead measurements, the Sec. 5.2.3 ownership-vs-
 // commutativity ablation, and the sequential-vs-parallel epoch
 // pipeline benchmark (-epoch-bench, JSON via -bench-out).
+//
+// Observability: -trace-out streams every simulated network's epoch
+// events as a JSONL journal, -metrics-out dumps the aggregated metrics
+// registry as JSON on exit, and -pprof serves net/http/pprof for host
+// profiling of the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"cosplit/internal/bench"
+	"cosplit/internal/obs"
+	"cosplit/internal/shard"
 	"cosplit/internal/workload"
 )
 
 func main() {
 	var (
-		epochs    = flag.Int("epochs", 10, "epochs per configuration (paper: 10)")
-		txs       = flag.Int("txs", 8000, "offered load per epoch")
-		shardGas  = flag.Uint64("shard-gas", 40_000, "per-shard gas limit per epoch")
-		dsGas     = flag.Uint64("ds-gas", 40_000, "DS-committee gas limit per epoch")
-		nodes     = flag.Int("nodes", 5, "nodes per shard (paper: 5)")
-		workloads = flag.String("workloads", "", "comma-separated workloads (default: all)")
-		overheads = flag.Bool("overheads", false, "measure Sec. 5.2.2 overheads instead of Fig. 14")
-		strategy  = flag.Bool("strategies", false, "run the Sec. 5.2.3 ownership-vs-commutativity ablation")
-		listFlag  = flag.Bool("list", false, "list workloads")
-		parallel  = flag.Bool("parallel", false, "execute shard queues on the worker pool")
-		epochB    = flag.Bool("epoch-bench", false, "run the sequential-vs-parallel epoch pipeline benchmark")
-		benchOut  = flag.String("bench-out", "", "write the -epoch-bench report as JSON to this file")
-		benchWl   = flag.String("bench-workload", "FT transfer", "workload for -epoch-bench")
+		epochs     = flag.Int("epochs", 10, "epochs per configuration (paper: 10)")
+		txs        = flag.Int("txs", 8000, "offered load per epoch")
+		shardGas   = flag.Uint64("shard-gas", 40_000, "per-shard gas limit per epoch")
+		dsGas      = flag.Uint64("ds-gas", 40_000, "DS-committee gas limit per epoch")
+		nodes      = flag.Int("nodes", 5, "nodes per shard (paper: 5)")
+		workloads  = flag.String("workloads", "", "comma-separated workloads (default: all)")
+		overheads  = flag.Bool("overheads", false, "measure Sec. 5.2.2 overheads instead of Fig. 14")
+		strategy   = flag.Bool("strategies", false, "run the Sec. 5.2.3 ownership-vs-commutativity ablation")
+		listFlag   = flag.Bool("list", false, "list workloads")
+		parallel   = flag.Bool("parallel", false, "execute shard queues on the worker pool")
+		epochB     = flag.Bool("epoch-bench", false, "run the sequential-vs-parallel epoch pipeline benchmark")
+		benchOut   = flag.String("bench-out", "", "write the -epoch-bench report as JSON to this file")
+		benchWl    = flag.String("bench-workload", "FT transfer", "workload for -epoch-bench")
+		traceOut   = flag.String("trace-out", "", "write a JSONL epoch-trace journal of every simulated network to this file")
+		metricsOut = flag.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -40,6 +52,39 @@ func main() {
 		return
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			fail(http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Fprintf(os.Stderr, "shardsim: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	// Shared observability for every network the chosen experiment
+	// builds: one registry aggregates metrics across configurations,
+	// and one journal (if requested) receives the interleaved traces.
+	reg := obs.NewRegistry()
+	netOpts := []shard.Option{shard.WithRegistry(reg)}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		journal := obs.NewJournal(f)
+		defer func() {
+			fail(journal.Close())
+			fail(f.Close())
+			fmt.Printf("wrote %s\n", *traceOut)
+		}()
+		netOpts = append(netOpts, shard.WithRecorder(journal))
+	}
+	if *metricsOut != "" {
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			fail(err)
+			fail(reg.Snapshot().WriteJSON(f))
+			fail(f.Close())
+			fmt.Printf("wrote %s\n", *metricsOut)
+		}()
+	}
+
 	cfg := bench.ThroughputConfig{
 		Epochs:        *epochs,
 		TxsPerEpoch:   *txs,
@@ -47,6 +92,7 @@ func main() {
 		ShardGasLimit: *shardGas,
 		DSGasLimit:    *dsGas,
 		Parallel:      *parallel,
+		NetOptions:    netOpts,
 	}
 
 	switch {
@@ -54,6 +100,7 @@ func main() {
 		ecfg := bench.DefaultEpochBenchConfig()
 		ecfg.Workload = *benchWl
 		ecfg.NodesPerShard = *nodes
+		ecfg.NetOptions = netOpts
 		// Open the output before the (multi-second) benchmark runs so a
 		// bad path fails immediately.
 		var out *os.File
@@ -71,7 +118,7 @@ func main() {
 			fmt.Printf("\nwrote %s\n", *benchOut)
 		}
 	case *overheads:
-		r, err := bench.MeasureOverheads(5000)
+		r, err := bench.MeasureOverheads(5000, netOpts...)
 		fail(err)
 		bench.PrintOverheads(os.Stdout, r)
 	case *strategy:

@@ -20,13 +20,11 @@ import (
 )
 
 func main() {
-	net := shard.NewNetwork(shard.Config{
-		NumShards:          3,
-		NodesPerShard:      5,
-		ShardGasLimit:      1 << 40,
-		DSGasLimit:         1 << 40,
-		SplitGasAccounting: true,
-	})
+	net := shard.NewNetwork(
+		shard.WithShards(3),
+		shard.WithGasLimits(1<<40, 1<<40),
+		shard.WithConsensusModel(false),
+	)
 	owner := chain.AddrFromUint(1)
 	net.CreateUser(owner, 1_000_000)
 

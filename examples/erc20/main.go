@@ -41,14 +41,10 @@ func main() {
 }
 
 func run(sharded bool) (committed int, wall time.Duration, perShard []int, ds int) {
-	net := shard.NewNetwork(shard.Config{
-		NumShards:          numShards,
-		NodesPerShard:      5,
-		ShardGasLimit:      1 << 40,
-		DSGasLimit:         1 << 40,
-		SplitGasAccounting: true,
-		ModelConsensus:     true,
-	})
+	net := shard.NewNetwork(
+		shard.WithShards(numShards),
+		shard.WithGasLimits(1<<40, 1<<40),
+	)
 
 	deployer := chain.AddrFromUint(1)
 	net.CreateUser(deployer, 1<<50)

@@ -26,13 +26,11 @@ func node(name string) value.ByStr {
 }
 
 func main() {
-	net := shard.NewNetwork(shard.Config{
-		NumShards:          4,
-		NodesPerShard:      5,
-		ShardGasLimit:      1 << 40,
-		DSGasLimit:         1 << 40,
-		SplitGasAccounting: true,
-	})
+	net := shard.NewNetwork(
+		shard.WithShards(4),
+		shard.WithGasLimits(1<<40, 1<<40),
+		shard.WithConsensusModel(false),
+	)
 	admin := chain.AddrFromUint(1)
 	net.CreateUser(admin, 1<<30)
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cosplit/internal/chain"
+	"cosplit/internal/obs"
 	"cosplit/internal/scilla/ast"
 	"cosplit/internal/scilla/eval"
 	"cosplit/internal/scilla/value"
@@ -27,6 +28,10 @@ type EpochBenchConfig struct {
 	NodesPerShard int    `json:"nodes_per_shard"`
 	ShardGasLimit uint64 `json:"shard_gas_limit"`
 	DSGasLimit    uint64 `json:"ds_gas_limit"`
+	// NetOptions are appended to every network the benchmark builds,
+	// letting callers attach shared observability (WithRegistry,
+	// WithRecorder) to the measured runs.
+	NetOptions []shard.Option `json:"-"`
 }
 
 // DefaultEpochBenchConfig is the configuration the committed
@@ -116,20 +121,22 @@ var seedMicrobench = []Microbench{
 }
 
 // measureEpochRun drives one workload through Epochs epochs in one
-// pipeline mode and accumulates the per-stage timings.
+// pipeline mode. Per-stage timings come from the network's own
+// instrumentation: a StageCollector recorder receives each epoch's
+// EpochFinalized summary and the row accumulates its breakdown.
 func measureEpochRun(w *workload.Workload, shards int, parallel bool, cfg EpochBenchConfig) (*EpochBenchRow, error) {
-	scfg := shard.Config{
-		NumShards:          shards,
-		NodesPerShard:      cfg.NodesPerShard,
-		ShardGasLimit:      cfg.ShardGasLimit,
-		DSGasLimit:         cfg.DSGasLimit,
-		SplitGasAccounting: true,
+	col := obs.NewStageCollector()
+	opts := append([]shard.Option{
+		shard.WithShards(shards),
+		shard.WithNodesPerShard(cfg.NodesPerShard),
+		shard.WithGasLimits(cfg.ShardGasLimit, cfg.DSGasLimit),
 		// Consensus is excluded: this benchmark isolates the execution
 		// pipeline (dispatch, execute, merge, DS) the PR optimises.
-		ModelConsensus: false,
-		ParallelShards: parallel,
-	}
-	env, err := workload.Provision(w, scfg, true)
+		shard.WithConsensusModel(false),
+		shard.WithParallelism(parallel),
+		shard.WithRecorder(col),
+	}, cfg.NetOptions...)
+	env, err := workload.Provision(w, true, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -147,17 +154,18 @@ func measureEpochRun(w *workload.Workload, shards int, parallel bool, cfg EpochB
 		row.Committed += stats.Committed
 		row.Failed += stats.Failed
 		row.DSCommitted += stats.DSCount
+		sum := col.Last()
 		if parallel {
-			modeled += stats.WallTime
+			modeled += sum.Wall
 		} else {
-			modeled += stats.SequentialPipelineTime()
+			modeled += sum.SequentialWall()
 		}
-		measured += stats.MeasuredTime
-		row.Stages.Dispatch += ms(stats.DispatchTime)
-		row.Stages.ExecuteMax += ms(stats.ShardExecTime)
-		row.Stages.ExecuteSum += ms(stats.SumShardExecTime)
-		row.Stages.Merge += ms(stats.MergeTime)
-		row.Stages.DS += ms(stats.DSExecTime)
+		measured += sum.Measured
+		row.Stages.Dispatch += ms(sum.Dispatch)
+		row.Stages.ExecuteMax += ms(sum.ExecMax)
+		row.Stages.ExecuteSum += ms(sum.ExecSum)
+		row.Stages.Merge += ms(sum.Merge)
+		row.Stages.DS += ms(sum.DSExec)
 	}
 	row.ModeledMS = ms(modeled)
 	row.MeasuredMS = ms(measured)
@@ -215,7 +223,7 @@ func RunEpochBench(cfg EpochBenchConfig) (*EpochBenchReport, error) {
 func RunEpochMicrobench() ([]Microbench, error) {
 	w := workload.FTTransfer()
 	w.Setup = nil // routing needs no token balances
-	env, err := workload.Provision(w, shard.DefaultConfig(8), true)
+	env, err := workload.Provision(w, true, shard.WithShards(8))
 	if err != nil {
 		return nil, err
 	}

@@ -30,15 +30,18 @@ type OverheadResult struct {
 	ExecutedTxs int
 }
 
-// MeasureOverheads measures dispatch and merge costs.
-func MeasureOverheads(txs int) (*OverheadResult, error) {
+// MeasureOverheads measures dispatch and merge costs. Any extra
+// options (e.g. shard.WithRegistry) are applied to the networks it
+// provisions.
+func MeasureOverheads(txs int, netOpts ...shard.Option) (*OverheadResult, error) {
 	out := &OverheadResult{}
 
 	// --- Dispatch latency, baseline vs CoSplit signature. ---
 	for _, sharded := range []bool{false, true} {
 		w := workload.FTTransfer()
 		w.Setup = nil // dispatch measurement needs no token balances
-		env, err := workload.Provision(w, shard.DefaultConfig(3), sharded)
+		env, err := workload.Provision(w, sharded,
+			append([]shard.Option{shard.WithShards(3)}, netOpts...)...)
 		if err != nil {
 			return nil, err
 		}
@@ -106,10 +109,13 @@ func MeasureOverheads(txs int) (*OverheadResult, error) {
 	// --- Execute vs merge (applying a delta is much cheaper than
 	// executing the transactions that produced it). ---
 	w := workload.FTTransfer()
-	env, err := workload.Provision(w, shard.Config{
-		NumShards: 1, NodesPerShard: 5,
-		ShardGasLimit: 1 << 60, DSGasLimit: 1 << 60,
-	}, true)
+	env, err := workload.Provision(w, true,
+		append([]shard.Option{
+			shard.WithShards(1),
+			shard.WithGasLimits(1<<60, 1<<60),
+			shard.WithSplitGasAccounting(false),
+			shard.WithConsensusModel(false),
+		}, netOpts...)...)
 	if err != nil {
 		return nil, err
 	}

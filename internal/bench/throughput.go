@@ -28,6 +28,9 @@ type ThroughputConfig struct {
 	// Parallel executes shard queues on the worker pool (the epoch
 	// results are bit-identical to the sequential pipeline).
 	Parallel bool
+	// NetOptions are appended to every network the run builds (e.g.
+	// shard.WithRegistry to aggregate metrics across configurations).
+	NetOptions []shard.Option
 }
 
 // DefaultThroughputConfig mirrors the paper's setup (10 epochs, 5
@@ -62,16 +65,13 @@ type ThroughputResult struct {
 // MeasureThroughput runs one workload in one configuration and
 // reports the achieved TPS.
 func MeasureThroughput(w *workload.Workload, numShards int, sharded bool, cfg ThroughputConfig) (*ThroughputResult, error) {
-	scfg := shard.Config{
-		NumShards:          numShards,
-		NodesPerShard:      cfg.NodesPerShard,
-		ShardGasLimit:      cfg.ShardGasLimit,
-		DSGasLimit:         cfg.DSGasLimit,
-		SplitGasAccounting: true,
-		ModelConsensus:     true,
-		ParallelShards:     cfg.Parallel,
-	}
-	env, err := workload.Provision(w, scfg, sharded)
+	opts := append([]shard.Option{
+		shard.WithShards(numShards),
+		shard.WithNodesPerShard(cfg.NodesPerShard),
+		shard.WithGasLimits(cfg.ShardGasLimit, cfg.DSGasLimit),
+		shard.WithParallelism(cfg.Parallel),
+	}, cfg.NetOptions...)
+	env, err := workload.Provision(w, sharded, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -61,17 +61,24 @@ func (m PBFTModel) RoundTime(txCount int) time.Duration {
 // round), and the DS committee runs one FinalBlock round aggregating
 // all MicroBlocks.
 func EpochConsensus(shardModel, dsModel PBFTModel, perShardTxs []int, dsTxs int) time.Duration {
+	shardRound, dsRound := EpochConsensusParts(shardModel, dsModel, perShardTxs, dsTxs)
+	return shardRound + dsRound
+}
+
+// EpochConsensusParts breaks EpochConsensus into its two stages —
+// the parallel MicroBlock round (charged once, at the largest shard's
+// block size) and the DS committee's FinalBlock round over every
+// transaction — so instrumentation can attribute them separately.
+func EpochConsensusParts(shardModel, dsModel PBFTModel, perShardTxs []int, dsTxs int) (shardRound, dsRound time.Duration) {
 	maxShard := 0
+	total := 0
 	for _, n := range perShardTxs {
 		if n > maxShard {
 			maxShard = n
 		}
-	}
-	total := 0
-	for _, n := range perShardTxs {
 		total += n
 	}
 	// Shards agree on their MicroBlocks in parallel; the DS committee
 	// then agrees on the FinalBlock covering every transaction.
-	return shardModel.RoundTime(maxShard) + dsModel.RoundTime(total+dsTxs)
+	return shardModel.RoundTime(maxShard), dsModel.RoundTime(total + dsTxs)
 }

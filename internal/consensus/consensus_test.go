@@ -56,3 +56,21 @@ func TestZeroModel(t *testing.T) {
 		t.Error("zero model should cost nothing")
 	}
 }
+
+func TestEpochConsensusParts(t *testing.T) {
+	sm := consensus.DefaultModel(5)
+	dm := consensus.DefaultModel(10)
+	perShard := []int{40, 100, 7}
+	shardRound, dsRound := consensus.EpochConsensusParts(sm, dm, perShard, 13)
+	if shardRound != sm.RoundTime(100) {
+		t.Errorf("shard round = %v, want the largest MicroBlock's round %v",
+			shardRound, sm.RoundTime(100))
+	}
+	if dsRound != dm.RoundTime(160) {
+		t.Errorf("DS round = %v, want FinalBlock round over all txs %v",
+			dsRound, dm.RoundTime(160))
+	}
+	if got := consensus.EpochConsensus(sm, dm, perShard, 13); got != shardRound+dsRound {
+		t.Errorf("EpochConsensus = %v, want the sum of its parts %v", got, shardRound+dsRound)
+	}
+}

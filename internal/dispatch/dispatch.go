@@ -22,6 +22,12 @@
 // concurrent dispatch never serialises on a single mutex. DispatchAll
 // routes a whole mempool packet with worker-pool parallelism while
 // keeping the resulting decisions bit-identical to a sequential pass.
+//
+// Observability: the dispatcher maintains a small set of always-on
+// metrics (routing kind mix, plan-cache hit/miss, nonce-replay
+// rejects) in an obs.Registry — pass one with WithMetrics to share it
+// across components. Updates are lock-free atomic adds, so the Decide
+// hot path stays at 0 allocs/op (asserted by TestDecideZeroAllocs).
 package dispatch
 
 import (
@@ -29,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"cosplit/internal/chain"
+	"cosplit/internal/obs"
 )
 
 // DS is the shard index denoting the DS committee.
@@ -36,11 +43,18 @@ const DS = -1
 
 // Decision is the dispatcher's routing verdict for one transaction.
 type Decision struct {
-	Shard  int // DS for the DS committee
+	// Shard is the placement: a shard index, or DS for the DS committee.
+	Shard int
+	// Reason is the human-readable routing explanation (a precompiled
+	// constant — safe to retain and compare).
 	Reason string
 	// Rejected is true when the transaction is invalid (bad nonce,
 	// replay, unknown contract) and must not be processed at all.
 	Rejected bool
+	// Err carries the typed rejection cause when Rejected is set (one
+	// of the package's sentinel errors, testable with errors.Is); nil
+	// for accepted transactions.
+	Err error
 }
 
 // Routing is Decide's pure verdict: the Decision plus the placement
@@ -68,15 +82,42 @@ type nonceStripe struct {
 	m  map[nonceKey]struct{}
 }
 
+// metrics are the dispatcher's always-on instruments. They live in an
+// obs.Registry (shared or private) and are updated with lock-free
+// atomic adds on the dispatch path.
+type metrics struct {
+	decisions     *obs.Counter // total commit verdicts
+	routedShard   *obs.Counter // placed on a shard
+	routedDS      *obs.Counter // placed on the DS committee
+	unconstrained *obs.Counter // load-balanced placements
+	rejected      *obs.Counter // invalid or replayed
+	nonceReplay   *obs.Counter // rejected specifically as replays
+	planHit       *obs.Counter // plan-cache hits in Decide
+	planMiss      *obs.Counter // plan-cache compilations
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		decisions:     reg.Counter("dispatch.decisions"),
+		routedShard:   reg.Counter("dispatch.route.shard"),
+		routedDS:      reg.Counter("dispatch.route.ds"),
+		unconstrained: reg.Counter("dispatch.route.unconstrained"),
+		rejected:      reg.Counter("dispatch.route.rejected"),
+		nonceReplay:   reg.Counter("dispatch.nonce_replay"),
+		planHit:       reg.Counter("dispatch.plan.hit"),
+		planMiss:      reg.Counter("dispatch.plan.miss"),
+	}
+}
+
 // Dispatcher routes transactions for one epoch.
 type Dispatcher struct {
+	// NumShards is the shard count routing resolves against.
 	NumShards int
-	Accounts  *chain.Accounts
+	// Accounts is the committed account table (nonce validation,
+	// contract-address checks).
+	Accounts *chain.Accounts
+	// Contracts is the deployed-contract table (signature lookup).
 	Contracts *chain.Contracts
-	// SplitGasAccounting enables the per-shard gas budget split of
-	// Sec. 4.2.2 (half the balance to the home shard, the rest split
-	// evenly).
-	SplitGasAccounting bool
 
 	// load counts transactions routed per shard (index NumShards = DS),
 	// updated atomically so concurrent dispatch does not serialise.
@@ -87,6 +128,8 @@ type Dispatcher struct {
 	// plans caches the compiled per-(contract, transition) constraint
 	// plan; signatures are immutable once a contract is deployed.
 	plans sync.Map // planKey -> *plan
+
+	m metrics
 }
 
 type planKey struct {
@@ -94,13 +137,35 @@ type planKey struct {
 	transition string
 }
 
+// Option configures a Dispatcher at construction time.
+type Option func(*config)
+
+type config struct {
+	reg *obs.Registry
+}
+
+// WithMetrics registers the dispatcher's instruments in reg instead of
+// a private registry, so dispatch metrics appear in the same snapshot
+// as the rest of the pipeline's.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) { c.reg = reg }
+}
+
 // New creates a dispatcher for an epoch.
-func New(numShards int, accounts *chain.Accounts, contracts *chain.Contracts) *Dispatcher {
+func New(numShards int, accounts *chain.Accounts, contracts *chain.Contracts, opts ...Option) *Dispatcher {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
 	d := &Dispatcher{
 		NumShards: numShards,
 		Accounts:  accounts,
 		Contracts: contracts,
 		load:      make([]atomic.Int64, numShards+1),
+		m:         newMetrics(c.reg),
 	}
 	for i := range d.nonces {
 		d.nonces[i].m = make(map[nonceKey]struct{})
@@ -146,17 +211,18 @@ func (d *Dispatcher) markNonce(from chain.Address, nonce uint64) bool {
 
 // Decide computes the routing verdict for a transaction without
 // touching any per-epoch mutable state (no replay table, no load
-// counters). It is the pure dispatch_oc(T, x) evaluation and is safe
-// to run concurrently with itself and with Dispatch.
+// counters; the only side effects are atomic metric increments and the
+// idempotent plan cache). It is the pure dispatch_oc(T, x) evaluation
+// and is safe to run concurrently with itself and with Dispatch.
 func (d *Dispatcher) Decide(tx *chain.Tx) Routing {
 	// Validity (relaxed nonces, Sec. 4.2.1): the nonce must exceed the
 	// committed account nonce.
 	nonce, ok := d.Accounts.NonceOf(tx.From)
 	if !ok {
-		return Routing{Decision: Decision{Rejected: true, Reason: "unknown sender"}, Invalid: true}
+		return Routing{Decision: rejection(ErrUnknownSender), Invalid: true}
 	}
 	if tx.Nonce <= nonce {
-		return Routing{Decision: Decision{Rejected: true, Reason: "stale nonce"}, Invalid: true}
+		return Routing{Decision: rejection(ErrStaleNonce), Invalid: true}
 	}
 
 	switch tx.Kind {
@@ -170,7 +236,7 @@ func (d *Dispatcher) Decide(tx *chain.Tx) Routing {
 
 	c := d.Contracts.Get(tx.To)
 	if c == nil {
-		return Routing{Decision: Decision{Rejected: true, Reason: "unknown contract"}}
+		return Routing{Decision: rejection(ErrUnknownContract)}
 	}
 	if c.Sig == nil {
 		// Baseline strategy: in-shard only when sender and contract
@@ -188,14 +254,21 @@ func (d *Dispatcher) Decide(tx *chain.Tx) Routing {
 	return p.eval(d, tx)
 }
 
+// rejection builds a rejected Decision from a sentinel error.
+func rejection(err error) Decision {
+	return Decision{Rejected: true, Reason: err.Error(), Err: err}
+}
+
 // planFor returns the compiled constraint plan for (contract,
 // transition), compiling and caching it on first use. A nil return
 // means the transition is not in the sharding signature.
 func (d *Dispatcher) planFor(c *chain.Contract, transition string) *plan {
 	k := planKey{contract: c.Addr, transition: transition}
 	if p, ok := d.plans.Load(k); ok {
+		d.m.planHit.Inc()
 		return p.(*plan)
 	}
+	d.m.planMiss.Inc()
 	cs, ok := c.Sig.Constraints[transition]
 	if !ok {
 		d.plans.Store(k, (*plan)(nil))
@@ -211,25 +284,33 @@ func (d *Dispatcher) planFor(c *chain.Contract, transition string) *plan {
 // counters. Callers that need deterministic results (DispatchAll) call
 // it sequentially in submission order.
 func (d *Dispatcher) commit(tx *chain.Tx, r Routing) Decision {
+	d.m.decisions.Inc()
 	if r.Invalid {
+		d.m.rejected.Inc()
 		return r.Decision
 	}
 	// Replay protection: a nonce may be used once per epoch. As in the
 	// sequential dispatcher, the nonce is consumed even when routing
 	// subsequently rejects the transaction (unknown contract).
 	if !d.markNonce(tx.From, tx.Nonce) {
-		return Decision{Rejected: true, Reason: reasonReplayedNonce}
+		d.m.rejected.Inc()
+		d.m.nonceReplay.Inc()
+		return rejection(ErrNonceReplay)
 	}
 	if r.Rejected {
+		d.m.rejected.Inc()
 		return r.Decision
 	}
 	shard := r.Shard
 	if r.Unconstrained {
 		shard = d.leastLoaded()
+		d.m.unconstrained.Inc()
 	}
 	if shard == DS {
+		d.m.routedDS.Inc()
 		d.load[d.NumShards].Add(1)
 	} else {
+		d.m.routedShard.Inc()
 		d.load[shard].Add(1)
 	}
 	return Decision{Shard: shard, Reason: r.Reason}

@@ -1,6 +1,7 @@
 package dispatch_test
 
 import (
+	"errors"
 	"math/big"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"cosplit/internal/contracts"
 	"cosplit/internal/core/signature"
 	"cosplit/internal/dispatch"
+	"cosplit/internal/obs"
 	"cosplit/internal/scilla/value"
 )
 
@@ -262,5 +264,93 @@ func TestLoadCounters(t *testing.T) {
 	}
 	if load[len(load)-1] != 1 {
 		t.Errorf("DS load = %d, want 1", load[len(load)-1])
+	}
+}
+
+func TestRejectionSentinelErrors(t *testing.T) {
+	f := newFixture(t, 4, ftQuery())
+	// Unknown sender: typed, nonce not consumed.
+	dec := f.disp.Dispatch(transferTx(f, chain.AddrFromUint(424242), f.users[1], 1))
+	if !errors.Is(dec.Err, dispatch.ErrUnknownSender) {
+		t.Errorf("unknown sender err = %v, want ErrUnknownSender", dec.Err)
+	}
+	// Stale nonce.
+	dec = f.disp.Dispatch(transferTx(f, f.users[0], f.users[1], 0))
+	if !errors.Is(dec.Err, dispatch.ErrStaleNonce) {
+		t.Errorf("stale nonce err = %v, want ErrStaleNonce", dec.Err)
+	}
+	// Replay: second use of the same (sender, nonce) in one epoch.
+	if dec := f.disp.Dispatch(transferTx(f, f.users[0], f.users[1], 7)); dec.Err != nil {
+		t.Fatalf("fresh nonce rejected: %v", dec.Err)
+	}
+	dec = f.disp.Dispatch(transferTx(f, f.users[0], f.users[2], 7))
+	if !errors.Is(dec.Err, dispatch.ErrNonceReplay) {
+		t.Errorf("replay err = %v, want ErrNonceReplay", dec.Err)
+	}
+	// Unknown contract.
+	tx := transferTx(f, f.users[1], f.users[2], 1)
+	tx.To = chain.AddrFromUint(55555)
+	dec = f.disp.Dispatch(tx)
+	if !errors.Is(dec.Err, dispatch.ErrUnknownContract) {
+		t.Errorf("unknown contract err = %v, want ErrUnknownContract", dec.Err)
+	}
+	// Accepted decisions carry no error.
+	if dec := f.disp.Dispatch(transferTx(f, f.users[3], f.users[4], 1)); dec.Err != nil {
+		t.Errorf("accepted decision has err %v", dec.Err)
+	}
+}
+
+// TestDecideZeroAllocs pins the recorder-off hot-path contract of the
+// observability layer: the pure routing decision performs zero
+// allocations per transaction, metrics included.
+func TestDecideZeroAllocs(t *testing.T) {
+	f := newFixture(t, 4, ftQuery())
+	tx := transferTx(f, f.users[1], f.users[2], 1)
+	// Warm the plan cache so steady-state behaviour is measured.
+	if r := f.disp.Decide(tx); r.Rejected {
+		t.Fatalf("warm-up rejected: %+v", r)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if r := f.disp.Decide(tx); r.Rejected {
+			t.Fatal(r.Reason)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Decide allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestDispatchMetrics checks the always-on dispatcher instruments:
+// routing-kind mix, plan-cache hit/miss, and nonce-replay counts.
+func TestDispatchMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	accounts := chain.NewAccounts()
+	cs := chain.NewContracts()
+	for i := 1; i <= 4; i++ {
+		accounts.Create(chain.AddrFromUint(uint64(i)), 1<<40, false)
+	}
+	d := dispatch.New(2, accounts, cs, dispatch.WithMetrics(reg))
+	pay := func(from, to uint64, nonce uint64) *chain.Tx {
+		return &chain.Tx{
+			ID: nonce, Kind: chain.TxTransfer,
+			From: chain.AddrFromUint(from), To: chain.AddrFromUint(to),
+			Nonce: nonce, Amount: big.NewInt(1), GasLimit: 10, GasPrice: 1,
+		}
+	}
+	d.Dispatch(pay(1, 2, 1))  // routed to a shard
+	d.Dispatch(pay(1, 2, 1))  // replay
+	d.Dispatch(pay(99, 2, 1)) // unknown sender
+	snap := reg.Snapshot()
+	if got := snap.Counters["dispatch.decisions"]; got != 3 {
+		t.Errorf("decisions = %d, want 3", got)
+	}
+	if got := snap.Counters["dispatch.route.shard"]; got != 1 {
+		t.Errorf("route.shard = %d, want 1", got)
+	}
+	if got := snap.Counters["dispatch.route.rejected"]; got != 2 {
+		t.Errorf("route.rejected = %d, want 2", got)
+	}
+	if got := snap.Counters["dispatch.nonce_replay"]; got != 1 {
+		t.Errorf("nonce_replay = %d, want 1", got)
 	}
 }

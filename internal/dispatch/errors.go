@@ -1,0 +1,23 @@
+package dispatch
+
+import "errors"
+
+// Sentinel errors for the dispatcher's rejection verdicts. A rejected
+// Decision carries the matching sentinel in its Err field (possibly
+// wrapped), so callers test with errors.Is instead of matching the
+// Reason string.
+var (
+	// ErrUnknownSender rejects a transaction whose sender has no
+	// account; the nonce is not consumed.
+	ErrUnknownSender = errors.New("unknown sender")
+	// ErrStaleNonce rejects a nonce at or below the sender's committed
+	// account nonce (relaxed nonces, Sec. 4.2.1); not consumed.
+	ErrStaleNonce = errors.New("stale nonce")
+	// ErrNonceReplay rejects a (sender, nonce) pair already used within
+	// the epoch.
+	ErrNonceReplay = errors.New("replayed nonce")
+	// ErrUnknownContract rejects a call to an address with no deployed
+	// contract. As in the sequential dispatcher, the nonce is still
+	// consumed.
+	ErrUnknownContract = errors.New("unknown contract")
+)

@@ -53,15 +53,14 @@ type planStep struct {
 
 // Constant reasons shared across steps.
 const (
-	reasonSatisfied     = "constraints satisfied"
-	reasonBottom        = "unshardable transition (⊥)"
-	reasonNonAddrUser   = "non-address UserAddr argument"
-	reasonContractRcpt  = "message recipient is a contract"
-	reasonAliasKeys     = "aliasing map keys"
-	reasonNoAliasUnres  = "unresolvable NoAliases keys"
-	reasonOwnsUnres     = "unresolvable ownership keys"
-	reasonNotInSig      = "transition not in sharding signature"
-	reasonReplayedNonce = "replayed nonce"
+	reasonSatisfied    = "constraints satisfied"
+	reasonBottom       = "unshardable transition (⊥)"
+	reasonNonAddrUser  = "non-address UserAddr argument"
+	reasonContractRcpt = "message recipient is a contract"
+	reasonAliasKeys    = "aliasing map keys"
+	reasonNoAliasUnres = "unresolvable NoAliases keys"
+	reasonOwnsUnres    = "unresolvable ownership keys"
+	reasonNotInSig     = "transition not in sharding signature"
 )
 
 // compilePlan translates a constraint set into its evaluation plan.

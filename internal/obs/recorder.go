@@ -1,0 +1,208 @@
+package obs
+
+import "time"
+
+// EpochSummary is the per-epoch roll-up carried by the EpochFinalized
+// event: transaction counts plus the per-stage timings of the Fig. 10
+// pipeline. All durations are host-measured except Consensus and Wall,
+// which are modelled (see internal/consensus).
+type EpochSummary struct {
+	Epoch       uint64
+	Committed   int
+	Failed      int
+	Rejected    int
+	Deferred    int
+	DSCommitted int
+	// DeltaEntries is the total number of merged state components.
+	DeltaEntries int
+
+	// Per-stage timings. ExecMax is the slowest shard (what the modelled
+	// pipeline charges, shards being distinct machines); ExecSum totals
+	// every shard (what a non-pipelined executor would pay).
+	Dispatch  time.Duration
+	ExecMax   time.Duration
+	ExecSum   time.Duration
+	Merge     time.Duration
+	DSExec    time.Duration
+	Consensus time.Duration
+	// Wall is the modelled epoch duration (Dispatch + ExecMax + Merge +
+	// DSExec + Consensus); Measured is the host wall-clock actually
+	// spent.
+	Wall     time.Duration
+	Measured time.Duration
+}
+
+// SequentialWall is the modelled duration of the same epoch on a
+// non-pipelined executor: shard queues charged back-to-back instead of
+// in parallel.
+func (s EpochSummary) SequentialWall() time.Duration {
+	return s.Dispatch + s.ExecSum + s.Merge + s.DSExec + s.Consensus
+}
+
+// add accumulates another epoch into s (durations and counts sum;
+// Epoch tracks the latest).
+func (s *EpochSummary) add(o EpochSummary) {
+	s.Epoch = o.Epoch
+	s.Committed += o.Committed
+	s.Failed += o.Failed
+	s.Rejected += o.Rejected
+	s.Deferred += o.Deferred
+	s.DSCommitted += o.DSCommitted
+	s.DeltaEntries += o.DeltaEntries
+	s.Dispatch += o.Dispatch
+	s.ExecMax += o.ExecMax
+	s.ExecSum += o.ExecSum
+	s.Merge += o.Merge
+	s.DSExec += o.DSExec
+	s.Consensus += o.Consensus
+	s.Wall += o.Wall
+	s.Measured += o.Measured
+}
+
+// Recorder receives the typed trace events the pipeline emits. Event
+// methods take only scalar arguments (and the by-value EpochSummary),
+// so a call into the no-op implementation allocates nothing.
+//
+// Implementations must be safe for concurrent use: shard-scoped events
+// (ShardExecStart/End, MicroBlockSealed, OverflowGuardTripped) are
+// emitted from worker goroutines when the parallel pipeline is enabled.
+// Event order across different shards is deterministic only in the
+// sequential pipeline.
+type Recorder interface {
+	// TxDispatched reports the routing verdict for one transaction:
+	// shard >= 0 is an in-shard placement, -1 the DS committee, -2 a
+	// rejection. Reason is the dispatcher's precompiled reason string.
+	TxDispatched(epoch, tx uint64, shard int, reason string)
+	// ShardExecStart marks a shard starting its queue of queued
+	// transactions.
+	ShardExecStart(epoch uint64, shard, queued int)
+	// ShardExecEnd marks a shard finishing execution after took.
+	ShardExecEnd(epoch uint64, shard int, took time.Duration)
+	// MicroBlockSealed reports a shard's per-epoch output: receipts
+	// produced, state deltas extracted, transactions deferred past the
+	// gas limit, and gas committed.
+	MicroBlockSealed(epoch uint64, shard, receipts, deltas, deferred int, gasUsed uint64)
+	// DeltaMerged reports the DS committee's three-way merge: contracts
+	// touched, deltas folded, total merged components, join conflicts
+	// (non-zero only when the merge aborts), and its duration.
+	DeltaMerged(epoch uint64, contracts, deltas, entries, conflicts int, took time.Duration)
+	// TxRequeued reports count transactions deferred back into the
+	// mempool (shard -1 = the DS committee's deferrals).
+	TxRequeued(epoch uint64, shard, count int)
+	// OverflowGuardTripped reports a transaction rejected by the Sec. 6
+	// conservative integer-overflow guard.
+	OverflowGuardTripped(epoch uint64, shard int, tx uint64)
+	// EpochFinalized is the last event of an epoch and carries the full
+	// per-stage summary.
+	EpochFinalized(s EpochSummary)
+}
+
+// Nop is the default Recorder: every method is an empty body, so the
+// instrumented hot path stays allocation-free when tracing is off.
+type Nop struct{}
+
+// TxDispatched implements Recorder.
+func (Nop) TxDispatched(epoch, tx uint64, shard int, reason string) {}
+
+// ShardExecStart implements Recorder.
+func (Nop) ShardExecStart(epoch uint64, shard, queued int) {}
+
+// ShardExecEnd implements Recorder.
+func (Nop) ShardExecEnd(epoch uint64, shard int, took time.Duration) {}
+
+// MicroBlockSealed implements Recorder.
+func (Nop) MicroBlockSealed(epoch uint64, shard, receipts, deltas, deferred int, gasUsed uint64) {}
+
+// DeltaMerged implements Recorder.
+func (Nop) DeltaMerged(epoch uint64, contracts, deltas, entries, conflicts int, took time.Duration) {
+}
+
+// TxRequeued implements Recorder.
+func (Nop) TxRequeued(epoch uint64, shard, count int) {}
+
+// OverflowGuardTripped implements Recorder.
+func (Nop) OverflowGuardTripped(epoch uint64, shard int, tx uint64) {}
+
+// EpochFinalized implements Recorder.
+func (Nop) EpochFinalized(s EpochSummary) {}
+
+// multi fans every event out to several recorders in order.
+type multi []Recorder
+
+// Multi combines recorders: Nop members are dropped, zero remaining
+// recorders collapse to Nop, and a single recorder is returned as-is.
+func Multi(recs ...Recorder) Recorder {
+	kept := make(multi, 0, len(recs))
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		if _, isNop := r.(Nop); isNop {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	switch len(kept) {
+	case 0:
+		return Nop{}
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// TxDispatched implements Recorder.
+func (m multi) TxDispatched(epoch, tx uint64, shard int, reason string) {
+	for _, r := range m {
+		r.TxDispatched(epoch, tx, shard, reason)
+	}
+}
+
+// ShardExecStart implements Recorder.
+func (m multi) ShardExecStart(epoch uint64, shard, queued int) {
+	for _, r := range m {
+		r.ShardExecStart(epoch, shard, queued)
+	}
+}
+
+// ShardExecEnd implements Recorder.
+func (m multi) ShardExecEnd(epoch uint64, shard int, took time.Duration) {
+	for _, r := range m {
+		r.ShardExecEnd(epoch, shard, took)
+	}
+}
+
+// MicroBlockSealed implements Recorder.
+func (m multi) MicroBlockSealed(epoch uint64, shard, receipts, deltas, deferred int, gasUsed uint64) {
+	for _, r := range m {
+		r.MicroBlockSealed(epoch, shard, receipts, deltas, deferred, gasUsed)
+	}
+}
+
+// DeltaMerged implements Recorder.
+func (m multi) DeltaMerged(epoch uint64, contracts, deltas, entries, conflicts int, took time.Duration) {
+	for _, r := range m {
+		r.DeltaMerged(epoch, contracts, deltas, entries, conflicts, took)
+	}
+}
+
+// TxRequeued implements Recorder.
+func (m multi) TxRequeued(epoch uint64, shard, count int) {
+	for _, r := range m {
+		r.TxRequeued(epoch, shard, count)
+	}
+}
+
+// OverflowGuardTripped implements Recorder.
+func (m multi) OverflowGuardTripped(epoch uint64, shard int, tx uint64) {
+	for _, r := range m {
+		r.OverflowGuardTripped(epoch, shard, tx)
+	}
+}
+
+// EpochFinalized implements Recorder.
+func (m multi) EpochFinalized(s EpochSummary) {
+	for _, r := range m {
+		r.EpochFinalized(s)
+	}
+}

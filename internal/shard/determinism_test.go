@@ -32,16 +32,11 @@ func runPipeline(t *testing.T, name string, parallel bool) *pipelineResult {
 		// determinism needs population diversity, not scale.
 		w.Users = 500
 	}
-	cfg := shard.Config{
-		NumShards:          8,
-		NodesPerShard:      5,
-		ShardGasLimit:      200_000,
-		DSGasLimit:         200_000,
-		SplitGasAccounting: true,
-		ModelConsensus:     false,
-		ParallelShards:     parallel,
-	}
-	env, err := workload.Provision(w, cfg, true)
+	env, err := workload.Provision(w, true,
+		shard.WithShards(8),
+		shard.WithGasLimits(200_000, 200_000),
+		shard.WithConsensusModel(false),
+		shard.WithParallelism(parallel))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*c
 	// installs them at the end.
 	working := make(map[chain.Address]*eval.MemState)
 	for i, tx := range queue {
-		if gasUsed >= n.Cfg.DSGasLimit {
+		if gasUsed >= n.cfg.DSGasLimit {
 			deferred = append(deferred, queue[i:]...)
 			break
 		}
@@ -145,11 +145,11 @@ func (n *Network) dsCall(origin, sender, to chain.Address, transition string,
 	working map[chain.Address]*eval.MemState) ([]value.Msg, uint64, error) {
 
 	if depth > maxCallDepth {
-		return nil, 0, fmt.Errorf("call depth exceeded")
+		return nil, 0, ErrCallDepthExceeded
 	}
 	c := n.Contracts.Get(to)
 	if c == nil {
-		return nil, 0, fmt.Errorf("unknown contract %s", to)
+		return nil, 0, fmt.Errorf("%w %s", ErrUnknownContract, to)
 	}
 	ov, ok := overlays[to]
 	if !ok {
@@ -182,24 +182,24 @@ func (n *Network) dsCall(origin, sender, to chain.Address, transition string,
 	for _, m := range res.Messages {
 		rcp, ok := m.Entries["_recipient"]
 		if !ok {
-			return nil, gas, fmt.Errorf("message without _recipient")
+			return nil, gas, fmt.Errorf("%w: message without _recipient", ErrMalformedMessage)
 		}
 		addr, ok := chain.AddressFromValue(rcp)
 		if !ok {
-			return nil, gas, fmt.Errorf("malformed _recipient")
+			return nil, gas, fmt.Errorf("%w: malformed _recipient", ErrMalformedMessage)
 		}
 		var msgAmount big.Int
 		if amt, ok := m.Entries["_amount"]; ok {
 			iv, ok := amt.(value.Int)
 			if !ok {
-				return nil, gas, fmt.Errorf("malformed _amount")
+				return nil, gas, fmt.Errorf("%w: malformed _amount", ErrMalformedMessage)
 			}
 			msgAmount.Set(iv.V)
 		}
 		if n.Accounts.IsContract(addr) {
 			tag, ok := m.Entries["_tag"].(value.Str)
 			if !ok {
-				return nil, gas, fmt.Errorf("contract call without _tag")
+				return nil, gas, fmt.Errorf("%w: contract call without _tag", ErrMalformedMessage)
 			}
 			callArgs := make(map[string]value.Value)
 			for k, v := range m.Entries {

@@ -6,6 +6,7 @@ import (
 
 	"cosplit/internal/chain"
 	"cosplit/internal/contracts"
+	"cosplit/internal/obs"
 	"cosplit/internal/scilla/value"
 	"cosplit/internal/shard"
 )
@@ -13,10 +14,8 @@ import (
 // TestGasLimitDefersTransactions: transactions beyond the shard gas
 // limit are deferred to the next epoch, not dropped.
 func TestGasLimitDefersTransactions(t *testing.T) {
-	cfg := shard.DefaultConfig(1)
-	cfg.ShardGasLimit = 100 // roughly 2 transfers
-	cfg.DSGasLimit = 100
-	net := shard.NewNetwork(cfg)
+	// A tiny gas limit: roughly 2 transfers per epoch.
+	net := shard.NewNetwork(shard.WithGasLimits(100, 100))
 	deployer := chain.AddrFromUint(999)
 	net.CreateUser(deployer, 1<<40)
 	owner := chain.AddrFromUint(1)
@@ -79,7 +78,7 @@ transition Forward (to : ByStr20, amount : Uint128)
   forwarded := nf
 end
 `
-	net := shard.NewNetwork(shard.DefaultConfig(3))
+	net := shard.NewNetwork(shard.WithShards(3))
 	deployer := chain.AddrFromUint(999)
 	net.CreateUser(deployer, 1<<40)
 	owner := chain.AddrFromUint(1)
@@ -144,9 +143,11 @@ end
 	}
 }
 
-// TestDeltaStatsReported: EpochStats counts merged components.
+// TestDeltaStatsReported: EpochStats counts merged components, and the
+// per-stage timing breakdown arrives through the recorder.
 func TestDeltaStatsReported(t *testing.T) {
-	net, contract, users := deployFT(t, 3, 5, true)
+	col := obs.NewStageCollector()
+	net, contract, users := deployFT(t, 3, 5, true, shard.WithRecorder(col))
 	for i := 1; i < 5; i++ {
 		net.Submit(transferTx(users[0], users[i], contract, uint64(i), 10))
 	}
@@ -157,8 +158,15 @@ func TestDeltaStatsReported(t *testing.T) {
 	if stats.DeltaEntries == 0 {
 		t.Error("no delta entries recorded for sharded transfers")
 	}
-	if stats.MergeTime <= 0 {
+	sum := col.Last()
+	if sum.Merge <= 0 {
 		t.Error("merge time not measured")
+	}
+	if sum.Committed != stats.Committed || sum.DeltaEntries != stats.DeltaEntries {
+		t.Errorf("recorder summary %+v disagrees with stats %+v", sum, stats)
+	}
+	if sum.Wall != stats.WallTime {
+		t.Errorf("recorder wall %v != stats wall %v", sum.Wall, stats.WallTime)
 	}
 }
 
@@ -166,9 +174,7 @@ func TestDeltaStatsReported(t *testing.T) {
 // whose balance barely covers gas cannot overdraw through a non-home
 // shard.
 func TestSplitGasAccounting(t *testing.T) {
-	cfg := shard.DefaultConfig(4)
-	cfg.SplitGasAccounting = true
-	net := shard.NewNetwork(cfg)
+	net := shard.NewNetwork(shard.WithShards(4), shard.WithSplitGasAccounting(true))
 	deployer := chain.AddrFromUint(999)
 	net.CreateUser(deployer, 1<<40)
 	owner := chain.AddrFromUint(1)
@@ -198,9 +204,7 @@ func TestSplitGasAccounting(t *testing.T) {
 // produces the same state as the sequential max-time simulation.
 func TestParallelShardsEquivalent(t *testing.T) {
 	run := func(parallel bool) map[chain.Address]uint64 {
-		cfg := shard.DefaultConfig(4)
-		cfg.ParallelShards = parallel
-		net := shard.NewNetwork(cfg)
+		net := shard.NewNetwork(shard.WithShards(4), shard.WithParallelism(parallel))
 		deployer := chain.AddrFromUint(999)
 		net.CreateUser(deployer, 1<<40)
 		users := make([]chain.Address, 10)

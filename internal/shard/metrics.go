@@ -1,0 +1,59 @@
+package shard
+
+import "cosplit/internal/obs"
+
+// netMetrics caches the network's always-on instruments so the epoch
+// pipeline updates them with plain atomic operations (no registry map
+// lookups, no allocations) on the hot path.
+type netMetrics struct {
+	epochs      *obs.Counter
+	committed   *obs.Counter
+	failed      *obs.Counter
+	rejected    *obs.Counter
+	deferred    *obs.Counter
+	dsCommitted *obs.Counter
+	// mergeContracts counts contracts whose shard deltas were joined;
+	// mergeConflicts counts three-way merges aborted by a join conflict.
+	mergeContracts *obs.Counter
+	mergeConflicts *obs.Counter
+	overflowTrips  *obs.Counter
+
+	mempool *obs.Gauge
+
+	queueDepth   *obs.Histogram // transactions queued per shard per epoch
+	shardGas     *obs.Histogram // gas committed per MicroBlock
+	deltaEntries *obs.Histogram // merged state components per epoch
+
+	dispatchTime  *obs.Histogram
+	shardExecTime *obs.Histogram // per shard per epoch
+	mergeTime     *obs.Histogram
+	dsExecTime    *obs.Histogram
+	consensusTime *obs.Histogram
+	wallTime      *obs.Histogram // modelled epoch duration
+	measuredTime  *obs.Histogram // host wall-clock per epoch
+}
+
+func newNetMetrics(reg *obs.Registry) netMetrics {
+	return netMetrics{
+		epochs:         reg.Counter("net.epochs"),
+		committed:      reg.Counter("tx.committed"),
+		failed:         reg.Counter("tx.failed"),
+		rejected:       reg.Counter("tx.rejected"),
+		deferred:       reg.Counter("tx.deferred"),
+		dsCommitted:    reg.Counter("tx.ds_committed"),
+		mergeContracts: reg.Counter("merge.contracts"),
+		mergeConflicts: reg.Counter("merge.conflicts"),
+		overflowTrips:  reg.Counter("shard.overflow_guard_trips"),
+		mempool:        reg.Gauge("net.mempool"),
+		queueDepth:     reg.SizeHistogram("shard.queue_depth"),
+		shardGas:       reg.SizeHistogram("shard.gas_used"),
+		deltaEntries:   reg.SizeHistogram("merge.delta_entries"),
+		dispatchTime:   reg.TimeHistogram("epoch.dispatch_time"),
+		shardExecTime:  reg.TimeHistogram("shard.exec_time"),
+		mergeTime:      reg.TimeHistogram("epoch.merge_time"),
+		dsExecTime:     reg.TimeHistogram("epoch.ds_exec_time"),
+		consensusTime:  reg.TimeHistogram("epoch.consensus_time"),
+		wallTime:       reg.TimeHistogram("epoch.wall_time"),
+		measuredTime:   reg.TimeHistogram("epoch.measured_time"),
+	}
+}

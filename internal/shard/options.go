@@ -1,0 +1,147 @@
+package shard
+
+import "cosplit/internal/obs"
+
+// Config parameterises the simulated network.
+//
+// Deprecated: construct networks with NewNetwork and functional
+// options (WithShards, WithGasLimits, WithParallelism, ...). Config is
+// retained so existing callers keep compiling via WithConfig and
+// NewNetworkFromConfig; new code should not build Config values.
+type Config struct {
+	NumShards     int
+	NodesPerShard int
+	// ShardGasLimit caps the gas a shard commits per epoch; DSGasLimit
+	// caps the DS committee. These mirror Zilliqa's per-MicroBlock and
+	// per-FinalBlock gas limits.
+	ShardGasLimit uint64
+	DSGasLimit    uint64
+	// SplitGasAccounting enables the Sec. 4.2.2 per-shard gas budgets.
+	SplitGasAccounting bool
+	// ModelConsensus adds the PBFT timing model to epoch wall time.
+	ModelConsensus bool
+	// ParallelShards executes shard queues on a worker pool bounded by
+	// GOMAXPROCS, and dispatches the mempool packet concurrently. The
+	// results are bit-identical to the sequential mode: MicroBlocks
+	// land in a slice indexed by shard, dispatch placement is committed
+	// in submission order, and the DS merge folds deltas in shard order
+	// over contracts sorted by address, so no outcome depends on
+	// goroutine completion order. The default (false) executes shard
+	// queues back-to-back; either way the modelled epoch time charges
+	// the maximum per-shard execution time (shards are distinct
+	// machines in the real network) and EpochStats reports the host
+	// wall-clock alongside it.
+	ParallelShards bool
+	// OverflowGuard enables the Sec. 6 conservative integer-overflow
+	// check: a shard rejects a transaction whose cumulative IntMerge
+	// delta on any component exceeds ⌊(MAX_INT − v₀)/N⌋ (or the
+	// symmetric bound below zero), guaranteeing the joined deltas of N
+	// shards cannot overflow at merge time.
+	OverflowGuard bool
+}
+
+// DefaultConfig mirrors the paper's experimental setup: 5 nodes per
+// shard, mainnet-like gas limits.
+//
+// Deprecated: NewNetwork(WithShards(n)) applies the same defaults.
+func DefaultConfig(numShards int) Config {
+	return Config{
+		NumShards:          numShards,
+		NodesPerShard:      5,
+		ShardGasLimit:      2_000_000,
+		DSGasLimit:         2_000_000,
+		SplitGasAccounting: true,
+		ModelConsensus:     true,
+	}
+}
+
+// settings is the resolved form of a NewNetwork option list.
+type settings struct {
+	cfg  Config
+	recs []obs.Recorder
+	reg  *obs.Registry
+}
+
+// Option configures a Network at construction time. The zero option
+// list reproduces the paper's experimental setup on a single shard:
+// 5 nodes per shard, 2M gas per MicroBlock and FinalBlock, split gas
+// accounting and the PBFT consensus model on, sequential execution,
+// overflow guard off, no tracing.
+type Option func(*settings)
+
+// WithShards sets the number of execution shards (the DS committee is
+// separate and always present).
+func WithShards(n int) Option {
+	return func(s *settings) { s.cfg.NumShards = n }
+}
+
+// WithNodesPerShard sets the committee size per shard; the DS
+// committee is modelled at twice this size.
+func WithNodesPerShard(n int) Option {
+	return func(s *settings) { s.cfg.NodesPerShard = n }
+}
+
+// WithGasLimits sets the per-epoch gas caps for each shard's
+// MicroBlock and for the DS committee's FinalBlock.
+func WithGasLimits(shardGas, dsGas uint64) Option {
+	return func(s *settings) {
+		s.cfg.ShardGasLimit = shardGas
+		s.cfg.DSGasLimit = dsGas
+	}
+}
+
+// WithSplitGasAccounting toggles the Sec. 4.2.2 per-shard gas budgets.
+func WithSplitGasAccounting(on bool) Option {
+	return func(s *settings) { s.cfg.SplitGasAccounting = on }
+}
+
+// WithConsensusModel toggles the analytic PBFT timing model's
+// contribution to the modelled epoch wall time.
+func WithConsensusModel(on bool) Option {
+	return func(s *settings) { s.cfg.ModelConsensus = on }
+}
+
+// WithParallelism toggles the parallel epoch pipeline (worker-pool
+// dispatch and shard execution; results stay bit-identical to the
+// sequential mode — see Config.ParallelShards).
+func WithParallelism(on bool) Option {
+	return func(s *settings) { s.cfg.ParallelShards = on }
+}
+
+// WithOverflowGuard toggles the Sec. 6 conservative integer-overflow
+// check in shards.
+func WithOverflowGuard(on bool) Option {
+	return func(s *settings) { s.cfg.OverflowGuard = on }
+}
+
+// WithRecorder attaches an event recorder (e.g. an *obs.Journal or
+// *obs.StageCollector) to the network's epoch pipeline. Repeated use
+// accumulates recorders; they are fanned out through obs.Multi. The
+// recorder must be safe for concurrent use when the parallel pipeline
+// is enabled.
+func WithRecorder(rec obs.Recorder) Option {
+	return func(s *settings) { s.recs = append(s.recs, rec) }
+}
+
+// WithRegistry makes the network count its always-on metrics in reg
+// instead of a private registry, letting several components (network,
+// dispatcher, benchmark harness) share one snapshot.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *settings) { s.reg = reg }
+}
+
+// WithConfig replaces the whole configuration at once.
+//
+// Deprecated: shim for pre-options callers; compose the individual
+// With* options instead.
+func WithConfig(cfg Config) Option {
+	return func(s *settings) { s.cfg = cfg }
+}
+
+// NewNetworkFromConfig builds a network from a legacy Config value.
+//
+// Deprecated: call NewNetwork(WithConfig(cfg)), or better, compose the
+// individual With* options.
+func NewNetworkFromConfig(cfg Config) *Network {
+	return NewNetwork(WithConfig(cfg))
+}

@@ -18,9 +18,7 @@ import (
 // conservatively rejected in-shard when the guard is enabled.
 func TestOverflowGuard(t *testing.T) {
 	run := func(guard bool, mintAmount *big.Int) *chain.Receipt {
-		cfg := shard.DefaultConfig(3)
-		cfg.OverflowGuard = guard
-		net := shard.NewNetwork(cfg)
+		net := shard.NewNetwork(shard.WithShards(3), shard.WithOverflowGuard(guard))
 		deployer := chain.AddrFromUint(999)
 		net.CreateUser(deployer, 1<<50)
 		owner := chain.AddrFromUint(1)

@@ -3,6 +3,15 @@
 // in-shard execution producing MicroBlocks and StateDeltas, the DS
 // committee's three-way merge into a FinalBlock, and sequential DS
 // execution of the transactions no shard could take.
+//
+// Networks are built with NewNetwork and functional options. The
+// pipeline is instrumented throughout: always-on counters and
+// histograms accumulate in an obs.Registry (surfaced by Snapshot),
+// and an optional obs.Recorder attached via WithRecorder receives a
+// structured event stream — dispatch placements, per-shard execution
+// spans, sealed MicroBlocks, delta merges, requeues and epoch
+// summaries. With no recorder attached the default obs.Nop keeps the
+// hot path allocation-free.
 package shard
 
 import (
@@ -21,56 +30,11 @@ import (
 	"cosplit/internal/consensus"
 	"cosplit/internal/core/signature"
 	"cosplit/internal/dispatch"
+	"cosplit/internal/obs"
 	"cosplit/internal/scilla/ast"
 	"cosplit/internal/scilla/eval"
 	"cosplit/internal/scilla/value"
 )
-
-// Config parameterises the simulated network.
-type Config struct {
-	NumShards     int
-	NodesPerShard int
-	// ShardGasLimit caps the gas a shard commits per epoch; DSGasLimit
-	// caps the DS committee. These mirror Zilliqa's per-MicroBlock and
-	// per-FinalBlock gas limits.
-	ShardGasLimit uint64
-	DSGasLimit    uint64
-	// SplitGasAccounting enables the Sec. 4.2.2 per-shard gas budgets.
-	SplitGasAccounting bool
-	// ModelConsensus adds the PBFT timing model to epoch wall time.
-	ModelConsensus bool
-	// ParallelShards executes shard queues on a worker pool bounded by
-	// GOMAXPROCS, and dispatches the mempool packet concurrently. The
-	// results are bit-identical to the sequential mode: MicroBlocks
-	// land in a slice indexed by shard, dispatch placement is committed
-	// in submission order, and the DS merge folds deltas in shard order
-	// over contracts sorted by address, so no outcome depends on
-	// goroutine completion order. The default (false) executes shard
-	// queues back-to-back; either way the modelled epoch time charges
-	// the maximum per-shard execution time (shards are distinct
-	// machines in the real network) and EpochStats reports the host
-	// wall-clock alongside it.
-	ParallelShards bool
-	// OverflowGuard enables the Sec. 6 conservative integer-overflow
-	// check: a shard rejects a transaction whose cumulative IntMerge
-	// delta on any component exceeds ⌊(MAX_INT − v₀)/N⌋ (or the
-	// symmetric bound below zero), guaranteeing the joined deltas of N
-	// shards cannot overflow at merge time.
-	OverflowGuard bool
-}
-
-// DefaultConfig mirrors the paper's experimental setup: 5 nodes per
-// shard, mainnet-like gas limits.
-func DefaultConfig(numShards int) Config {
-	return Config{
-		NumShards:          numShards,
-		NodesPerShard:      5,
-		ShardGasLimit:      2_000_000,
-		DSGasLimit:         2_000_000,
-		SplitGasAccounting: true,
-		ModelConsensus:     true,
-	}
-}
 
 // MicroBlock is a shard's per-epoch output (MB + SD in Fig. 10).
 type MicroBlock struct {
@@ -86,6 +50,11 @@ type MicroBlock struct {
 }
 
 // EpochStats reports what happened in one epoch.
+//
+// Per-stage timings (dispatch, per-shard execution, merge, DS
+// execution, consensus) are no longer duplicated here: attach an
+// obs.StageCollector via WithRecorder and read its EpochSummary, which
+// carries the full breakdown the EpochFinalized event is built from.
 type EpochStats struct {
 	Epoch     uint64
 	Committed int
@@ -96,35 +65,31 @@ type EpochStats struct {
 	// the DS committee's.
 	PerShard []int
 	DSCount  int
-	// Timings. WallTime is the modelled epoch duration (the network's
-	// shards execute on distinct machines, so it charges the maximum
-	// per-shard execution time); MeasuredTime is the host wall-clock
-	// the simulator actually spent, reported side by side so benchmark
-	// harnesses can compare the modelled pipeline against real
-	// single-machine behaviour.
-	DispatchTime  time.Duration
-	ShardExecTime time.Duration // max over shards (they run in parallel)
-	// SumShardExecTime totals every shard's execution time: the cost of
-	// the same epoch on a non-pipelined (sequential) executor.
-	SumShardExecTime time.Duration
-	MergeTime        time.Duration
-	DSExecTime       time.Duration
-	ConsensusTime    time.Duration
-	WallTime         time.Duration
-	MeasuredTime     time.Duration
 	// DeltaEntries is the total number of merged state components.
 	DeltaEntries int
+	// WallTime is the modelled epoch duration (the network's shards
+	// execute on distinct machines, so it charges the maximum per-shard
+	// execution time); MeasuredTime is the host wall-clock the
+	// simulator actually spent, reported side by side so benchmark
+	// harnesses can compare the modelled pipeline against real
+	// single-machine behaviour.
+	WallTime     time.Duration
+	MeasuredTime time.Duration
 }
 
 // Network is the simulated sharded blockchain.
 type Network struct {
-	Cfg       Config
 	Accounts  *chain.Accounts
 	Contracts *chain.Contracts
 	Disp      *dispatch.Dispatcher
 
 	Epoch       uint64
 	BlockNumber uint64
+
+	cfg Config
+	rec obs.Recorder
+	reg *obs.Registry
+	m   netMetrics
 
 	mempool  []*chain.Tx
 	receipts map[uint64]*chain.Receipt
@@ -143,24 +108,44 @@ type Network struct {
 	dsModel    consensus.PBFTModel
 }
 
-// NewNetwork builds a network with the given configuration.
-func NewNetwork(cfg Config) *Network {
+// NewNetwork builds a network. With no options it reproduces the
+// paper's experimental setup on a single shard (see Option); compose
+// WithShards, WithGasLimits, WithParallelism, WithRecorder, ... to
+// deviate from it.
+func NewNetwork(opts ...Option) *Network {
+	s := settings{cfg: DefaultConfig(1)}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
 	accounts := chain.NewAccounts()
 	contracts := chain.NewContracts()
-	d := dispatch.New(cfg.NumShards, accounts, contracts)
-	d.SplitGasAccounting = cfg.SplitGasAccounting
+	d := dispatch.New(s.cfg.NumShards, accounts, contracts,
+		dispatch.WithMetrics(s.reg))
 	return &Network{
-		Cfg:        cfg,
 		Accounts:   accounts,
 		Contracts:  contracts,
 		Disp:       d,
+		cfg:        s.cfg,
+		rec:        obs.Multi(s.recs...),
+		reg:        s.reg,
+		m:          newNetMetrics(s.reg),
 		receipts:   make(map[uint64]*chain.Receipt),
-		shardModel: consensus.DefaultModel(cfg.NodesPerShard),
-		dsModel:    consensus.DefaultModel(cfg.NodesPerShard * 2),
+		shardModel: consensus.DefaultModel(s.cfg.NodesPerShard),
+		dsModel:    consensus.DefaultModel(s.cfg.NodesPerShard * 2),
 		nextTxID:   1,
 		Epoch:      1,
 	}
 }
+
+// Config returns the network's resolved configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Snapshot returns an immutable view of the network's always-on
+// metrics (counters, gauges, histograms), including the dispatcher's.
+func (n *Network) Snapshot() obs.Snapshot { return n.reg.Snapshot() }
 
 // CreateUser registers a user account with an initial balance.
 func (n *Network) CreateUser(addr chain.Address, balance uint64) {
@@ -173,7 +158,7 @@ func (n *Network) DeployContract(deployer chain.Address, source string,
 	params map[string]value.Value, query *signature.Query) (chain.Address, error) {
 	acc := n.Accounts.Get(deployer)
 	if acc == nil {
-		return chain.Address{}, fmt.Errorf("unknown deployer %s", deployer)
+		return chain.Address{}, fmt.Errorf("%w %s", ErrUnknownDeployer, deployer)
 	}
 	addr := chain.ContractAddress(deployer, acc.Nonce+1)
 	dep := &chain.Deployment{Source: source, Params: params, Query: query}
@@ -199,6 +184,7 @@ func (n *Network) Submit(tx *chain.Tx) uint64 {
 	tx.ID = n.nextTxID
 	n.nextTxID++
 	n.mempool = append(n.mempool, tx)
+	n.m.mempool.Set(int64(len(n.mempool)))
 	return tx.ID
 }
 
@@ -219,8 +205,8 @@ func (n *Network) MempoolSize() int {
 // epochQueues returns the per-shard and DS queue buffers, truncated
 // for a fresh epoch but keeping their backing arrays.
 func (n *Network) epochQueues() ([][]*chain.Tx, []*chain.Tx) {
-	if len(n.queueBuf) != n.Cfg.NumShards {
-		n.queueBuf = make([][]*chain.Tx, n.Cfg.NumShards)
+	if len(n.queueBuf) != n.cfg.NumShards {
+		n.queueBuf = make([][]*chain.Tx, n.cfg.NumShards)
 	}
 	for s := range n.queueBuf {
 		n.queueBuf[s] = n.queueBuf[s][:0]
@@ -234,16 +220,18 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	n.mu.Lock()
 	pending := n.mempool
 	n.mempool = nil
+	n.m.mempool.Set(0)
 	n.mu.Unlock()
 
 	epochStart := time.Now()
-	stats := &EpochStats{Epoch: n.Epoch, PerShard: make([]int, n.Cfg.NumShards)}
+	stats := &EpochStats{Epoch: n.Epoch, PerShard: make([]int, n.cfg.NumShards)}
+	sum := obs.EpochSummary{Epoch: n.Epoch}
 	n.Disp.ResetEpoch()
 
 	// Worker budget for the parallel pipeline: bounded by the host's
 	// GOMAXPROCS so the pool never oversubscribes the machine.
 	workers := 1
-	if n.Cfg.ParallelShards {
+	if n.cfg.ParallelShards {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
@@ -257,9 +245,11 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		dec := decisions[i]
 		if dec.Rejected {
 			stats.Rejected++
-			n.record(&chain.Receipt{TxID: tx.ID, Success: false, Error: dec.Reason, Shard: -2, Epoch: n.Epoch})
+			n.rec.TxDispatched(n.Epoch, tx.ID, rejectedShard, dec.Reason)
+			n.record(&chain.Receipt{TxID: tx.ID, Success: false, Error: dec.Reason, Shard: rejectedShard, Epoch: n.Epoch})
 			continue
 		}
+		n.rec.TxDispatched(n.Epoch, tx.ID, dec.Shard, dec.Reason)
 		if dec.Shard == dispatch.DS {
 			dsQueue = append(dsQueue, tx)
 		} else {
@@ -267,7 +257,7 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		}
 	}
 	n.dsQueueBuf = dsQueue
-	stats.DispatchTime = time.Since(t0)
+	sum.Dispatch = time.Since(t0)
 
 	// Phase 2: shards execute their queues — concurrently on a worker
 	// pool bounded by GOMAXPROCS when ParallelShards is set, else
@@ -275,12 +265,12 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	// the downstream merge sees the same input either way; the modelled
 	// epoch time charges the maximum per-shard execution time (shards
 	// are distinct machines in the real network).
-	blocks := make([]*MicroBlock, n.Cfg.NumShards)
-	errs := make([]error, n.Cfg.NumShards)
-	if workers > 1 && n.Cfg.NumShards > 1 {
+	blocks := make([]*MicroBlock, n.cfg.NumShards)
+	errs := make([]error, n.cfg.NumShards)
+	if workers > 1 && n.cfg.NumShards > 1 {
 		poolWorkers := workers
-		if poolWorkers > n.Cfg.NumShards {
-			poolWorkers = n.Cfg.NumShards
+		if poolWorkers > n.cfg.NumShards {
+			poolWorkers = n.cfg.NumShards
 		}
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -290,7 +280,7 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 				defer wg.Done()
 				for {
 					s := int(next.Add(1)) - 1
-					if s >= n.Cfg.NumShards {
+					if s >= n.cfg.NumShards {
 						return
 					}
 					blocks[s], errs[s] = n.runShard(s, queues[s])
@@ -299,7 +289,7 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		}
 		wg.Wait()
 	} else {
-		for s := 0; s < n.Cfg.NumShards; s++ {
+		for s := 0; s < n.cfg.NumShards; s++ {
 			blocks[s], errs[s] = n.runShard(s, queues[s])
 		}
 	}
@@ -311,15 +301,15 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 
 	var allDeltas []*chain.StateDelta
 	accDelta := chain.NewAccountDelta()
-	if cap(n.perShardBuf) < n.Cfg.NumShards {
-		n.perShardBuf = make([]int, n.Cfg.NumShards)
+	if cap(n.perShardBuf) < n.cfg.NumShards {
+		n.perShardBuf = make([]int, n.cfg.NumShards)
 	}
-	perShardCounts := n.perShardBuf[:n.Cfg.NumShards]
+	perShardCounts := n.perShardBuf[:n.cfg.NumShards]
 	for s, mb := range blocks {
-		if mb.ExecTime > stats.ShardExecTime {
-			stats.ShardExecTime = mb.ExecTime
+		if mb.ExecTime > sum.ExecMax {
+			sum.ExecMax = mb.ExecTime
 		}
-		stats.SumShardExecTime += mb.ExecTime
+		sum.ExecSum += mb.ExecTime
 		for _, r := range mb.Receipts {
 			n.record(r)
 			if r.Success {
@@ -333,7 +323,7 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		allDeltas = append(allDeltas, mb.Deltas...)
 		accDelta.Merge(mb.Accounts)
 		stats.Deferred += len(mb.Deferred)
-		n.requeue(mb.Deferred)
+		n.requeue(s, mb.Deferred)
 	}
 
 	// Phase 3: the DS committee merges all StateDeltas (three-way
@@ -358,6 +348,7 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		c := n.Contracts.Get(addr)
 		merged := c.Snapshot().Copy()
 		if err := chain.MergeDeltas(merged, byContract[addr]); err != nil {
+			n.m.mergeConflicts.Inc()
 			return nil, fmt.Errorf("epoch %d: %w", n.Epoch, err)
 		}
 		c.ReplaceState(merged)
@@ -365,43 +356,71 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	if err := n.Accounts.Apply(accDelta); err != nil {
 		return nil, err
 	}
-	stats.MergeTime = time.Since(t1)
+	sum.Merge = time.Since(t1)
+	n.m.mergeContracts.Add(int64(len(addrs)))
+	n.m.deltaEntries.Observe(int64(stats.DeltaEntries))
+	n.m.mergeTime.ObserveDuration(sum.Merge)
+	n.rec.DeltaMerged(n.Epoch, len(addrs), len(allDeltas), stats.DeltaEntries, 0, sum.Merge)
 
 	// Phase 4: the DS committee executes the remaining potentially
 	// conflicting transactions sequentially on the merged state.
 	t2 := time.Now()
+	n.rec.ShardExecStart(n.Epoch, dispatch.DS, len(dsQueue))
 	dsCommitted, dsFailed, dsDeferred, err := n.runDS(dsQueue)
 	if err != nil {
 		return nil, err
 	}
-	stats.DSExecTime = time.Since(t2)
+	sum.DSExec = time.Since(t2)
+	n.rec.ShardExecEnd(n.Epoch, dispatch.DS, sum.DSExec)
 	stats.Committed += dsCommitted
 	stats.DSCount = dsCommitted
 	stats.Failed += dsFailed
 	stats.Deferred += len(dsDeferred)
-	n.requeue(dsDeferred)
+	n.requeue(dispatch.DS, dsDeferred)
 
 	// Phase 5: modelled consensus cost.
-	if n.Cfg.ModelConsensus {
-		stats.ConsensusTime = consensus.EpochConsensus(
+	if n.cfg.ModelConsensus {
+		shardRound, dsRound := consensus.EpochConsensusParts(
 			n.shardModel, n.dsModel, perShardCounts, len(dsQueue))
+		sum.Consensus = shardRound + dsRound
 	}
-	stats.WallTime = stats.DispatchTime + stats.ShardExecTime +
-		stats.MergeTime + stats.DSExecTime + stats.ConsensusTime
-	stats.MeasuredTime = time.Since(epochStart)
+	sum.Wall = sum.Dispatch + sum.ExecMax + sum.Merge + sum.DSExec + sum.Consensus
+	sum.Measured = time.Since(epochStart)
+	stats.WallTime = sum.Wall
+	stats.MeasuredTime = sum.Measured
+
+	sum.Committed = stats.Committed
+	sum.Failed = stats.Failed
+	sum.Rejected = stats.Rejected
+	sum.Deferred = stats.Deferred
+	sum.DSCommitted = dsCommitted
+	sum.DeltaEntries = stats.DeltaEntries
+	n.finishEpochMetrics(sum)
+	n.rec.EpochFinalized(sum)
 
 	n.Epoch++
 	n.BlockNumber++
 	return stats, nil
 }
 
-// SequentialPipelineTime is the modelled duration of the same epoch on
-// a non-pipelined executor: shard queues charged back-to-back instead
-// of in parallel. Benchmarks report it next to WallTime to quantify
-// what the parallel epoch pipeline buys.
-func (s *EpochStats) SequentialPipelineTime() time.Duration {
-	return s.DispatchTime + s.SumShardExecTime +
-		s.MergeTime + s.DSExecTime + s.ConsensusTime
+// rejectedShard labels receipts and trace events for transactions the
+// dispatcher refused (dispatch.DS, -1, labels the DS committee).
+const rejectedShard = -2
+
+// finishEpochMetrics folds one epoch's summary into the always-on
+// registry instruments.
+func (n *Network) finishEpochMetrics(sum obs.EpochSummary) {
+	n.m.epochs.Inc()
+	n.m.committed.Add(int64(sum.Committed))
+	n.m.failed.Add(int64(sum.Failed))
+	n.m.rejected.Add(int64(sum.Rejected))
+	n.m.deferred.Add(int64(sum.Deferred))
+	n.m.dsCommitted.Add(int64(sum.DSCommitted))
+	n.m.dispatchTime.ObserveDuration(sum.Dispatch)
+	n.m.dsExecTime.ObserveDuration(sum.DSExec)
+	n.m.consensusTime.ObserveDuration(sum.Consensus)
+	n.m.wallTime.ObserveDuration(sum.Wall)
+	n.m.measuredTime.ObserveDuration(sum.Measured)
 }
 
 // StateRoot hashes the full observable network state: every contract's
@@ -433,13 +452,17 @@ func (n *Network) record(r *chain.Receipt) {
 	n.receipts[r.TxID] = r
 }
 
-func (n *Network) requeue(txs []*chain.Tx) {
+// requeue returns deferred transactions from a shard (or the DS
+// committee, shard == dispatch.DS) to the mempool.
+func (n *Network) requeue(shard int, txs []*chain.Tx) {
 	if len(txs) == 0 {
 		return
 	}
+	n.rec.TxRequeued(n.Epoch, shard, len(txs))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.mempool = append(n.mempool, txs...)
+	n.m.mempool.Set(int64(len(n.mempool)))
 }
 
 // shardRun is the per-shard execution context for one epoch.
@@ -506,26 +529,28 @@ func (r *shardRun) gasAllowance(sender chain.Address) *big.Int {
 	if acc == nil {
 		return new(big.Int)
 	}
-	if !r.net.Cfg.SplitGasAccounting || r.net.Cfg.NumShards <= 1 {
+	if !r.net.cfg.SplitGasAccounting || r.net.cfg.NumShards <= 1 {
 		return new(big.Int).Set(acc.Balance)
 	}
 	// Half the balance to the sender's home shard, the rest split
 	// across the other shards.
 	half := new(big.Int).Rsh(acc.Balance, 1)
-	if chain.ShardOf(sender, r.net.Cfg.NumShards) == r.shard {
+	if chain.ShardOf(sender, r.net.cfg.NumShards) == r.shard {
 		return half
 	}
-	return half.Div(half, big.NewInt(int64(r.net.Cfg.NumShards-1)))
+	return half.Div(half, big.NewInt(int64(r.net.cfg.NumShards-1)))
 }
 
 // runShard executes a shard's transaction queue sequentially, within
 // the shard gas limit, and produces its MicroBlock.
 func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
+	n.rec.ShardExecStart(n.Epoch, s, len(queue))
+	n.m.queueDepth.Observe(int64(len(queue)))
 	run := n.newShardRun(s)
 	mb := &MicroBlock{Shard: s, Epoch: n.Epoch, Accounts: run.accDelta}
 	start := time.Now()
 	for i, tx := range queue {
-		if mb.GasUsed >= n.Cfg.ShardGasLimit {
+		if mb.GasUsed >= n.cfg.ShardGasLimit {
 			mb.Deferred = append(mb.Deferred, queue[i:]...)
 			break
 		}
@@ -536,6 +561,8 @@ func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
 		mb.GasUsed += rec.GasUsed
 	}
 	mb.ExecTime = time.Since(start)
+	n.m.shardExecTime.ObserveDuration(mb.ExecTime)
+	n.m.shardGas.Observe(int64(mb.GasUsed))
 
 	// Extract per-contract state deltas.
 	for addr, ov := range run.overlays {
@@ -553,6 +580,8 @@ func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
 		}
 		mb.Deltas = append(mb.Deltas, d)
 	}
+	n.rec.ShardExecEnd(n.Epoch, s, mb.ExecTime)
+	n.rec.MicroBlockSealed(n.Epoch, s, len(mb.Receipts), len(mb.Deltas), len(mb.Deferred), mb.GasUsed)
 	return mb, nil
 }
 
@@ -572,7 +601,7 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 	}
 	budget := tx.GasBudget()
 	if new(big.Int).Add(spent, budget).Cmp(r.gasAllowance(tx.From)) > 0 {
-		rec.Error = "per-shard gas allowance exceeded"
+		rec.Error = ErrGasExhausted.Error()
 		return rec
 	}
 
@@ -580,7 +609,7 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 	case chain.TxTransfer:
 		total := new(big.Int).Add(tx.Amount, budget)
 		if r.balanceView(tx.From).Cmp(total) < 0 {
-			rec.Error = "insufficient balance"
+			rec.Error = ErrInsufficientBalance.Error()
 			return rec
 		}
 		r.debit(tx.From, tx.Amount)
@@ -594,7 +623,7 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 	case chain.TxCall:
 		c := r.net.Contracts.Get(tx.To)
 		if c == nil {
-			rec.Error = "unknown contract"
+			rec.Error = ErrUnknownContract.Error()
 			return rec
 		}
 		shardOv := r.overlayFor(c)
@@ -623,7 +652,7 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 		// contract; outgoing messages push funds to user recipients.
 		if res.Accepted && tx.Amount.Sign() > 0 {
 			if r.balanceView(tx.From).Cmp(tx.Amount) < 0 {
-				rec.Error = "insufficient balance for accepted amount"
+				rec.Error = ErrInsufficientBalance.Error() + " for accepted amount"
 				return rec
 			}
 			r.debit(tx.From, tx.Amount)
@@ -642,7 +671,9 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 			// Sec. 6: conservative per-shard overflow bound exceeded;
 			// the transaction is rejected in-shard (a production system
 			// would reroute it to the DS committee).
-			rec.Error = "conservative overflow guard tripped"
+			r.net.m.overflowTrips.Inc()
+			r.net.rec.OverflowGuardTripped(r.net.Epoch, r.shard, tx.ID)
+			rec.Error = ErrOverflowGuard.Error()
 			return rec
 		}
 		txOv.CommitTo(shardOv)
@@ -661,23 +692,23 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 func (r *shardRun) deliverToUser(from chain.Address, m value.Msg) error {
 	rcp, ok := m.Entries["_recipient"]
 	if !ok {
-		return fmt.Errorf("message without _recipient")
+		return fmt.Errorf("%w: message without _recipient", ErrMalformedMessage)
 	}
 	addr, ok := chain.AddressFromValue(rcp)
 	if !ok {
-		return fmt.Errorf("malformed _recipient")
+		return fmt.Errorf("%w: malformed _recipient", ErrMalformedMessage)
 	}
 	if r.net.Accounts.IsContract(addr) {
-		return fmt.Errorf("in-shard message to a contract %s", addr)
+		return fmt.Errorf("%w %s", ErrContractRecipient, addr)
 	}
 	if amt, ok := m.Entries["_amount"]; ok {
 		iv, ok := amt.(value.Int)
 		if !ok {
-			return fmt.Errorf("malformed _amount")
+			return fmt.Errorf("%w: malformed _amount", ErrMalformedMessage)
 		}
 		if iv.V.Sign() > 0 {
 			if r.balanceView(from).Cmp(iv.V) < 0 {
-				return fmt.Errorf("contract balance insufficient for send")
+				return fmt.Errorf("contract balance: %w for send", ErrInsufficientBalance)
 			}
 			r.debit(from, iv.V)
 			r.credit(addr, iv.V)
@@ -692,10 +723,10 @@ func (r *shardRun) deliverToUser(from chain.Address, m value.Msg) error {
 // must stay within ⌊(MAX − v0)/N⌋ above and ⌊(v0 − MIN)/N⌋ below, so
 // that N shards' deltas can never jointly overflow.
 func (r *shardRun) overflowGuardViolation(c *chain.Contract, shardOv, txOv *chain.Overlay) (bool, error) {
-	if !r.net.Cfg.OverflowGuard || c.Sig == nil {
+	if !r.net.cfg.OverflowGuard || c.Sig == nil {
 		return false, nil
 	}
-	n := int64(r.net.Cfg.NumShards)
+	n := int64(r.net.cfg.NumShards)
 	if n <= 1 {
 		return false, nil
 	}

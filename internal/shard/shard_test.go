@@ -35,11 +35,12 @@ func ftParams(owner chain.Address) map[string]value.Value {
 
 // deployFT builds a network with nUsers funded users and a deployed
 // FungibleToken (owner = user 0, or the dedicated deployer account if
-// there are no users); sharded controls signature presence. Deployment
-// is done by a separate account so user nonces start fresh at 1.
-func deployFT(t testing.TB, numShards, nUsers int, sharded bool) (*shard.Network, chain.Address, []chain.Address) {
+// there are no users); sharded controls signature presence; extra
+// options are passed through to NewNetwork. Deployment is done by a
+// separate account so user nonces start fresh at 1.
+func deployFT(t testing.TB, numShards, nUsers int, sharded bool, opts ...shard.Option) (*shard.Network, chain.Address, []chain.Address) {
 	t.Helper()
-	net := shard.NewNetwork(shard.DefaultConfig(numShards))
+	net := shard.NewNetwork(append([]shard.Option{shard.WithShards(numShards)}, opts...)...)
 	deployer := chain.AddrFromUint(999_999_999)
 	net.CreateUser(deployer, 1_000_000_000)
 	users := make([]chain.Address, nUsers)

@@ -45,7 +45,7 @@ func TestNFTShardedMatchesSequential(t *testing.T) {
 	}
 
 	run := func(numShards int) map[string]string {
-		net := shard.NewNetwork(shard.DefaultConfig(numShards))
+		net := shard.NewNetwork(shard.WithShards(numShards))
 		deployer := chain.AddrFromUint(999)
 		net.CreateUser(deployer, 1<<50)
 		minter := chain.AddrFromUint(1)
@@ -161,7 +161,7 @@ func TestUDShardedMatchesSequential(t *testing.T) {
 	}
 
 	run := func(numShards int) string {
-		net := shard.NewNetwork(shard.DefaultConfig(numShards))
+		net := shard.NewNetwork(shard.WithShards(numShards))
 		deployer := chain.AddrFromUint(999)
 		net.CreateUser(deployer, 1<<50)
 		admin := chain.AddrFromUint(1)

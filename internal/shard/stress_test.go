@@ -103,4 +103,4 @@ func TestStressShardedMatchesSequential(t *testing.T) {
 	}
 }
 
-var _ = shard.DefaultConfig
+var _ = shard.WithShards

@@ -91,11 +91,11 @@ func settle(e *Env) error {
 	return nil
 }
 
-// Provision builds the environment for a workload on a network with
-// the given shard count; sharded=false deploys without a signature
+// Provision builds the environment for a workload on a network built
+// from the given options; sharded=false deploys without a signature
 // (the baseline configuration of Sec. 5.2).
-func Provision(w *Workload, cfg shard.Config, sharded bool) (*Env, error) {
-	net := shard.NewNetwork(cfg)
+func Provision(w *Workload, sharded bool, opts ...shard.Option) (*Env, error) {
+	net := shard.NewNetwork(opts...)
 	deployer := chain.AddrFromUint(1)
 	net.CreateUser(deployer, 1<<60)
 	users := make([]chain.Address, w.Users)

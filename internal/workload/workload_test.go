@@ -7,13 +7,13 @@ import (
 	"cosplit/internal/workload"
 )
 
-func smallCfg(n int) shard.Config {
-	return shard.Config{
-		NumShards:          n,
-		NodesPerShard:      5,
-		ShardGasLimit:      1 << 40,
-		DSGasLimit:         1 << 40,
-		SplitGasAccounting: true,
+// smallOpts scales a network down for test runs: generous gas limits,
+// no consensus model.
+func smallOpts(n int) []shard.Option {
+	return []shard.Option{
+		shard.WithShards(n),
+		shard.WithGasLimits(1<<40, 1<<40),
+		shard.WithConsensusModel(false),
 	}
 }
 
@@ -39,7 +39,7 @@ func TestAllWorkloadsRun(t *testing.T) {
 				if w.SetupSize > 0 {
 					w.SetupSize = 200
 				}
-				env, err := workload.Provision(w, smallCfg(3), sharded)
+				env, err := workload.Provision(w, sharded, smallOpts(3)...)
 				if err != nil {
 					t.Fatalf("Provision: %v", err)
 				}
@@ -86,7 +86,7 @@ func TestWorkloadShapes(t *testing.T) {
 	// FT fund: single source → exactly one shard busy.
 	w, _ := workload.ByName("FT fund")
 	w.Users = 40
-	env, err := workload.Provision(w, smallCfg(3), true)
+	env, err := workload.Provision(w, true, smallOpts(3)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestWorkloadShapes(t *testing.T) {
 	// NFT mint: single source but token-keyed → all shards busy.
 	w2, _ := workload.ByName("NFT mint")
 	w2.Users = 40
-	env2, err := workload.Provision(w2, smallCfg(3), true)
+	env2, err := workload.Provision(w2, true, smallOpts(3)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestWorkloadShapes(t *testing.T) {
 	// a large DS share.
 	w3, _ := workload.ByName("ProofIPFS register")
 	w3.Users = 40
-	env3, err := workload.Provision(w3, smallCfg(3), true)
+	env3, err := workload.Provision(w3, true, smallOpts(3)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestWorkloadShapes(t *testing.T) {
 func TestNonceTrackingConsistent(t *testing.T) {
 	w, _ := workload.ByName("FT transfer")
 	w.Users = 20
-	env, err := workload.Provision(w, smallCfg(2), true)
+	env, err := workload.Provision(w, true, smallOpts(2)...)
 	if err != nil {
 		t.Fatal(err)
 	}

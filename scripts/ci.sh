@@ -1,12 +1,22 @@
 #!/usr/bin/env sh
-# Repository verification: build, vet, full test suite, and the race
-# detector over the concurrent packages (the parallel epoch pipeline in
-# internal/shard and the striped dispatcher in internal/dispatch).
+# Repository verification: formatting, build, vet, full test suite, and
+# the race detector over the concurrent packages (the parallel epoch
+# pipeline in internal/shard, the striped dispatcher in
+# internal/dispatch, and the obs recorders/journal that both feed).
 set -eux
 
 cd "$(dirname "$0")/.."
 
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/shard/... ./internal/dispatch/...
+# The race run covers the golden-trace test (journal writes from the
+# shard pipeline) alongside the concurrent packages.
+go test -race ./internal/shard/... ./internal/dispatch/... ./internal/obs/...
