@@ -8,6 +8,10 @@
 // events as a JSONL journal, -metrics-out dumps the aggregated metrics
 // registry as JSON on exit, and -pprof serves net/http/pprof for host
 // profiling of the simulator itself.
+//
+// Admission control: -submit-rate switches to a closed-loop mode that
+// feeds each workload through the mempool (SubmitTx + per-epoch drain)
+// instead of the open-loop bench harness; -mempool-cap bounds the pool.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"strings"
 
 	"cosplit/internal/bench"
+	"cosplit/internal/mempool"
 	"cosplit/internal/obs"
 	"cosplit/internal/shard"
 	"cosplit/internal/workload"
@@ -39,6 +44,8 @@ func main() {
 		epochB     = flag.Bool("epoch-bench", false, "run the sequential-vs-parallel epoch pipeline benchmark")
 		benchOut   = flag.String("bench-out", "", "write the -epoch-bench report as JSON to this file")
 		benchWl    = flag.String("bench-workload", "FT transfer", "workload for -epoch-bench")
+		submitRate = flag.Int("submit-rate", 0, "closed-loop mode: offer up to this many txs/epoch through the mempool (0 = open-loop bench)")
+		mempoolCap = flag.Int("mempool-cap", 0, "mempool capacity for -submit-rate mode (0 = default)")
 		traceOut   = flag.String("trace-out", "", "write a JSONL epoch-trace journal of every simulated network to this file")
 		metricsOut = flag.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -96,6 +103,36 @@ func main() {
 	}
 
 	switch {
+	case *submitRate > 0:
+		pcfg := mempool.DefaultConfig()
+		if *mempoolCap > 0 {
+			pcfg.Capacity = *mempoolCap
+		}
+		names := split(*workloads)
+		if len(names) == 0 {
+			for _, w := range workload.All() {
+				names = append(names, w.Name)
+			}
+		}
+		clOpts := append([]shard.Option{
+			shard.WithShards(4),
+			shard.WithNodesPerShard(*nodes),
+			shard.WithGasLimits(*shardGas, *dsGas),
+			shard.WithParallelism(*parallel),
+		}, netOpts...)
+		fmt.Printf("closed loop: %d epochs, %d txs/epoch offered, pool capacity %d\n\n",
+			*epochs, *submitRate, pcfg.Capacity)
+		fmt.Printf("%-20s %8s %8s %9s %8s %9s %7s %6s\n",
+			"workload", "offered", "admitted", "backpres", "rejected", "committed", "failed", "depth")
+		for _, name := range names {
+			w, err := workload.ByName(name)
+			fail(err)
+			res, err := workload.RunClosedLoop(w, true, *submitRate, *epochs, pcfg, clOpts...)
+			fail(err)
+			fmt.Printf("%-20s %8d %8d %9d %8d %9d %7d %6d\n",
+				res.Workload, res.Offered, res.Admitted, res.Backpressured,
+				res.Rejected, res.Committed, res.Failed, res.FinalDepth)
+		}
 	case *epochB:
 		ecfg := bench.DefaultEpochBenchConfig()
 		ecfg.Workload = *benchWl

@@ -31,6 +31,7 @@
 package dispatch
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -291,11 +292,18 @@ func (d *Dispatcher) commit(tx *chain.Tx, r Routing) Decision {
 	}
 	// Replay protection: a nonce may be used once per epoch. As in the
 	// sequential dispatcher, the nonce is consumed even when routing
-	// subsequently rejects the transaction (unknown contract).
+	// subsequently rejects the transaction (unknown contract). The
+	// verdict carries ErrNonceReplay wrapped with the offending
+	// (sender, nonce), so mempools and other callers can errors.Is it
+	// and still see which chain link replayed.
 	if !d.markNonce(tx.From, tx.Nonce) {
 		d.m.rejected.Inc()
 		d.m.nonceReplay.Inc()
-		return rejection(ErrNonceReplay)
+		return Decision{
+			Rejected: true,
+			Reason:   ErrNonceReplay.Error(),
+			Err:      fmt.Errorf("sender %s nonce %d: %w", tx.From, tx.Nonce, ErrNonceReplay),
+		}
 	}
 	if r.Rejected {
 		d.m.rejected.Inc()

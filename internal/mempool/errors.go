@@ -1,0 +1,22 @@
+package mempool
+
+import "errors"
+
+// Sentinel errors for admission-control rejections. SubmitTx callers
+// test with errors.Is; the returned errors wrap these (and, where the
+// cause is nonce-related, the matching dispatch sentinel) with %w.
+var (
+	// ErrPoolFull rejects a transaction the pool has no room for: the
+	// global capacity is reached and the newcomer does not outbid the
+	// cheapest evictable transaction, or the sender is over its
+	// per-sender pending cap.
+	ErrPoolFull = errors.New("mempool full")
+	// ErrUnderpriced rejects a transaction below the admission price
+	// floor, or a replacement-by-fee that does not strictly raise the
+	// gas price of the pending transaction it would replace.
+	ErrUnderpriced = errors.New("underpriced")
+	// ErrNonceGap rejects a nonce too far ahead of the sender's chain
+	// head to park: the future queue only holds nonces within
+	// Config.MaxNonceGap of the next expected nonce.
+	ErrNonceGap = errors.New("nonce gap too large")
+)

@@ -1,0 +1,363 @@
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/dispatch"
+	"cosplit/internal/obs"
+)
+
+// nonces is a test NonceSource: a plain map of committed nonces.
+type nonces map[chain.Address]uint64
+
+func (n nonces) NonceOf(a chain.Address) (uint64, bool) {
+	v, ok := n[a]
+	return v, ok
+}
+
+var nextID atomic.Uint64
+
+func tx(from uint64, nonce, price uint64) *chain.Tx {
+	return &chain.Tx{
+		ID:       nextID.Add(1),
+		Kind:     chain.TxTransfer,
+		From:     chain.AddrFromUint(from),
+		To:       chain.AddrFromUint(from + 1000),
+		Nonce:    nonce,
+		Amount:   big.NewInt(1),
+		GasLimit: 1,
+		GasPrice: price,
+	}
+}
+
+func newPool(t *testing.T, cfg Config, src nonces, opts ...Option) *Pool {
+	t.Helper()
+	if src == nil {
+		src = nonces{}
+	}
+	return New(cfg, src, opts...)
+}
+
+func mustAdd(t *testing.T, p *Pool, txs ...*chain.Tx) {
+	t.Helper()
+	for _, tx := range txs {
+		if err := p.Add(tx); err != nil {
+			t.Fatalf("Add(%s nonce %d): %v", tx.From, tx.Nonce, err)
+		}
+	}
+}
+
+// keyOf identifies a transaction independently of its pool-assigned id.
+func keyOf(tx *chain.Tx) string {
+	return fmt.Sprintf("%s/%d/%d", tx.From, tx.Nonce, tx.GasPrice)
+}
+
+func TestDrainPriorityAndNonceOrder(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 0, chain.AddrFromUint(2): 0}
+	p := newPool(t, Config{}, src)
+	// Sender 1's chain starts cheap then gets expensive; sender 2 pays a
+	// middling price. Nonce order within sender 1 must hold even though
+	// its nonce 2 outbids everything.
+	a1, a2, a3 := tx(1, 1, 2), tx(1, 2, 50), tx(2, 1, 10)
+	mustAdd(t, p, a1, a2, a3)
+	batch := p.DrainEpoch(1)
+	want := []string{keyOf(a3), keyOf(a1), keyOf(a2)}
+	if len(batch) != len(want) {
+		t.Fatalf("batch length %d, want %d", len(batch), len(want))
+	}
+	// Sender 2 (price 10) leads; then sender 1's nonce 1 (price 2)
+	// unlocks its nonce 2 (price 50), which now outbids nothing left.
+	got := []string{keyOf(batch[0]), keyOf(batch[1]), keyOf(batch[2])}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch order %v, want %v", got, want)
+		}
+	}
+	if p.Len() != 0 {
+		t.Errorf("pool not drained: %d left", p.Len())
+	}
+}
+
+func TestNonceGapParksUntilFilled(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 0}
+	p := newPool(t, Config{MaxNonceGap: 8}, src)
+	later := tx(1, 3, 5)
+	mustAdd(t, p, later)
+	if batch := p.DrainEpoch(1); len(batch) != 0 {
+		t.Fatalf("parked transaction drained: %v", batch)
+	}
+	// Filling nonces 1 and 2 releases the whole chain.
+	mustAdd(t, p, tx(1, 1, 5), tx(1, 2, 5))
+	batch := p.DrainEpoch(2)
+	if len(batch) != 3 {
+		t.Fatalf("drained %d, want 3", len(batch))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if batch[i].Nonce != want {
+			t.Errorf("batch[%d].Nonce = %d, want %d", i, batch[i].Nonce, want)
+		}
+	}
+}
+
+func TestNonceGapTooLargeRejected(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 0}
+	p := newPool(t, Config{MaxNonceGap: 4}, src)
+	err := p.Add(tx(1, 6, 5)) // next expected 1, gap 5 > 4
+	if !errors.Is(err, ErrNonceGap) {
+		t.Fatalf("err = %v, want ErrNonceGap", err)
+	}
+	mustAdd(t, p, tx(1, 5, 5)) // gap 4 parks fine
+}
+
+func TestStaleAndReplayRejections(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 3}
+	p := newPool(t, Config{}, src)
+	if err := p.Add(tx(1, 3, 5)); !errors.Is(err, dispatch.ErrStaleNonce) {
+		t.Fatalf("committed nonce err = %v, want ErrStaleNonce", err)
+	}
+	if err := p.Add(tx(1, 1, 99)); !errors.Is(err, dispatch.ErrStaleNonce) {
+		t.Fatalf("old nonce err = %v, want ErrStaleNonce", err)
+	}
+	if err := p.Add(tx(9999, 1, 5)); !errors.Is(err, dispatch.ErrUnknownSender) {
+		t.Fatalf("unknown sender err = %v, want ErrUnknownSender", err)
+	}
+	// A nonce drained this epoch (in flight) is a replay until the
+	// chain commits it or Requeue rewinds it.
+	mustAdd(t, p, tx(1, 4, 5))
+	if got := p.DrainEpoch(1); len(got) != 1 {
+		t.Fatalf("drained %d, want 1", len(got))
+	}
+	if err := p.Add(tx(1, 4, 7)); !errors.Is(err, dispatch.ErrNonceReplay) {
+		t.Fatalf("in-flight nonce err = %v, want ErrNonceReplay", err)
+	}
+}
+
+func TestReplacementByFee(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 0}
+	p := newPool(t, Config{}, src)
+	cheap := tx(1, 1, 5)
+	mustAdd(t, p, cheap)
+	// Equal price does not replace, and the error names both causes.
+	err := p.Add(tx(1, 1, 5))
+	if !errors.Is(err, ErrUnderpriced) || !errors.Is(err, dispatch.ErrNonceReplay) {
+		t.Fatalf("equal-price replacement err = %v, want ErrUnderpriced and ErrNonceReplay", err)
+	}
+	rich := tx(1, 1, 9)
+	mustAdd(t, p, rich)
+	if p.Len() != 1 {
+		t.Fatalf("pool holds %d, want 1 after replacement", p.Len())
+	}
+	batch := p.DrainEpoch(1)
+	if len(batch) != 1 || batch[0].GasPrice != 9 {
+		t.Fatalf("drained %v, want the replacement at price 9", batch)
+	}
+}
+
+func TestPriceFloor(t *testing.T) {
+	p := newPool(t, Config{MinGasPrice: 10}, nonces{chain.AddrFromUint(1): 0})
+	if err := p.Add(tx(1, 1, 9)); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("below-floor err = %v, want ErrUnderpriced", err)
+	}
+	mustAdd(t, p, tx(1, 1, 10))
+}
+
+func TestPerSenderCap(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 0}
+	p := newPool(t, Config{PerSender: 3, MaxNonceGap: 16}, src)
+	mustAdd(t, p, tx(1, 1, 5), tx(1, 2, 5), tx(1, 3, 5))
+	if err := p.Add(tx(1, 4, 5)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("over-cap err = %v, want ErrPoolFull", err)
+	}
+}
+
+func TestCapacityEvictionPrefersCheapestTail(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 0, chain.AddrFromUint(2): 0, chain.AddrFromUint(3): 0}
+	reg := obs.NewRegistry()
+	p := newPool(t, Config{Capacity: 3}, src, WithRegistry(reg))
+	cheapTail := tx(2, 1, 2)
+	mustAdd(t, p, tx(1, 1, 8), cheapTail, tx(3, 1, 6))
+	// A newcomer that does not outbid the floor (price 2) bounces.
+	if err := p.Add(tx(3, 2, 2)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("non-outbidding err = %v, want ErrPoolFull", err)
+	}
+	// One that does evicts sender 2's tail.
+	mustAdd(t, p, tx(3, 2, 7))
+	if p.Len() != 3 {
+		t.Fatalf("pool holds %d, want 3", p.Len())
+	}
+	batch := p.DrainEpoch(1)
+	for _, b := range batch {
+		if keyOf(b) == keyOf(cheapTail) {
+			t.Fatalf("cheapest tail survived eviction: %v", keyOf(b))
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["mempool.evict.capacity"] != 1 {
+		t.Errorf("evict.capacity = %d, want 1", snap.Counters["mempool.evict.capacity"])
+	}
+	if snap.Counters["mempool.reject.full"] != 1 {
+		t.Errorf("reject.full = %d, want 1", snap.Counters["mempool.reject.full"])
+	}
+}
+
+func TestAgeEviction(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 0}
+	reg := obs.NewRegistry()
+	p := newPool(t, Config{MaxAgeEpochs: 2, MaxNonceGap: 8}, src, WithRegistry(reg))
+	// Parked behind a gap that never fills; admitted at epoch 1.
+	mustAdd(t, p, tx(1, 3, 5))
+	if b := p.DrainEpoch(2); len(b) != 0 {
+		t.Fatalf("drained %v", b)
+	}
+	if b := p.DrainEpoch(3); len(b) != 0 { // epoch 3 >= 1+2: evicted
+		t.Fatalf("drained %v", b)
+	}
+	if p.Len() != 0 {
+		t.Errorf("pool holds %d, want 0 after age eviction", p.Len())
+	}
+	if got := reg.Snapshot().Counters["mempool.evict.age"]; got != 1 {
+		t.Errorf("evict.age = %d, want 1", got)
+	}
+}
+
+func TestRequeueRewindsProgress(t *testing.T) {
+	src := nonces{chain.AddrFromUint(1): 0}
+	p := newPool(t, Config{}, src)
+	a, b := tx(1, 1, 5), tx(1, 2, 5)
+	mustAdd(t, p, a, b)
+	batch := p.DrainEpoch(1)
+	if len(batch) != 2 {
+		t.Fatalf("drained %d, want 2", len(batch))
+	}
+	// The pipeline deferred both; they must drain again next epoch.
+	p.Requeue(batch)
+	again := p.DrainEpoch(2)
+	if len(again) != 2 || again[0].Nonce != 1 || again[1].Nonce != 2 {
+		t.Fatalf("requeued drain = %v, want nonces 1,2", again)
+	}
+}
+
+func TestMaxBatchCutsLowestPriority(t *testing.T) {
+	src := nonces{}
+	for u := uint64(1); u <= 4; u++ {
+		src[chain.AddrFromUint(u)] = 0
+	}
+	p := newPool(t, Config{MaxBatch: 2}, src)
+	mustAdd(t, p, tx(1, 1, 1), tx(2, 1, 9), tx(3, 1, 5), tx(4, 1, 7))
+	batch := p.DrainEpoch(1)
+	if len(batch) != 2 || batch[0].GasPrice != 9 || batch[1].GasPrice != 7 {
+		t.Fatalf("batch = %v, want the two best-paying", batch)
+	}
+	if p.Len() != 2 {
+		t.Errorf("pool holds %d, want 2 held back", p.Len())
+	}
+	rest := p.DrainEpoch(2)
+	if len(rest) != 2 || rest[0].GasPrice != 5 || rest[1].GasPrice != 1 {
+		t.Fatalf("second batch = %v, want prices 5,1", rest)
+	}
+}
+
+// TestDrainDeterminismUnderPermutation is the pool-level half of the
+// acceptance criterion: the same transaction multiset, submitted in
+// permuted orders across 3 seeds, yields identical per-epoch batches.
+func TestDrainDeterminismUnderPermutation(t *testing.T) {
+	build := func(seed int64) [][]string {
+		src := nonces{}
+		var txs []*chain.Tx
+		for u := uint64(1); u <= 10; u++ {
+			src[chain.AddrFromUint(u)] = 0
+			for n := uint64(1); n <= 6; n++ {
+				txs = append(txs, tx(u, n, (u*7+n*13)%23+1))
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(txs), func(i, j int) { txs[i], txs[j] = txs[j], txs[i] })
+		p := newPool(t, Config{MaxBatch: 17, MaxNonceGap: 16}, src)
+		for _, x := range txs {
+			if err := p.Add(x); err != nil {
+				t.Fatalf("seed %d: Add: %v", seed, err)
+			}
+		}
+		var epochs [][]string
+		for ep := uint64(1); p.Len() > 0; ep++ {
+			batch := p.DrainEpoch(ep)
+			keys := make([]string, len(batch))
+			for i, b := range batch {
+				keys[i] = keyOf(b)
+			}
+			epochs = append(epochs, keys)
+			// Commit the batch: the chain's nonces advance to each
+			// sender's highest drained nonce.
+			for _, b := range batch {
+				if b.Nonce > src[b.From] {
+					src[b.From] = b.Nonce
+				}
+			}
+		}
+		return epochs
+	}
+	want := build(1)
+	for seed := int64(2); seed <= 3; seed++ {
+		got := build(seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d epochs, want %d", seed, len(got), len(want))
+		}
+		for e := range want {
+			if len(got[e]) != len(want[e]) {
+				t.Fatalf("seed %d epoch %d: batch size %d, want %d", seed, e, len(got[e]), len(want[e]))
+			}
+			for i := range want[e] {
+				if got[e][i] != want[e][i] {
+					t.Fatalf("seed %d epoch %d pos %d: %s, want %s", seed, e, i, got[e][i], want[e][i])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSubmitters drives the striped pool from many
+// goroutines; run under -race this checks the locking discipline, and
+// the final drain must see every admitted transaction exactly once.
+func TestConcurrentSubmitters(t *testing.T) {
+	const senders, perSender = 32, 16
+	src := nonces{}
+	for u := uint64(1); u <= senders; u++ {
+		src[chain.AddrFromUint(u)] = 0
+	}
+	p := newPool(t, Config{Capacity: senders * perSender, PerSender: perSender, MaxNonceGap: perSender}, src)
+	var wg sync.WaitGroup
+	for u := uint64(1); u <= senders; u++ {
+		wg.Add(1)
+		go func(u uint64) {
+			defer wg.Done()
+			for n := uint64(1); n <= perSender; n++ {
+				if err := p.Add(tx(u, n, n)); err != nil {
+					t.Errorf("sender %d nonce %d: %v", u, n, err)
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	if p.Len() != senders*perSender {
+		t.Fatalf("pool holds %d, want %d", p.Len(), senders*perSender)
+	}
+	batch := p.DrainEpoch(1)
+	if len(batch) != senders*perSender {
+		t.Fatalf("drained %d, want %d", len(batch), senders*perSender)
+	}
+	seen := map[string]bool{}
+	for _, b := range batch {
+		k := keyOf(b)
+		if seen[k] {
+			t.Fatalf("duplicate %s in batch", k)
+		}
+		seen[k] = true
+	}
+}

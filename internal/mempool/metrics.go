@@ -1,0 +1,45 @@
+package mempool
+
+import "cosplit/internal/obs"
+
+// poolMetrics caches the pool's always-on instruments so admission and
+// drain update them with plain atomic operations.
+type poolMetrics struct {
+	admitted *obs.Counter
+	replaced *obs.Counter // replacement-by-fee admissions
+	parked   *obs.Counter // admissions held in a future queue
+	requeued *obs.Counter // deferred transactions re-inserted
+
+	rejectFull        *obs.Counter
+	rejectUnderpriced *obs.Counter
+	rejectNonceGap    *obs.Counter
+	rejectStale       *obs.Counter
+	rejectReplay      *obs.Counter
+
+	evictCapacity *obs.Counter
+	evictAge      *obs.Counter
+
+	depth *obs.Gauge // pending transactions (ready + parked)
+
+	drainTime *obs.Histogram // DrainEpoch latency
+	batchSize *obs.Histogram // transactions handed to dispatch per epoch
+}
+
+func newPoolMetrics(reg *obs.Registry) poolMetrics {
+	return poolMetrics{
+		admitted:          reg.Counter("mempool.admitted"),
+		replaced:          reg.Counter("mempool.replaced"),
+		parked:            reg.Counter("mempool.parked"),
+		requeued:          reg.Counter("mempool.requeued"),
+		rejectFull:        reg.Counter("mempool.reject.full"),
+		rejectUnderpriced: reg.Counter("mempool.reject.underpriced"),
+		rejectNonceGap:    reg.Counter("mempool.reject.nonce_gap"),
+		rejectStale:       reg.Counter("mempool.reject.stale"),
+		rejectReplay:      reg.Counter("mempool.reject.replay"),
+		evictCapacity:     reg.Counter("mempool.evict.capacity"),
+		evictAge:          reg.Counter("mempool.evict.age"),
+		depth:             reg.Gauge("mempool.depth"),
+		drainTime:         reg.TimeHistogram("mempool.drain_time"),
+		batchSize:         reg.SizeHistogram("mempool.batch_size"),
+	}
+}

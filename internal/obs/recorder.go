@@ -92,6 +92,23 @@ type Recorder interface {
 	// OverflowGuardTripped reports a transaction rejected by the Sec. 6
 	// conservative integer-overflow guard.
 	OverflowGuardTripped(epoch uint64, shard int, tx uint64)
+	// TxAdmitted reports a transaction accepted into the mempool.
+	// parked marks an out-of-order nonce held in the sender's future
+	// queue until its gap fills; replaced marks a replacement-by-fee of
+	// a pending transaction with the same (sender, nonce).
+	TxAdmitted(epoch, tx uint64, parked, replaced bool)
+	// TxPoolRejected reports a transaction refused at mempool admission.
+	// Reason is a precompiled constant (pool full, underpriced, nonce
+	// gap, stale nonce, replayed nonce, unknown sender).
+	TxPoolRejected(epoch, tx uint64, reason string)
+	// TxEvicted reports a previously admitted transaction dropped from
+	// the mempool (reason "capacity" or "age").
+	TxEvicted(epoch, tx uint64, reason string)
+	// MempoolDrained reports one epoch's pull from the mempool: batch
+	// transactions handed to the dispatcher, remaining pool depth,
+	// how many of the remaining are parked behind nonce gaps, and the
+	// drain duration.
+	MempoolDrained(epoch uint64, batch, remaining, parked int, took time.Duration)
 	// EpochFinalized is the last event of an epoch and carries the full
 	// per-stage summary.
 	EpochFinalized(s EpochSummary)
@@ -122,6 +139,18 @@ func (Nop) TxRequeued(epoch uint64, shard, count int) {}
 
 // OverflowGuardTripped implements Recorder.
 func (Nop) OverflowGuardTripped(epoch uint64, shard int, tx uint64) {}
+
+// TxAdmitted implements Recorder.
+func (Nop) TxAdmitted(epoch, tx uint64, parked, replaced bool) {}
+
+// TxPoolRejected implements Recorder.
+func (Nop) TxPoolRejected(epoch, tx uint64, reason string) {}
+
+// TxEvicted implements Recorder.
+func (Nop) TxEvicted(epoch, tx uint64, reason string) {}
+
+// MempoolDrained implements Recorder.
+func (Nop) MempoolDrained(epoch uint64, batch, remaining, parked int, took time.Duration) {}
 
 // EpochFinalized implements Recorder.
 func (Nop) EpochFinalized(s EpochSummary) {}
@@ -197,6 +226,34 @@ func (m multi) TxRequeued(epoch uint64, shard, count int) {
 func (m multi) OverflowGuardTripped(epoch uint64, shard int, tx uint64) {
 	for _, r := range m {
 		r.OverflowGuardTripped(epoch, shard, tx)
+	}
+}
+
+// TxAdmitted implements Recorder.
+func (m multi) TxAdmitted(epoch, tx uint64, parked, replaced bool) {
+	for _, r := range m {
+		r.TxAdmitted(epoch, tx, parked, replaced)
+	}
+}
+
+// TxPoolRejected implements Recorder.
+func (m multi) TxPoolRejected(epoch, tx uint64, reason string) {
+	for _, r := range m {
+		r.TxPoolRejected(epoch, tx, reason)
+	}
+}
+
+// TxEvicted implements Recorder.
+func (m multi) TxEvicted(epoch, tx uint64, reason string) {
+	for _, r := range m {
+		r.TxEvicted(epoch, tx, reason)
+	}
+}
+
+// MempoolDrained implements Recorder.
+func (m multi) MempoolDrained(epoch uint64, batch, remaining, parked int, took time.Duration) {
+	for _, r := range m {
+		r.MempoolDrained(epoch, batch, remaining, parked, took)
 	}
 }
 

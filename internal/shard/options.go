@@ -1,13 +1,14 @@
 package shard
 
-import "cosplit/internal/obs"
+import (
+	"cosplit/internal/mempool"
+	"cosplit/internal/obs"
+)
 
-// Config parameterises the simulated network.
-//
-// Deprecated: construct networks with NewNetwork and functional
-// options (WithShards, WithGasLimits, WithParallelism, ...). Config is
-// retained so existing callers keep compiling via WithConfig and
-// NewNetworkFromConfig; new code should not build Config values.
+// Config is the network's resolved configuration, readable through
+// Network.Config. Networks are constructed with NewNetwork and
+// functional options (WithShards, WithGasLimits, WithParallelism,
+// ...); code outside this package never builds Config values.
 type Config struct {
 	NumShards     int
 	NodesPerShard int
@@ -41,9 +42,8 @@ type Config struct {
 }
 
 // DefaultConfig mirrors the paper's experimental setup: 5 nodes per
-// shard, mainnet-like gas limits.
-//
-// Deprecated: NewNetwork(WithShards(n)) applies the same defaults.
+// shard, mainnet-like gas limits. NewNetwork(WithShards(n)) applies
+// the same defaults.
 func DefaultConfig(numShards int) Config {
 	return Config{
 		NumShards:          numShards,
@@ -57,9 +57,10 @@ func DefaultConfig(numShards int) Config {
 
 // settings is the resolved form of a NewNetwork option list.
 type settings struct {
-	cfg  Config
-	recs []obs.Recorder
-	reg  *obs.Registry
+	cfg     Config
+	recs    []obs.Recorder
+	reg     *obs.Registry
+	poolCfg *mempool.Config
 }
 
 // Option configures a Network at construction time. The zero option
@@ -130,18 +131,12 @@ func WithRegistry(reg *obs.Registry) Option {
 	return func(s *settings) { s.reg = reg }
 }
 
-// WithConfig replaces the whole configuration at once.
-//
-// Deprecated: shim for pre-options callers; compose the individual
-// With* options instead.
-func WithConfig(cfg Config) Option {
-	return func(s *settings) { s.cfg = cfg }
-}
-
-// NewNetworkFromConfig builds a network from a legacy Config value.
-//
-// Deprecated: call NewNetwork(WithConfig(cfg)), or better, compose the
-// individual With* options.
-func NewNetworkFromConfig(cfg Config) *Network {
-	return NewNetwork(WithConfig(cfg))
+// WithMempool puts an admission-controlled mempool in front of the
+// epoch pipeline: SubmitTx routes through it, each RunEpoch pulls a
+// deterministic gas-price-ordered batch via the pool's DrainEpoch, and
+// gas-limit deferrals are requeued into it. The pool shares the
+// network's metrics registry and trace recorders. Without this option
+// SubmitTx degrades to the unconditional Submit path.
+func WithMempool(cfg mempool.Config) Option {
+	return func(s *settings) { s.poolCfg = &cfg }
 }

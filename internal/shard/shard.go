@@ -30,6 +30,7 @@ import (
 	"cosplit/internal/consensus"
 	"cosplit/internal/core/signature"
 	"cosplit/internal/dispatch"
+	"cosplit/internal/mempool"
 	"cosplit/internal/obs"
 	"cosplit/internal/scilla/ast"
 	"cosplit/internal/scilla/eval"
@@ -91,6 +92,10 @@ type Network struct {
 	reg *obs.Registry
 	m   netMetrics
 
+	// pool is the admission-controlled mempool (WithMempool); nil
+	// networks run the legacy unconditional Submit queue only.
+	pool *mempool.Pool
+
 	mempool  []*chain.Tx
 	receipts map[uint64]*chain.Receipt
 	nextTxID uint64
@@ -124,12 +129,19 @@ func NewNetwork(opts ...Option) *Network {
 	contracts := chain.NewContracts()
 	d := dispatch.New(s.cfg.NumShards, accounts, contracts,
 		dispatch.WithMetrics(s.reg))
+	rec := obs.Multi(s.recs...)
+	var pool *mempool.Pool
+	if s.poolCfg != nil {
+		pool = mempool.New(*s.poolCfg, accounts,
+			mempool.WithRecorder(rec), mempool.WithRegistry(s.reg))
+	}
 	return &Network{
 		Accounts:   accounts,
 		Contracts:  contracts,
 		Disp:       d,
+		pool:       pool,
 		cfg:        s.cfg,
-		rec:        obs.Multi(s.recs...),
+		rec:        rec,
 		reg:        s.reg,
 		m:          newNetMetrics(s.reg),
 		receipts:   make(map[uint64]*chain.Receipt),
@@ -177,7 +189,9 @@ func (n *Network) DeployContract(deployer chain.Address, source string,
 	return addr, nil
 }
 
-// Submit queues a transaction, assigning it an id.
+// Submit queues a transaction unconditionally, assigning it an id. It
+// bypasses any attached mempool's admission control — use SubmitTx for
+// the admission-checked path.
 func (n *Network) Submit(tx *chain.Tx) uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -188,6 +202,30 @@ func (n *Network) Submit(tx *chain.Tx) uint64 {
 	return tx.ID
 }
 
+// SubmitTx submits a transaction through the admission-controlled
+// mempool (WithMempool): the pool may park it behind a nonce gap,
+// replace a cheaper same-nonce predecessor, or reject it with a typed
+// error (mempool.ErrPoolFull, mempool.ErrUnderpriced,
+// mempool.ErrNonceGap, or a wrapped dispatch nonce sentinel — test
+// with errors.Is). Without an attached pool it degrades to Submit.
+// The returned id is 0 when the transaction was rejected.
+func (n *Network) SubmitTx(tx *chain.Tx) (uint64, error) {
+	if n.pool == nil {
+		return n.Submit(tx), nil
+	}
+	n.mu.Lock()
+	tx.ID = n.nextTxID
+	n.nextTxID++
+	n.mu.Unlock()
+	if err := n.pool.Add(tx); err != nil {
+		return 0, err
+	}
+	return tx.ID, nil
+}
+
+// Pool returns the attached mempool, or nil without WithMempool.
+func (n *Network) Pool() *mempool.Pool { return n.pool }
+
 // Receipt returns the receipt for a transaction id, if processed.
 func (n *Network) Receipt(id uint64) *chain.Receipt {
 	n.mu.Lock()
@@ -195,11 +233,16 @@ func (n *Network) Receipt(id uint64) *chain.Receipt {
 	return n.receipts[id]
 }
 
-// MempoolSize returns the number of pending transactions.
+// MempoolSize returns the number of pending transactions across the
+// legacy Submit queue and the admission-controlled pool.
 func (n *Network) MempoolSize() int {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.mempool)
+	size := len(n.mempool)
+	n.mu.Unlock()
+	if n.pool != nil {
+		size += n.pool.Len()
+	}
+	return size
 }
 
 // epochQueues returns the per-shard and DS queue buffers, truncated
@@ -222,6 +265,12 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	n.mempool = nil
 	n.m.mempool.Set(0)
 	n.mu.Unlock()
+	if n.pool != nil {
+		// The pool's batch is gas-price ordered and deterministic for a
+		// given pending multiset; appending after the legacy queue keeps
+		// Submit-path transactions (tests, setup phases) ahead of it.
+		pending = append(pending, n.pool.DrainEpoch(n.Epoch)...)
+	}
 
 	epochStart := time.Now()
 	stats := &EpochStats{Epoch: n.Epoch, PerShard: make([]int, n.cfg.NumShards)}
@@ -453,12 +502,18 @@ func (n *Network) record(r *chain.Receipt) {
 }
 
 // requeue returns deferred transactions from a shard (or the DS
-// committee, shard == dispatch.DS) to the mempool.
+// committee, shard == dispatch.DS) to the mempool — into the admission
+// pool when one is attached (bypassing admission checks: the
+// transactions were already admitted), else the legacy queue.
 func (n *Network) requeue(shard int, txs []*chain.Tx) {
 	if len(txs) == 0 {
 		return
 	}
 	n.rec.TxRequeued(n.Epoch, shard, len(txs))
+	if n.pool != nil {
+		n.pool.Requeue(txs)
+		return
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.mempool = append(n.mempool, txs...)

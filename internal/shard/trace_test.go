@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cosplit/internal/chain"
+	"cosplit/internal/mempool"
 	"cosplit/internal/obs"
 	"cosplit/internal/shard"
 )
@@ -72,10 +73,12 @@ func TestGoldenTraceSchema(t *testing.T) {
 		return tick
 	}))
 	// Two shards, a 3-gas MicroBlock budget (transfers cost 1 gas), the
-	// sequential pipeline for a stable cross-shard event order.
+	// sequential pipeline for a stable cross-shard event order, and a
+	// mempool so the trace pins the admission/drain event schema too.
 	net := shard.NewNetwork(
 		shard.WithShards(2),
 		shard.WithGasLimits(3, 1000),
+		shard.WithMempool(mempool.DefaultConfig()),
 		shard.WithRecorder(journal),
 	)
 	alice := chain.AddrFromUint(1)
@@ -83,18 +86,24 @@ func TestGoldenTraceSchema(t *testing.T) {
 	net.CreateUser(alice, 1_000_000)
 	net.CreateUser(bob, 1_000_000)
 
-	// Five transfers from one sender land on its home shard and exceed
-	// the 3-gas budget: two are deferred and requeued. A duplicated
-	// nonce and an unknown sender exercise the rejection labels.
+	// Five transfers from one sender enter through the mempool, land on
+	// its home shard and exceed the 3-gas budget: two are deferred and
+	// requeued into the pool. A duplicated nonce is refused at
+	// admission (tx_pool_rejected); an unknown sender rides the legacy
+	// Submit path to exercise the dispatcher rejection label.
 	for n := uint64(1); n <= 5; n++ {
-		net.Submit(payTx(alice, bob, n, 10))
+		if _, err := net.SubmitTx(payTx(alice, bob, n, 10)); err != nil {
+			t.Fatalf("submit nonce %d: %v", n, err)
+		}
 	}
-	net.Submit(payTx(alice, bob, 5, 10))                  // replayed nonce
+	if _, err := net.SubmitTx(payTx(alice, bob, 5, 10)); err == nil {
+		t.Fatal("duplicate nonce admitted")
+	}
 	net.Submit(payTx(chain.AddrFromUint(99), bob, 1, 10)) // unknown sender
 	if _, err := net.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}
-	// Epoch 2 drains the two deferred transfers.
+	// Epoch 2 drains the two deferred transfers back out of the pool.
 	if _, err := net.RunEpoch(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"errors"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/mempool"
+	"cosplit/internal/shard"
+)
+
+// ClosedLoopResult summarises one closed-loop run: offered vs admitted
+// load, the admission-control verdict mix, and what the pipeline did
+// with the admitted transactions.
+type ClosedLoopResult struct {
+	Workload string
+	Epochs   int
+	// Offered counts submission attempts; Admitted the ones the pool
+	// accepted (including replacements).
+	Offered  int
+	Admitted int
+	// Backpressured counts submissions refused with mempool.ErrPoolFull
+	// — each one ends the epoch's submission burst early (the closed
+	// loop yields to the pipeline instead of hammering a full pool).
+	Backpressured int
+	// Rejected counts the other admission rejections (underpriced,
+	// nonce gap, stale).
+	Rejected int
+	// Pipeline outcomes, summed over every epoch.
+	Committed int
+	Failed    int
+	Deferred  int
+	// FinalDepth is the pool depth after the last epoch.
+	FinalDepth int
+}
+
+// unwindNonce returns a client-side nonce that admission control
+// refused, so the sender's next transaction reuses it instead of
+// opening a permanent gap in its chain. Only the most recently issued
+// nonce can be unwound.
+func (e *Env) unwindNonce(a chain.Address, nonce uint64) {
+	if e.nonces[a] == nonce {
+		e.nonces[a] = nonce - 1
+	}
+}
+
+// RunClosedLoop drives a workload against a mempool-backed network in
+// a closed feedback loop: each epoch it offers up to rate transactions
+// through SubmitTx, stops the burst as soon as the pool signals
+// backpressure (ErrPoolFull), runs the epoch — which drains a
+// gas-price-ordered batch into the dispatcher — and repeats. This is
+// the ingestion pattern of a production deployment, where lookup
+// nodes shed load at admission instead of queueing unboundedly.
+func RunClosedLoop(w *Workload, sharded bool, rate, epochs int, poolCfg mempool.Config, opts ...shard.Option) (*ClosedLoopResult, error) {
+	env, err := Provision(w, sharded, append(opts, shard.WithMempool(poolCfg))...)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClosedLoopResult{Workload: w.Name, Epochs: epochs}
+	for ep := 0; ep < epochs; ep++ {
+	submit:
+		for i := 0; i < rate; i++ {
+			tx := w.Next(env)
+			res.Offered++
+			_, err := env.Net.SubmitTx(tx)
+			switch {
+			case err == nil:
+				res.Admitted++
+			case errors.Is(err, mempool.ErrPoolFull):
+				res.Backpressured++
+				env.unwindNonce(tx.From, tx.Nonce)
+				break submit
+			default:
+				res.Rejected++
+				env.unwindNonce(tx.From, tx.Nonce)
+			}
+		}
+		stats, err := env.Net.RunEpoch()
+		if err != nil {
+			return nil, err
+		}
+		res.Committed += stats.Committed
+		res.Failed += stats.Failed
+		res.Deferred += stats.Deferred
+	}
+	res.FinalDepth = env.Net.Pool().Len()
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package workload_test
+
+import (
+	"testing"
+
+	"cosplit/internal/mempool"
+	"cosplit/internal/shard"
+	"cosplit/internal/workload"
+)
+
+// TestClosedLoopBackpressure runs the FT transfer workload through the
+// admission-controlled closed loop with a pool far smaller than the
+// offered load: the pool must shed load at admission (backpressure)
+// rather than queue unboundedly, and everything admitted must be
+// accounted for by the pipeline or still be pending.
+func TestClosedLoopBackpressure(t *testing.T) {
+	w, err := workload.ByName("FT transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Users = 60
+	res, err := workload.RunClosedLoop(w, true, 200, 4,
+		mempool.Config{Capacity: 64, PerSender: 8},
+		shard.WithShards(4),
+		shard.WithConsensusModel(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted == 0 || res.Committed == 0 {
+		t.Fatalf("nothing flowed: %+v", res)
+	}
+	if res.Backpressured == 0 {
+		t.Errorf("offered 200/epoch against capacity 64 without backpressure: %+v", res)
+	}
+	if res.Offered != res.Admitted+res.Backpressured+res.Rejected {
+		t.Errorf("offered %d != admitted %d + backpressured %d + rejected %d",
+			res.Offered, res.Admitted, res.Backpressured, res.Rejected)
+	}
+	if res.FinalDepth > 64 {
+		t.Errorf("final pool depth %d exceeds capacity 64", res.FinalDepth)
+	}
+}
+
+// TestClosedLoopDrainsWithoutLoss checks conservation when nothing is
+// rejected: with ample capacity every admitted transaction is
+// committed, failed, or still pending at the end.
+func TestClosedLoopDrainsWithoutLoss(t *testing.T) {
+	w, err := workload.ByName("FT transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Users = 40
+	res, err := workload.RunClosedLoop(w, true, 50, 3,
+		mempool.Config{Capacity: 4096, PerSender: 256},
+		shard.WithShards(2),
+		shard.WithConsensusModel(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backpressured != 0 || res.Rejected != 0 {
+		t.Fatalf("unexpected rejections: %+v", res)
+	}
+	if got := res.Committed + res.Failed + res.FinalDepth; got != res.Admitted {
+		t.Errorf("admitted %d but committed %d + failed %d + pending %d = %d",
+			res.Admitted, res.Committed, res.Failed, res.FinalDepth, got)
+	}
+}

@@ -2,7 +2,8 @@
 # Repository verification: formatting, build, vet, full test suite, and
 # the race detector over the concurrent packages (the parallel epoch
 # pipeline in internal/shard, the striped dispatcher in
-# internal/dispatch, and the obs recorders/journal that both feed).
+# internal/dispatch, the striped mempool in internal/mempool, and the
+# obs recorders/journal that all three feed).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -19,4 +20,6 @@ go vet ./...
 go test ./...
 # The race run covers the golden-trace test (journal writes from the
 # shard pipeline) alongside the concurrent packages.
-go test -race ./internal/shard/... ./internal/dispatch/... ./internal/obs/...
+go test -race ./internal/shard/... ./internal/dispatch/... ./internal/mempool/... ./internal/obs/...
+# Smoke-test the closed-loop admission path end to end through the CLI.
+go run ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 3 -workloads "FT transfer"
