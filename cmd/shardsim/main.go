@@ -20,6 +20,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
 
 	"cosplit/internal/bench"
@@ -41,9 +42,10 @@ func main() {
 		strategy   = flag.Bool("strategies", false, "run the Sec. 5.2.3 ownership-vs-commutativity ablation")
 		listFlag   = flag.Bool("list", false, "list workloads")
 		parallel   = flag.Bool("parallel", false, "execute shard queues on the worker pool")
+		intraPar   = flag.Int("intra-parallel", 0, "intra-shard worker-pool size: run commuting tx groups within each shard concurrently (0 = sequential queues)")
 		epochB     = flag.Bool("epoch-bench", false, "run the sequential-vs-parallel epoch pipeline benchmark")
 		benchOut   = flag.String("bench-out", "", "write the -epoch-bench report as JSON to this file")
-		benchWl    = flag.String("bench-workload", "FT transfer", "workload for -epoch-bench")
+		benchWl    = flag.String("bench-workload", "FT transfer disjoint", "workload for -epoch-bench")
 		submitRate = flag.Int("submit-rate", 0, "closed-loop mode: offer up to this many txs/epoch through the mempool (0 = open-loop bench)")
 		mempoolCap = flag.Int("mempool-cap", 0, "mempool capacity for -submit-rate mode (0 = default)")
 		traceOut   = flag.String("trace-out", "", "write a JSONL epoch-trace journal of every simulated network to this file")
@@ -51,6 +53,11 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if (*parallel || *intraPar > 1) && runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "shardsim: warning: -parallel/-intra-parallel requested with GOMAXPROCS=1; "+
+			"goroutines will time-share one core, so measured wall-clock will not show the modeled speedup")
+	}
 
 	if *listFlag {
 		for _, w := range workload.All() {
@@ -92,6 +99,14 @@ func main() {
 		}()
 	}
 
+	// runOpts carries the intra-shard pool size into every experiment
+	// path except -epoch-bench, which sweeps it per row via IntraWorkers.
+	runOpts := netOpts
+	if *intraPar > 0 {
+		runOpts = append(append([]shard.Option{}, netOpts...),
+			shard.WithIntraShardParallelism(*intraPar))
+	}
+
 	cfg := bench.ThroughputConfig{
 		Epochs:        *epochs,
 		TxsPerEpoch:   *txs,
@@ -99,7 +114,7 @@ func main() {
 		ShardGasLimit: *shardGas,
 		DSGasLimit:    *dsGas,
 		Parallel:      *parallel,
-		NetOptions:    netOpts,
+		NetOptions:    runOpts,
 	}
 
 	switch {
@@ -119,7 +134,7 @@ func main() {
 			shard.WithNodesPerShard(*nodes),
 			shard.WithGasLimits(*shardGas, *dsGas),
 			shard.WithParallelism(*parallel),
-		}, netOpts...)
+		}, runOpts...)
 		fmt.Printf("closed loop: %d epochs, %d txs/epoch offered, pool capacity %d\n\n",
 			*epochs, *submitRate, pcfg.Capacity)
 		fmt.Printf("%-20s %8s %8s %9s %8s %9s %7s %6s\n",
@@ -138,6 +153,9 @@ func main() {
 		ecfg.Workload = *benchWl
 		ecfg.NodesPerShard = *nodes
 		ecfg.NetOptions = netOpts
+		if *intraPar > 0 {
+			ecfg.IntraWorkers = *intraPar
+		}
 		// Open the output before the (multi-second) benchmark runs so a
 		// bad path fails immediately.
 		var out *os.File

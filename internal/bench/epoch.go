@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/big"
 	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
 	"cosplit/internal/chain"
+	"cosplit/internal/contracts"
 	"cosplit/internal/obs"
 	"cosplit/internal/scilla/ast"
 	"cosplit/internal/scilla/eval"
@@ -28,6 +31,10 @@ type EpochBenchConfig struct {
 	NodesPerShard int    `json:"nodes_per_shard"`
 	ShardGasLimit uint64 `json:"shard_gas_limit"`
 	DSGasLimit    uint64 `json:"ds_gas_limit"`
+	// IntraWorkers sizes the intra-shard worker pool for the third
+	// (parallel + intra-shard) row of each shard count. Zero disables
+	// the intra rows entirely.
+	IntraWorkers int `json:"intra_workers"`
 	// NetOptions are appended to every network the benchmark builds,
 	// letting callers attach shared observability (WithRegistry,
 	// WithRecorder) to the measured runs.
@@ -38,13 +45,14 @@ type EpochBenchConfig struct {
 // BENCH_epoch.json is generated with.
 func DefaultEpochBenchConfig() EpochBenchConfig {
 	return EpochBenchConfig{
-		Workload:      "FT transfer",
+		Workload:      "FT transfer disjoint",
 		ShardCounts:   []int{1, 2, 4, 8},
-		Epochs:        5,
-		TxsPerEpoch:   2000,
+		Epochs:        8,
+		TxsPerEpoch:   4000,
 		NodesPerShard: 5,
 		ShardGasLimit: 2_000_000,
 		DSGasLimit:    2_000_000,
+		IntraWorkers:  4,
 	}
 }
 
@@ -66,8 +74,17 @@ type StageMillis struct {
 // spent, reported side by side; on a single-core host the two modes
 // measure alike even though the modelled pipelines differ.
 type EpochBenchRow struct {
-	Shards      int         `json:"shards"`
-	Parallel    bool        `json:"parallel"`
+	Shards   int  `json:"shards"`
+	Parallel bool `json:"parallel"`
+	// IntraWorkers is the intra-shard worker-pool size the row ran
+	// with (0 = sequential shard queues).
+	IntraWorkers int `json:"intra_workers"`
+	// HostCPUs and GoMaxProcs pin the host conditions the row was
+	// measured under: on a GOMAXPROCS=1 host the intra-shard rows
+	// still report the modelled (makespan) execute stage, but the
+	// measured wall-clock cannot show the speedup.
+	HostCPUs    int         `json:"host_cpus"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
 	Committed   int         `json:"committed"`
 	Failed      int         `json:"failed"`
 	DSCommitted int         `json:"ds_committed"`
@@ -96,6 +113,11 @@ type EpochBenchReport struct {
 	// SpeedupModeled maps shard count -> parallel/sequential modeled
 	// throughput ratio.
 	SpeedupModeled map[string]float64 `json:"speedup_modeled"`
+	// ExecSpeedupIntra maps shard count -> the factor by which
+	// intra-shard parallelism shrinks the modelled execute_max stage
+	// relative to the plain parallel pipeline at the same shard count
+	// (parallel ExecuteMax / intra ExecuteMax).
+	ExecSpeedupIntra map[string]float64 `json:"exec_speedup_intra,omitempty"`
 	// Microbench holds testing.B numbers measured at generation time;
 	// MicrobenchBaseline pins the numbers measured at the seed commit
 	// (before plan caching and the overlay keypath work) so future PRs
@@ -124,7 +146,7 @@ var seedMicrobench = []Microbench{
 // pipeline mode. Per-stage timings come from the network's own
 // instrumentation: a StageCollector recorder receives each epoch's
 // EpochFinalized summary and the row accumulates its breakdown.
-func measureEpochRun(w *workload.Workload, shards int, parallel bool, cfg EpochBenchConfig) (*EpochBenchRow, error) {
+func measureEpochRun(w *workload.Workload, shards int, parallel bool, intraWorkers int, cfg EpochBenchConfig) (*EpochBenchRow, error) {
 	col := obs.NewStageCollector()
 	opts := append([]shard.Option{
 		shard.WithShards(shards),
@@ -134,6 +156,7 @@ func measureEpochRun(w *workload.Workload, shards int, parallel bool, cfg EpochB
 		// pipeline (dispatch, execute, merge, DS) the PR optimises.
 		shard.WithConsensusModel(false),
 		shard.WithParallelism(parallel),
+		shard.WithIntraShardParallelism(intraWorkers),
 		shard.WithRecorder(col),
 	}, cfg.NetOptions...)
 	env, err := workload.Provision(w, true, opts...)
@@ -141,12 +164,26 @@ func measureEpochRun(w *workload.Workload, shards int, parallel bool, cfg EpochB
 		return nil, err
 	}
 	runtime.GC()
-	row := &EpochBenchRow{Shards: shards, Parallel: parallel}
+	row := &EpochBenchRow{
+		Shards:       shards,
+		Parallel:     parallel,
+		IntraWorkers: intraWorkers,
+		HostCPUs:     runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+	}
+	// Collections are forced between epochs (below); a high GC target
+	// keeps background cycles from landing inside a timed stage span,
+	// where a single pause would skew the per-worker maxima that the
+	// modeled times are built from. All modes benefit identically.
+	defer debug.SetGCPercent(debug.SetGCPercent(800))
 	var modeled, measured time.Duration
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for i := env.Net.MempoolSize(); i < cfg.TxsPerEpoch; i++ {
 			env.Net.Submit(w.Next(env))
 		}
+		// Collect outside the timed epoch so GC pauses from the untimed
+		// submission phase don't land inside a stage span.
+		runtime.GC()
 		stats, err := env.Net.RunEpoch()
 		if err != nil {
 			return nil, err
@@ -196,18 +233,31 @@ func RunEpochBench(cfg EpochBenchConfig) (*EpochBenchReport, error) {
 		MicrobenchBaseline: seedMicrobench,
 		GeneratedBy:        "go run ./cmd/shardsim -epoch-bench -bench-out BENCH_epoch.json",
 	}
+	if cfg.IntraWorkers > 1 {
+		rep.ExecSpeedupIntra = make(map[string]float64)
+	}
 	for _, shards := range cfg.ShardCounts {
-		seq, err := measureEpochRun(w, shards, false, cfg)
+		seq, err := measureEpochRun(w, shards, false, 0, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s sequential %d shards: %w", cfg.Workload, shards, err)
 		}
-		par, err := measureEpochRun(w, shards, true, cfg)
+		par, err := measureEpochRun(w, shards, true, 0, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s parallel %d shards: %w", cfg.Workload, shards, err)
 		}
 		rep.Rows = append(rep.Rows, *seq, *par)
 		if seq.TPSModeled > 0 {
 			rep.SpeedupModeled[fmt.Sprint(shards)] = par.TPSModeled / seq.TPSModeled
+		}
+		if cfg.IntraWorkers > 1 {
+			intra, err := measureEpochRun(w, shards, true, cfg.IntraWorkers, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s parallel+intra %d shards: %w", cfg.Workload, shards, err)
+			}
+			rep.Rows = append(rep.Rows, *intra)
+			if intra.Stages.ExecuteMax > 0 {
+				rep.ExecSpeedupIntra[fmt.Sprint(shards)] = par.Stages.ExecuteMax / intra.Stages.ExecuteMax
+			}
 		}
 	}
 	rep.Microbench, err = RunEpochMicrobench()
@@ -277,6 +327,44 @@ func RunEpochMicrobench() ([]Microbench, error) {
 				}
 			}
 		}},
+		{"eval.TransferExec", func(b *testing.B) {
+			// The interpreter hot path: one full FungibleToken Transfer,
+			// Context and args reused as the shard executor reuses them.
+			chk := contracts.MustParse("FungibleToken")
+			owner := chain.AddrFromUint(42).Value()
+			in, err := eval.New(chk, map[string]value.Value{
+				"contract_owner": owner,
+				"token_name":     value.Str{S: "BenchToken"},
+				"token_symbol":   value.Str{S: "BT"},
+				"decimals":       value.Uint32V(6),
+				"init_supply":    value.Uint128(1 << 62),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := eval.NewMemState(chk.FieldTypes)
+			if err := st.InitFrom(in); err != nil {
+				b.Fatal(err)
+			}
+			ctx := &eval.Context{
+				Sender:      owner,
+				Origin:      owner,
+				Amount:      value.Uint128(0),
+				BlockNumber: big.NewInt(100),
+				State:       st,
+			}
+			args := map[string]value.Value{
+				"to":     chain.AddrFromUint(7).Value(),
+				"amount": value.Uint128(1),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.Run(ctx, "Transfer", args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"chain.Overlay.ReadModifyWrite", func(b *testing.B) {
 			ov := chain.NewOverlay(base, types)
 			if err := ov.MapSet("balances", key1, amount); err != nil {
@@ -316,23 +404,33 @@ func (r *EpochBenchReport) WriteJSON(out io.Writer) error {
 
 // PrintEpochBench renders the report as a table.
 func PrintEpochBench(out io.Writer, r *EpochBenchReport) {
-	fmt.Fprintf(out, "epoch benchmark: %s (epochs=%d, txs/epoch=%d, host CPUs=%d)\n",
-		r.Config.Workload, r.Config.Epochs, r.Config.TxsPerEpoch, r.HostCPUs)
-	fmt.Fprintf(out, "%7s %10s %10s %12s %12s %12s %10s\n",
-		"shards", "mode", "committed", "modeled-ms", "measured-ms", "tps-modeled", "speedup")
+	fmt.Fprintf(out, "epoch benchmark: %s (epochs=%d, txs/epoch=%d, host CPUs=%d, gomaxprocs=%d)\n",
+		r.Config.Workload, r.Config.Epochs, r.Config.TxsPerEpoch, r.HostCPUs, r.GoMaxProcs)
+	fmt.Fprintf(out, "%7s %10s %10s %12s %12s %12s %12s %10s\n",
+		"shards", "mode", "committed", "modeled-ms", "measured-ms", "tps-modeled", "exec-max-ms", "speedup")
 	for _, row := range r.Rows {
 		mode := "seq"
-		if row.Parallel {
+		switch {
+		case row.IntraWorkers > 1:
+			mode = fmt.Sprintf("par+intra%d", row.IntraWorkers)
+		case row.Parallel:
 			mode = "parallel"
 		}
 		speedup := ""
-		if row.Parallel {
+		switch {
+		case row.IntraWorkers > 1:
+			// The intra rows report the execute-stage shrink factor
+			// relative to the plain parallel row at this shard count.
+			if s, ok := r.ExecSpeedupIntra[fmt.Sprint(row.Shards)]; ok {
+				speedup = fmt.Sprintf("%.2fx exec", s)
+			}
+		case row.Parallel:
 			if s, ok := r.SpeedupModeled[fmt.Sprint(row.Shards)]; ok {
 				speedup = fmt.Sprintf("%.2fx", s)
 			}
 		}
-		fmt.Fprintf(out, "%7d %10s %10d %12.1f %12.1f %12.0f %10s\n",
-			row.Shards, mode, row.Committed, row.ModeledMS, row.MeasuredMS, row.TPSModeled, speedup)
+		fmt.Fprintf(out, "%7d %10s %10d %12.1f %12.1f %12.0f %12.1f %10s\n",
+			row.Shards, mode, row.Committed, row.ModeledMS, row.MeasuredMS, row.TPSModeled, row.Stages.ExecuteMax, speedup)
 	}
 	fmt.Fprintln(out, "\nmicrobenchmarks (current vs seed baseline):")
 	base := map[string]Microbench{}

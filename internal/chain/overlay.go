@@ -59,36 +59,49 @@ type Overlay struct {
 	scalars map[string]value.Value
 	// mapWrites holds per-entry writes: field -> keypath -> entry.
 	mapWrites map[string]map[string]mapEntry
-	// kpKeys/kpPath memoise the last computed keypath by key-slice
-	// identity: the dominant access pattern is a MapGet immediately
-	// followed by a MapSet of the same key vector (read-modify-write),
-	// which reuses the canonicalisation instead of re-encoding it.
-	kpKeys []value.Value
-	kpPath string
+	// intern caches canonical keypaths for single ByStr keys (addresses
+	// — by far the dominant map-key shape), indexed by the raw key
+	// bytes. The cache is shared down an overlay stack (per-transaction
+	// overlays inherit their parent shard overlay's table), so repeated
+	// accesses to the same address across transactions canonicalise
+	// once. Never shared across goroutines: each shard or group overlay
+	// stack is driven by a single executor.
+	intern map[string]string
 	// merged caches the materialised merge of LoadField for map fields
 	// with pending entry writes; invalidated by any write to the field.
 	merged map[string]value.Value
 }
 
-// keypath returns Keypath(keys), memoising the last result.
+// keypath returns Keypath(keys), interning the single-ByStr-key case.
 func (o *Overlay) keypath(keys []value.Value) string {
-	if len(keys) > 0 && len(o.kpKeys) == len(keys) && &o.kpKeys[0] == &keys[0] {
-		return o.kpPath
+	if len(keys) == 1 {
+		if b, ok := keys[0].(value.ByStr); ok {
+			if p, ok := o.intern[string(b.B)]; ok {
+				return p
+			}
+			p := value.CanonicalKey(keys[0])
+			o.intern[string(b.B)] = p
+			return p
+		}
 	}
-	p := Keypath(keys)
-	o.kpKeys = keys
-	o.kpPath = p
-	return p
+	return Keypath(keys)
 }
 
-// NewOverlay creates an overlay over base.
+// NewOverlay creates an overlay over base. An overlay stacked on
+// another overlay shares its parent's keypath intern table.
 func NewOverlay(base StateReader, fieldTypes map[string]ast.Type) *Overlay {
-	return &Overlay{
+	o := &Overlay{
 		base:       base,
 		fieldTypes: fieldTypes,
 		scalars:    make(map[string]value.Value),
 		mapWrites:  make(map[string]map[string]mapEntry),
 	}
+	if p, ok := base.(*Overlay); ok {
+		o.intern = p.intern
+	} else {
+		o.intern = make(map[string]string)
+	}
+	return o
 }
 
 // fieldMapDepth returns the nesting depth of a map field.
@@ -185,8 +198,19 @@ func (o *Overlay) MapSet(field string, keys []value.Value, v value.Value) error 
 		o.mapWrites[field] = w
 	}
 	delete(o.merged, field)
-	w[o.keypath(keys)] = mapEntry{keys: keys, val: value.Copy(v)}
+	kp := o.keypath(keys)
+	w[kp] = mapEntry{keys: o.ownKeys(w, kp, keys), val: value.Copy(v)}
 	return nil
+}
+
+// ownKeys returns a key slice the overlay may retain: callers (the
+// interpreter's map-statement path) reuse their key buffers, so the
+// slice is copied on first write of a keypath and reused on overwrite.
+func (o *Overlay) ownKeys(w map[string]mapEntry, kp string, keys []value.Value) []value.Value {
+	if old, ok := w[kp]; ok {
+		return old.keys
+	}
+	return append([]value.Value(nil), keys...)
 }
 
 // MapDelete implements eval.StateAccess.
@@ -205,7 +229,8 @@ func (o *Overlay) MapDelete(field string, keys []value.Value) error {
 		o.mapWrites[field] = w
 	}
 	delete(o.merged, field)
-	w[o.keypath(keys)] = mapEntry{keys: keys, deleted: true}
+	kp := o.keypath(keys)
+	w[kp] = mapEntry{keys: o.ownKeys(w, kp, keys), deleted: true}
 	return nil
 }
 

@@ -64,6 +64,11 @@ type Receipt struct {
 	Success bool
 	GasUsed uint64
 	Error   string
+	// Err is the typed form of Error: the executor's sentinel (e.g.
+	// shard.ErrGasExhausted) wrapped with the transaction's id, sender
+	// and nonce, so callers can errors.Is through requeue/retry paths.
+	// Not serialised — receipts cross the wire as strings.
+	Err error `json:"-"`
 	// Events is the flat list of emitted event payloads.
 	Events []value.Msg
 	// Shard is the committee that processed the transaction

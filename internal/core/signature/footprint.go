@@ -1,0 +1,63 @@
+package signature
+
+// FootprintSpec is the per-transition state footprint a solved
+// signature exposes to the execution layer: which state components a
+// transaction of this transition may touch, and how. The dispatcher
+// resolves the symbolic key vectors against a concrete transaction's
+// arguments to obtain the transaction's conflict footprint, which the
+// intra-shard parallel executor uses to partition an epoch batch into
+// commuting groups (Sec. 4.2 applied inside a shard).
+type FootprintSpec struct {
+	// Owned are the components the transition reads or writes
+	// non-commutatively (the Owns constraints). Any two transactions
+	// sharing an owned component must execute in submission order.
+	Owned []Constraint
+	// Comm are the components the transition writes commutatively
+	// (IntMerge join, no ownership required at dispatch). The written
+	// value still depends on the locally observed one — a commutative
+	// write reads the component to add/subtract — so same-component
+	// writers must be serialised for bit-identical gas and receipts;
+	// only writers of distinct components commute.
+	Comm []Constraint
+	// Recipients are the transition parameters naming user accounts the
+	// transition may push native tokens to (CUserAddr). Credits to a
+	// native balance are purely additive: they never observe the
+	// balance, so they commute with each other.
+	Recipients []string
+	// Accepts is set when the transition may accept funds
+	// (CSenderShard): the contract's native balance receives an
+	// additive credit and the sender's balance an exclusive debit.
+	Accepts bool
+	// SendsFunds is set when the transition may push funds out of the
+	// contract (CContractShard): the contract's native balance is
+	// observed (overdraft check) and debited, so it is exclusive.
+	SendsFunds bool
+}
+
+// Footprint derives the footprint spec for a transition of a solved
+// signature. ok is false when the transition is not in the signature or
+// cannot be sharded at all (⊥) — such transactions have no statically
+// known footprint and force their batch into sequential execution.
+func (sg *Signature) Footprint(transition string) (*FootprintSpec, bool) {
+	cs, ok := sg.Constraints[transition]
+	if !ok || sg.IsBottom(transition) {
+		return nil, false
+	}
+	fp := &FootprintSpec{}
+	for _, c := range cs {
+		switch c.Kind {
+		case COwns:
+			fp.Owned = append(fp.Owned, c)
+		case CUserAddr:
+			fp.Recipients = append(fp.Recipients, c.Param)
+		case CSenderShard:
+			fp.Accepts = true
+		case CContractShard:
+			fp.SendsFunds = true
+		}
+	}
+	for _, ref := range sg.CommutativeWrites[transition] {
+		fp.Comm = append(fp.Comm, Constraint{Kind: COwns, Field: ref})
+	}
+	return fp, true
+}

@@ -276,6 +276,7 @@ func (d *Dispatcher) planFor(c *chain.Contract, transition string) *plan {
 		return nil
 	}
 	p := compilePlan(cs)
+	p.fp = compileFootprint(c.Sig, transition)
 	actual, _ := d.plans.LoadOrStore(k, p)
 	return actual.(*plan)
 }

@@ -1,0 +1,196 @@
+package dispatch
+
+import (
+	"cosplit/internal/chain"
+	"cosplit/internal/core/signature"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/value"
+)
+
+// This file turns a solved sharding signature into a per-transaction
+// conflict footprint: the set of state components a transaction may
+// touch, each classified as exclusive (observed, or written
+// non-additively — order matters) or additive (a blind native-balance
+// credit — commutes with other credits). The intra-shard executor
+// groups an epoch batch by footprint overlap; see internal/shard/groups.go.
+
+// FootprintKey identifies one conflict unit of state. Field == ""
+// denotes the native account (balance + nonce + gas) of Account;
+// otherwise the key is a contract-state component: a whole field when
+// Entry == "", or one map entry identified by its canonical keypath.
+type FootprintKey struct {
+	Contract chain.Address
+	Account  chain.Address
+	Field    string
+	Entry    string
+}
+
+// FootprintAccess is one resolved access of a transaction. Additive
+// accesses never observe the component (pure native-balance credits);
+// everything else is exclusive.
+type FootprintAccess struct {
+	Key      FootprintKey
+	Additive bool
+}
+
+// fpRef is a compiled contract-state component reference with symbolic
+// keys (transition parameter names, or the implicit _sender/_origin).
+type fpRef struct {
+	field string
+	keys  []string
+}
+
+// fpPlan is the compiled footprint of one (contract, transition): the
+// signature is interpreted once, resolution against a concrete
+// transaction just substitutes arguments. A nil fpPlan marks the
+// transition opaque to footprint analysis.
+type fpPlan struct {
+	// refs are the exclusive contract-state components: every Owns
+	// component (reads and non-commutative writes) and every
+	// commutative write. Commutative writes are exclusive here even
+	// though cross-shard dispatch treats them as join-mergeable: the
+	// written value is derived from the locally observed one (read-add-
+	// write), so serialising same-component writers inside a group is
+	// what keeps receipts and gas bit-identical to sequential order.
+	refs []fpRef
+	// recipients are parameters naming user accounts that may receive a
+	// native credit (additive). The implicit _sender is excluded: the
+	// sender account is always exclusive anyway.
+	recipients []string
+	// accepts: the transition may accept funds — additive credit to the
+	// contract's native account.
+	accepts bool
+	// sendsFunds: the transition may pay out of the contract's native
+	// balance, which it must observe (overdraft check) — exclusive.
+	sendsFunds bool
+	// readsBalance: the transition reads the _balance pseudo-field —
+	// exclusive on the contract's native account.
+	readsBalance bool
+}
+
+// compileFootprint builds the footprint plan for one transition, or nil
+// when the transition is opaque (⊥ or absent from the signature).
+func compileFootprint(sg *signature.Signature, transition string) *fpPlan {
+	spec, ok := sg.Footprint(transition)
+	if !ok {
+		return nil
+	}
+	fp := &fpPlan{
+		accepts:    spec.Accepts,
+		sendsFunds: spec.SendsFunds,
+	}
+	addRef := func(c signature.Constraint) {
+		if c.Field.Name == signature.BalanceField {
+			fp.readsBalance = true
+			return
+		}
+		r := fpRef{field: c.Field.Name, keys: c.Field.Keys}
+		for _, have := range fp.refs {
+			if have.field == r.field && sameSymbolicKeys(have.keys, r.keys) {
+				return
+			}
+		}
+		fp.refs = append(fp.refs, r)
+	}
+	for _, c := range spec.Owned {
+		addRef(c)
+	}
+	for _, c := range spec.Comm {
+		addRef(c)
+	}
+	for _, p := range spec.Recipients {
+		if p == ast.SenderParam || p == ast.OriginParam {
+			continue
+		}
+		fp.recipients = append(fp.recipients, p)
+	}
+	return fp
+}
+
+func sameSymbolicKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Footprint resolves the conflict footprint of tx, appending into buf
+// (which may be reused across calls). ok is false when the footprint is
+// not statically known — unknown contract, no sharding signature,
+// unshardable transition, or an unresolvable key argument — in which
+// case the caller must treat tx as conflicting with everything.
+//
+// It reads only immutable transaction data and the compiled plan, so it
+// is safe to call concurrently with other Footprint/Decide calls.
+func (d *Dispatcher) Footprint(tx *chain.Tx, buf []FootprintAccess) ([]FootprintAccess, bool) {
+	buf = buf[:0]
+	switch tx.Kind {
+	case chain.TxTransfer:
+		// Debit observes the sender's balance; the credit is blind.
+		buf = append(buf,
+			FootprintAccess{Key: FootprintKey{Account: tx.From}},
+			FootprintAccess{Key: FootprintKey{Account: tx.To}, Additive: true},
+		)
+		return buf, true
+	case chain.TxCall:
+	default:
+		return buf, false
+	}
+
+	c := d.Contracts.Get(tx.To)
+	if c == nil || c.Sig == nil {
+		return buf, false
+	}
+	p := d.planFor(c, tx.Transition)
+	if p == nil || p.fp == nil {
+		return buf, false
+	}
+	fp := p.fp
+
+	// The sender account is always exclusive: nonce bump, gas debit, and
+	// (when funds are attached) the amount debit all observe it.
+	buf = append(buf, FootprintAccess{Key: FootprintKey{Account: tx.From}})
+
+	var kbuf [4]value.Value
+	for i := range fp.refs {
+		r := &fp.refs[i]
+		key := FootprintKey{Contract: tx.To, Field: r.field}
+		if len(r.keys) > 0 {
+			keys := kbuf[:0]
+			for _, name := range r.keys {
+				v, ok := argOf(tx, name)
+				if !ok {
+					return buf, false
+				}
+				keys = append(keys, v)
+			}
+			key.Entry = chain.Keypath(keys)
+		}
+		buf = append(buf, FootprintAccess{Key: key})
+	}
+
+	for _, param := range fp.recipients {
+		v, ok := tx.Args[param]
+		if !ok {
+			return buf, false
+		}
+		addr, ok := chain.AddressFromValue(v)
+		if !ok {
+			return buf, false
+		}
+		buf = append(buf, FootprintAccess{Key: FootprintKey{Account: addr}, Additive: true})
+	}
+
+	if fp.accepts {
+		buf = append(buf, FootprintAccess{Key: FootprintKey{Account: tx.To}, Additive: true})
+	}
+	if fp.sendsFunds || fp.readsBalance {
+		buf = append(buf, FootprintAccess{Key: FootprintKey{Account: tx.To}})
+	}
+	return buf, true
+}

@@ -151,6 +151,25 @@ func (j *Journal) MicroBlockSealed(epoch uint64, shard, receipts, deltas, deferr
 	j.end(b)
 }
 
+// ShardGroupsFormed implements Recorder.
+func (j *Journal) ShardGroupsFormed(epoch uint64, shard, groups, largest, residue int) {
+	b := j.begin("shard_groups_formed", epoch)
+	b = appendInt(b, "shard", int64(shard))
+	b = appendInt(b, "groups", int64(groups))
+	b = appendInt(b, "largest", int64(largest))
+	b = appendInt(b, "residue", int64(residue))
+	j.end(b)
+}
+
+// GroupFoldDone implements Recorder.
+func (j *Journal) GroupFoldDone(epoch uint64, shard, contracts int, took time.Duration) {
+	b := j.begin("group_fold", epoch)
+	b = appendInt(b, "shard", int64(shard))
+	b = appendInt(b, "contracts", int64(contracts))
+	b = appendInt(b, "took_ns", int64(took))
+	j.end(b)
+}
+
 // DeltaMerged implements Recorder.
 func (j *Journal) DeltaMerged(epoch uint64, contracts, deltas, entries, conflicts int, took time.Duration) {
 	b := j.begin("delta_merged", epoch)

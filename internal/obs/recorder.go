@@ -82,6 +82,15 @@ type Recorder interface {
 	// produced, state deltas extracted, transactions deferred past the
 	// gas limit, and gas committed.
 	MicroBlockSealed(epoch uint64, shard, receipts, deltas, deferred int, gasUsed uint64)
+	// ShardGroupsFormed reports an intra-shard conflict-group partition:
+	// groups formed over the batch, the largest group's size, and the
+	// sequential residue (transactions sharing a group with at least one
+	// other). Emitted only when the grouped path proceeds to execution.
+	ShardGroupsFormed(epoch uint64, shard, groups, largest, residue int)
+	// GroupFoldDone reports the deterministic fold of the group results
+	// back into one MicroBlock: contracts whose per-group deltas were
+	// join-merged, and the fold duration.
+	GroupFoldDone(epoch uint64, shard, contracts int, took time.Duration)
 	// DeltaMerged reports the DS committee's three-way merge: contracts
 	// touched, deltas folded, total merged components, join conflicts
 	// (non-zero only when the merge aborts), and its duration.
@@ -129,6 +138,12 @@ func (Nop) ShardExecEnd(epoch uint64, shard int, took time.Duration) {}
 
 // MicroBlockSealed implements Recorder.
 func (Nop) MicroBlockSealed(epoch uint64, shard, receipts, deltas, deferred int, gasUsed uint64) {}
+
+// ShardGroupsFormed implements Recorder.
+func (Nop) ShardGroupsFormed(epoch uint64, shard, groups, largest, residue int) {}
+
+// GroupFoldDone implements Recorder.
+func (Nop) GroupFoldDone(epoch uint64, shard, contracts int, took time.Duration) {}
 
 // DeltaMerged implements Recorder.
 func (Nop) DeltaMerged(epoch uint64, contracts, deltas, entries, conflicts int, took time.Duration) {
@@ -205,6 +220,20 @@ func (m multi) ShardExecEnd(epoch uint64, shard int, took time.Duration) {
 func (m multi) MicroBlockSealed(epoch uint64, shard, receipts, deltas, deferred int, gasUsed uint64) {
 	for _, r := range m {
 		r.MicroBlockSealed(epoch, shard, receipts, deltas, deferred, gasUsed)
+	}
+}
+
+// ShardGroupsFormed implements Recorder.
+func (m multi) ShardGroupsFormed(epoch uint64, shard, groups, largest, residue int) {
+	for _, r := range m {
+		r.ShardGroupsFormed(epoch, shard, groups, largest, residue)
+	}
+}
+
+// GroupFoldDone implements Recorder.
+func (m multi) GroupFoldDone(epoch uint64, shard, contracts int, took time.Duration) {
+	for _, r := range m {
+		r.GroupFoldDone(epoch, shard, contracts, took)
 	}
 }
 

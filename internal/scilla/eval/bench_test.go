@@ -1,0 +1,98 @@
+package eval_test
+
+import (
+	"math/big"
+	"testing"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// benchFT deploys a FungibleToken with a huge supply so the transfer
+// loop never drains the sender, mirroring newFT without *testing.T.
+func benchFT(b *testing.B, owner value.ByStr) (*eval.Interpreter, *eval.MemState) {
+	b.Helper()
+	chk := contracts.MustParse("FungibleToken")
+	in, err := eval.New(chk, map[string]value.Value{
+		"contract_owner": owner,
+		"token_name":     value.Str{S: "BenchToken"},
+		"token_symbol":   value.Str{S: "BT"},
+		"decimals":       value.Uint32V(6),
+		"init_supply":    u128(1 << 62),
+	})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	st := eval.NewMemState(chk.FieldTypes)
+	if err := st.InitFrom(in); err != nil {
+		b.Fatalf("InitFrom: %v", err)
+	}
+	return in, st
+}
+
+// BenchmarkTransferExec measures the interpreter's hot path — a full
+// FungibleToken Transfer transition, the dominant per-transaction cost
+// in every throughput run — with the Context and args map reused
+// across calls exactly as the shard executor reuses them per batch.
+func BenchmarkTransferExec(b *testing.B) {
+	owner, bob := addr(1), addr(2)
+	in, st := benchFT(b, owner)
+	ctx := &eval.Context{
+		Sender:      owner,
+		Origin:      owner,
+		Amount:      u128(0),
+		BlockNumber: big.NewInt(100),
+		State:       st,
+	}
+	args := map[string]value.Value{"to": bob, "amount": u128(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Run(ctx, "Transfer", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// transferExecAllocCeiling guards the interpreter hot path against
+// allocation regressions. The interned keypaths and the reused
+// per-call args environment hold a Transfer around 55 allocations;
+// the ceiling leaves slack for Go-version variance, not for regrowth.
+const transferExecAllocCeiling = 80
+
+func TestTransferExecAllocs(t *testing.T) {
+	owner, bob := addr(1), addr(2)
+	chk := contracts.MustParse("FungibleToken")
+	in, err := eval.New(chk, map[string]value.Value{
+		"contract_owner": owner,
+		"token_name":     value.Str{S: "BenchToken"},
+		"token_symbol":   value.Str{S: "BT"},
+		"decimals":       value.Uint32V(6),
+		"init_supply":    u128(1 << 62),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st := eval.NewMemState(chk.FieldTypes)
+	if err := st.InitFrom(in); err != nil {
+		t.Fatalf("InitFrom: %v", err)
+	}
+	ctx := &eval.Context{
+		Sender:      owner,
+		Origin:      owner,
+		Amount:      u128(0),
+		BlockNumber: big.NewInt(100),
+		State:       st,
+	}
+	args := map[string]value.Value{"to": bob, "amount": u128(1)}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := in.Run(ctx, "Transfer", args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > transferExecAllocCeiling {
+		t.Errorf("Transfer allocates %.1f objects per run, ceiling %d — interpreter hot path regressed",
+			avg, transferExecAllocCeiling)
+	}
+}

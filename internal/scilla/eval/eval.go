@@ -47,6 +47,14 @@ type Context struct {
 	// ContractBalance backs the implicit _balance field (native tokens
 	// held by the contract); nil reads as zero.
 	ContractBalance *big.Int
+
+	// argsEnv is the transition-call environment, reused across Run
+	// calls on the same Context (reset each call); keyBuf is the
+	// scratch key vector for map statements. Both exist purely to keep
+	// the per-transaction hot path allocation-free; a zero Context
+	// works and allocates them lazily.
+	argsEnv *value.Env
+	keyBuf  []value.Value
 }
 
 // Result is the outcome of a successful transition execution.
@@ -142,7 +150,17 @@ func (in *Interpreter) Run(ctx *Context, transition string, args map[string]valu
 		return nil, fmt.Errorf("unknown transition %s", transition)
 	}
 	ctx.GasUsed = 0
-	env := value.NewEnv(in.libEnv)
+	// Reuse the call environment across transactions on the same
+	// Context: nothing that survives Run (messages, events, state
+	// values) can reference it, since storable and sendable types
+	// exclude closures.
+	env := ctx.argsEnv
+	if env == nil {
+		env = value.NewEnv(in.libEnv)
+		ctx.argsEnv = env
+	} else {
+		env.Reset(in.libEnv)
+	}
 	env.Bind(ast.SenderParam, ctx.Sender)
 	env.Bind(ast.OriginParam, ctx.Origin)
 	env.Bind(ast.AmountParam, ctx.Amount)
@@ -230,7 +248,7 @@ func (in *Interpreter) execStmt(ctx *Context, env *value.Env, s ast.Stmt, res *R
 		if err := in.burn(ctx, gasMapOp); err != nil {
 			return err
 		}
-		keys, err := in.lookupAll(env, st.Keys)
+		keys, err := in.lookupKeys(ctx, env, st.Keys)
 		if err != nil {
 			return err
 		}
@@ -243,7 +261,7 @@ func (in *Interpreter) execStmt(ctx *Context, env *value.Env, s ast.Stmt, res *R
 		if err := in.burn(ctx, gasMapOp); err != nil {
 			return err
 		}
-		keys, err := in.lookupAll(env, st.Keys)
+		keys, err := in.lookupKeys(ctx, env, st.Keys)
 		if err != nil {
 			return err
 		}
@@ -269,7 +287,7 @@ func (in *Interpreter) execStmt(ctx *Context, env *value.Env, s ast.Stmt, res *R
 		if err := in.burn(ctx, gasMapOp); err != nil {
 			return err
 		}
-		keys, err := in.lookupAll(env, st.Keys)
+		keys, err := in.lookupKeys(ctx, env, st.Keys)
 		if err != nil {
 			return err
 		}
@@ -348,6 +366,25 @@ func (in *Interpreter) execStmt(ctx *Context, env *value.Env, s ast.Stmt, res *R
 		return &ThrowError{Msg: msg}
 	}
 	return fmt.Errorf("unknown statement %T", s)
+}
+
+// lookupKeys resolves a map statement's key identifiers into the
+// Context's scratch buffer. State backends never retain the slice
+// (eval.MemState copies into its map structure, chain.Overlay copies
+// on first write of a keypath), so reusing one buffer per Context is
+// safe. Expression paths (constructor and builtin application) keep
+// lookupAll: their slices are retained by the produced values.
+func (in *Interpreter) lookupKeys(ctx *Context, env *value.Env, names []string) ([]value.Value, error) {
+	out := ctx.keyBuf[:0]
+	for _, n := range names {
+		v, ok := env.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("unbound identifier %s", n)
+		}
+		out = append(out, v)
+	}
+	ctx.keyBuf = out
+	return out, nil
 }
 
 func (in *Interpreter) lookupAll(env *value.Env, names []string) ([]value.Value, error) {

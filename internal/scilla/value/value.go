@@ -255,6 +255,15 @@ func (e *Env) Lookup(name string) (Value, bool) {
 // Bind adds a binding to this environment frame.
 func (e *Env) Bind(name string, v Value) { e.vars[name] = v }
 
+// Reset empties this frame and re-parents it, retaining the map's
+// capacity. Callers reusing a frame (the interpreter's per-call
+// transition environment) must guarantee no closure created under the
+// old bindings is still reachable.
+func (e *Env) Reset(parent *Env) {
+	e.parent = parent
+	clear(e.vars)
+}
+
 // Closure is a function value: a lambda plus its captured environment.
 type Closure struct {
 	Param     string

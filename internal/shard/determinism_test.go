@@ -4,14 +4,30 @@ import (
 	"fmt"
 	"testing"
 
+	"cosplit/internal/chain"
+	"cosplit/internal/obs"
 	"cosplit/internal/shard"
 	"cosplit/internal/workload"
 )
 
-// The parallel epoch pipeline must be observationally identical to the
-// sequential one: same state roots, same receipts, same per-shard gas.
-// This is the acceptance bar for Config.ParallelShards — worker-pool
-// scheduling may reorder execution in time but never in effect.
+// Every execution mode must be observationally identical to the
+// sequential pipeline: same state roots, same receipts, same per-shard
+// gas. This is the acceptance bar for Config.ParallelShards and
+// Config.IntraShardWorkers — worker-pool scheduling (across shards or
+// across conflict groups within one) may reorder execution in time but
+// never in effect.
+
+// execModes are the non-sequential pipelines, each compared against
+// the sequential baseline.
+var execModes = []struct {
+	name     string
+	parallel bool
+	intra    int
+}{
+	{"parallel-shards", true, 0},
+	{"intra-parallel", false, 4},
+	{"parallel+intra", true, 4},
+}
 
 type pipelineResult struct {
 	root     string
@@ -19,29 +35,41 @@ type pipelineResult struct {
 	shardGas map[int]uint64
 }
 
-// runPipeline provisions a fresh environment for the named workload
-// and drives it through several epochs in one pipeline mode.
-func runPipeline(t *testing.T, name string, parallel bool) *pipelineResult {
+// namedWorkload fetches a fresh workload instance (generator state
+// lives in the provisioned Env, but Users/Seed tweaks must not leak
+// between runs) under the given stream seed.
+func namedWorkload(t *testing.T, name string, seed int64) *workload.Workload {
 	t.Helper()
 	w, err := workload.ByName(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w.Users > 500 {
+	w.Seed = seed
+	if w.Users > 300 {
 		// CF donate provisions 100k donor accounts for throughput runs;
 		// determinism needs population diversity, not scale.
-		w.Users = 500
+		w.Users = 300
 	}
-	env, err := workload.Provision(w, true,
+	return w
+}
+
+// runPipeline provisions a fresh environment for the workload and
+// drives it through several epochs in one pipeline mode.
+func runPipeline(t *testing.T, w *workload.Workload, parallel bool, intra int, extra ...shard.Option) *pipelineResult {
+	t.Helper()
+	opts := append([]shard.Option{
 		shard.WithShards(8),
 		shard.WithGasLimits(200_000, 200_000),
 		shard.WithConsensusModel(false),
-		shard.WithParallelism(parallel))
+		shard.WithParallelism(parallel),
+		shard.WithIntraShardParallelism(intra),
+	}, extra...)
+	env, err := workload.Provision(w, true, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var ids []uint64
-	const epochs, txsPerEpoch = 3, 500
+	const epochs, txsPerEpoch = 2, 300
 	for e := 0; e < epochs; e++ {
 		for i := env.Net.MempoolSize(); i < txsPerEpoch; i++ {
 			ids = append(ids, env.Net.Submit(w.Next(env)))
@@ -68,10 +96,39 @@ func runPipeline(t *testing.T, name string, parallel bool) *pipelineResult {
 	return res
 }
 
-// TestParallelPipelineDeterminism runs every evaluation contract's
-// workload through the sequential and the worker-pooled pipeline and
+// diffResults requires two pipeline runs to agree bit-for-bit.
+func diffResults(t *testing.T, mode string, seq, got *pipelineResult) {
+	t.Helper()
+	if seq.root != got.root {
+		t.Errorf("%s: state roots diverge: sequential %s, got %s", mode, seq.root, got.root)
+	}
+	if len(seq.receipts) != len(got.receipts) {
+		t.Fatalf("%s: receipt counts diverge: sequential %d, got %d",
+			mode, len(seq.receipts), len(got.receipts))
+	}
+	mismatches := 0
+	for id, want := range seq.receipts {
+		if g := got.receipts[id]; g != want {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("%s: tx %d: sequential %s, got %s", mode, id, want, g)
+			}
+		}
+	}
+	if mismatches > 5 {
+		t.Errorf("%s: ... and %d more receipt mismatches", mode, mismatches-5)
+	}
+	for s, want := range seq.shardGas {
+		if g := got.shardGas[s]; g != want {
+			t.Errorf("%s: shard %d gas diverges: sequential %d, got %d", mode, s, want, g)
+		}
+	}
+}
+
+// TestCrossModeDeterminism runs every evaluation contract's workload
+// under three stream seeds through all four pipeline modes and
 // requires bit-identical outcomes.
-func TestParallelPipelineDeterminism(t *testing.T) {
+func TestCrossModeDeterminism(t *testing.T) {
 	workloads := []string{
 		"FT transfer",        // FungibleToken
 		"NFT mint",           // NonfungibleToken
@@ -81,32 +138,105 @@ func TestParallelPipelineDeterminism(t *testing.T) {
 	}
 	for _, name := range workloads {
 		t.Run(name, func(t *testing.T) {
-			seq := runPipeline(t, name, false)
-			par := runPipeline(t, name, true)
-			if seq.root != par.root {
-				t.Errorf("state roots diverge: sequential %s, parallel %s", seq.root, par.root)
-			}
-			if len(seq.receipts) != len(par.receipts) {
-				t.Fatalf("receipt counts diverge: sequential %d, parallel %d",
-					len(seq.receipts), len(par.receipts))
-			}
-			mismatches := 0
-			for id, want := range seq.receipts {
-				if got := par.receipts[id]; got != want {
-					mismatches++
-					if mismatches <= 5 {
-						t.Errorf("tx %d: sequential %s, parallel %s", id, want, got)
+			for _, seed := range []int64{1, 7, 42} {
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					seq := runPipeline(t, namedWorkload(t, name, seed), false, 0)
+					for _, m := range execModes {
+						got := runPipeline(t, namedWorkload(t, name, seed), m.parallel, m.intra)
+						diffResults(t, m.name, seq, got)
 					}
-				}
-			}
-			if mismatches > 5 {
-				t.Errorf("... and %d more receipt mismatches", mismatches-5)
-			}
-			for s, want := range seq.shardGas {
-				if got := par.shardGas[s]; got != want {
-					t.Errorf("shard %d gas diverges: sequential %d, parallel %d", s, want, got)
-				}
+				})
 			}
 		})
+	}
+}
+
+// hotRecipientWorkload redirects every third disjoint FT transfer to
+// one hot token account, so each shard's batch carries a multi-member
+// conflict group (the sequential residue) alongside singleton groups.
+func hotRecipientWorkload(t *testing.T, seed int64) *workload.Workload {
+	w := namedWorkload(t, "FT transfer disjoint", seed)
+	w.Name = "FT transfer hot recipient"
+	w.Users = 300
+	inner := w.Next
+	var i int
+	w.Next = func(e *workload.Env) *chain.Tx {
+		tx := inner(e)
+		if i++; i%3 == 0 {
+			// Users[1] is odd-indexed: a recipient-only account in the
+			// disjoint stream, so senders stay pairwise distinct.
+			tx.Args["to"] = e.Users[1].Value()
+		}
+		return tx
+	}
+	return w
+}
+
+// TestForcedConflictDeterminism drives the hot-recipient workload
+// through all modes: the grouped path must both form multi-member
+// groups (sequential residue > 0, observed via the metrics registry)
+// and still reproduce the sequential results exactly.
+func TestForcedConflictDeterminism(t *testing.T) {
+	seq := runPipeline(t, hotRecipientWorkload(t, 1), false, 0)
+	for _, m := range execModes {
+		reg := obs.NewRegistry()
+		got := runPipeline(t, hotRecipientWorkload(t, 1), m.parallel, m.intra,
+			shard.WithRegistry(reg))
+		diffResults(t, m.name, seq, got)
+		if m.intra > 1 {
+			snap := reg.Snapshot()
+			if n := snap.Histograms["shard.groups"].Count; n == 0 {
+				t.Errorf("%s: grouped path never ran (shard.groups count = 0)", m.name)
+			}
+			if r := snap.Histograms["shard.group_residue"].Sum; r == 0 {
+				t.Errorf("%s: hot-recipient conflicts formed no sequential residue", m.name)
+			}
+		}
+	}
+}
+
+// TestOpaqueFootprintFallsBack deploys the workload contract without a
+// signature (the baseline configuration): every footprint is opaque,
+// so the grouped path must fall back to sequential execution — counted
+// in shard.group_fallbacks — and still produce the sequential results.
+func TestOpaqueFootprintFallsBack(t *testing.T) {
+	run := func(intra int, reg *obs.Registry) *pipelineResult {
+		w := namedWorkload(t, "FT transfer", 1)
+		opts := []shard.Option{
+			shard.WithShards(2),
+			shard.WithGasLimits(200_000, 200_000),
+			shard.WithConsensusModel(false),
+			shard.WithIntraShardParallelism(intra),
+		}
+		if reg != nil {
+			opts = append(opts, shard.WithRegistry(reg))
+		}
+		env, err := workload.Provision(w, false, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []uint64
+		for e := 0; e < 2; e++ {
+			for i := 0; i < 200; i++ {
+				ids = append(ids, env.Net.Submit(w.Next(env)))
+			}
+			if _, err := env.Net.RunEpoch(); err != nil {
+				t.Fatalf("epoch %d: %v", e, err)
+			}
+		}
+		res := &pipelineResult{root: env.Net.StateRoot(), receipts: map[uint64]string{}, shardGas: map[int]uint64{}}
+		for _, id := range ids {
+			if r := env.Net.Receipt(id); r != nil {
+				res.receipts[id] = fmt.Sprintf("success=%v gas=%d err=%q shard=%d", r.Success, r.GasUsed, r.Error, r.Shard)
+			}
+		}
+		return res
+	}
+	seq := run(0, nil)
+	reg := obs.NewRegistry()
+	got := run(4, reg)
+	diffResults(t, "opaque-intra", seq, got)
+	if n := reg.Snapshot().Counters["shard.group_fallbacks"]; n == 0 {
+		t.Error("baseline (signatureless) batches never hit the grouped-path fallback counter")
 	}
 }

@@ -24,6 +24,16 @@ type netMetrics struct {
 	shardGas     *obs.Histogram // gas committed per MicroBlock
 	deltaEntries *obs.Histogram // merged state components per epoch
 
+	// Intra-shard parallel execution: conflict groups per batch, largest
+	// group size, transactions sharing a group with at least one other
+	// (the sequential residue), and batches that fell back to the
+	// sequential path (opaque footprint, single group, gas-limit trip).
+	groups         *obs.Histogram
+	groupSize      *obs.Histogram
+	groupResidue   *obs.Histogram
+	groupFallbacks *obs.Counter
+	foldTime       *obs.Histogram // deterministic group-fold duration
+
 	dispatchTime  *obs.Histogram
 	shardExecTime *obs.Histogram // per shard per epoch
 	mergeTime     *obs.Histogram
@@ -48,6 +58,11 @@ func newNetMetrics(reg *obs.Registry) netMetrics {
 		queueDepth:     reg.SizeHistogram("shard.queue_depth"),
 		shardGas:       reg.SizeHistogram("shard.gas_used"),
 		deltaEntries:   reg.SizeHistogram("merge.delta_entries"),
+		groups:         reg.SizeHistogram("shard.groups"),
+		groupSize:      reg.SizeHistogram("shard.group_size"),
+		groupResidue:   reg.SizeHistogram("shard.group_residue"),
+		groupFallbacks: reg.Counter("shard.group_fallbacks"),
+		foldTime:       reg.TimeHistogram("shard.fold_time"),
 		dispatchTime:   reg.TimeHistogram("epoch.dispatch_time"),
 		shardExecTime:  reg.TimeHistogram("shard.exec_time"),
 		mergeTime:      reg.TimeHistogram("epoch.merge_time"),

@@ -33,6 +33,20 @@ type Config struct {
 	// machines in the real network) and EpochStats reports the host
 	// wall-clock alongside it.
 	ParallelShards bool
+	// IntraShardWorkers > 1 enables intra-shard parallel execution: each
+	// shard's epoch batch is partitioned into conflict groups by the
+	// transactions' dispatch-derived footprints (owned keypaths,
+	// commutative writes, native-balance credits); groups execute
+	// concurrently against private overlays snapshotted from the shard
+	// view and are folded back in fixed group order through the
+	// per-field joins (chain.MergeCommutative), so MicroBlocks, deltas
+	// and the state root are bit-identical to sequential execution.
+	// Batches containing footprint-opaque transactions (no signature,
+	// unresolvable keys, ⊥ transitions) fall back to the sequential
+	// path, as does any batch that trips the shard gas limit. The value
+	// sets the modelled worker count for the execute-stage timing; the
+	// actual goroutine count is additionally bounded by GOMAXPROCS.
+	IntraShardWorkers int
 	// OverflowGuard enables the Sec. 6 conservative integer-overflow
 	// check: a shard rejects a transaction whose cumulative IntMerge
 	// delta on any component exceeds ⌊(MAX_INT − v₀)/N⌋ (or the
@@ -113,6 +127,18 @@ func WithParallelism(on bool) Option {
 // check in shards.
 func WithOverflowGuard(on bool) Option {
 	return func(s *settings) { s.cfg.OverflowGuard = on }
+}
+
+// WithIntraShardParallelism sets the intra-shard worker count (see
+// Config.IntraShardWorkers). Values below 2 leave shard queues on the
+// sequential path.
+func WithIntraShardParallelism(workers int) Option {
+	return func(s *settings) {
+		if workers < 0 {
+			workers = 0
+		}
+		s.cfg.IntraShardWorkers = workers
+	}
 }
 
 // WithRecorder attaches an event recorder (e.g. an *obs.Journal or

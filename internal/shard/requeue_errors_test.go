@@ -1,0 +1,85 @@
+package shard_test
+
+import (
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/mempool"
+	"cosplit/internal/shard"
+)
+
+// TestReceiptErrSurvivesRequeue drives a transaction through the
+// mempool requeue path — deferred by the shard gas limit in its first
+// epoch, re-drained and failed in the next — and asserts the failure
+// receipt's typed error still matches the executor sentinel with
+// errors.Is, carrying the transaction's identity in the message.
+func TestReceiptErrSurvivesRequeue(t *testing.T) {
+	net := shard.NewNetwork(
+		shard.WithShards(1),
+		shard.WithGasLimits(3, 1000),
+		shard.WithConsensusModel(false),
+		shard.WithMempool(mempool.DefaultConfig()),
+	)
+	alice := chain.AddrFromUint(10)
+	bob := chain.AddrFromUint(11)
+	poor := chain.AddrFromUint(12)
+	net.CreateUser(alice, 1_000_000)
+	net.CreateUser(bob, 0)
+	net.CreateUser(poor, 50) // covers gas, not the attempted amount
+
+	transfer := func(from, to chain.Address, nonce, amount, gasPrice uint64) *chain.Tx {
+		return &chain.Tx{
+			Kind:     chain.TxTransfer,
+			From:     from,
+			To:       to,
+			Nonce:    nonce,
+			Amount:   new(big.Int).SetUint64(amount),
+			GasLimit: 10,
+			GasPrice: gasPrice,
+		}
+	}
+	// Three well-priced transfers fill the 3-gas epoch; the underpriced
+	// doomed transfer drains last and is deferred past the limit.
+	for n := uint64(1); n <= 3; n++ {
+		if _, err := net.SubmitTx(transfer(alice, bob, n, 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doomed, err := net.SubmitTx(transfer(poor, bob, 1, 1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := net.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if rec := net.Receipt(doomed); rec != nil {
+		t.Fatalf("doomed tx processed in epoch 1, want deferral: %+v", rec)
+	}
+	if _, err := net.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := net.Receipt(doomed)
+	if rec == nil {
+		t.Fatal("doomed tx has no receipt after requeue epoch")
+	}
+	if rec.Success {
+		t.Fatal("doomed tx succeeded, want insufficient balance")
+	}
+	if rec.Epoch != 2 {
+		t.Errorf("doomed tx executed in epoch %d, want 2 (after requeue)", rec.Epoch)
+	}
+	if !errors.Is(rec.Err, shard.ErrInsufficientBalance) {
+		t.Errorf("receipt Err = %v, want errors.Is ErrInsufficientBalance", rec.Err)
+	}
+	if !strings.Contains(rec.Error, "sender") || !strings.Contains(rec.Error, "nonce 1") {
+		t.Errorf("receipt Error %q lacks tx identity context", rec.Error)
+	}
+	if rec.Error != rec.Err.Error() {
+		t.Errorf("string/typed error mismatch: %q vs %q", rec.Error, rec.Err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"math/big"
 	"runtime"
@@ -531,6 +532,9 @@ type shardRun struct {
 	localBal map[chain.Address]*big.Int
 	// gasSpent tracks per-sender gas spending for split gas accounting.
 	gasSpent map[chain.Address]*big.Int
+	// evalCtx is reused across the run's transactions so the
+	// interpreter's per-call environment and key scratch persist.
+	evalCtx eval.Context
 }
 
 func (n *Network) newShardRun(s int) *shardRun {
@@ -596,11 +600,33 @@ func (r *shardRun) gasAllowance(sender chain.Address) *big.Int {
 	return half.Div(half, big.NewInt(int64(r.net.cfg.NumShards-1)))
 }
 
-// runShard executes a shard's transaction queue sequentially, within
-// the shard gas limit, and produces its MicroBlock.
+// runShard executes a shard's transaction queue within the shard gas
+// limit and produces its MicroBlock. With IntraShardWorkers > 1 the
+// batch first attempts the grouped parallel path (groups.go); any
+// fallback condition reruns the batch on the sequential path below —
+// both produce bit-identical MicroBlocks when the grouped path
+// completes.
 func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
 	n.rec.ShardExecStart(n.Epoch, s, len(queue))
 	n.m.queueDepth.Observe(int64(len(queue)))
+	mb, err := n.runShardGrouped(s, queue)
+	if err != nil {
+		return nil, err
+	}
+	if mb == nil {
+		if mb, err = n.runShardSequential(s, queue); err != nil {
+			return nil, err
+		}
+	}
+	n.m.shardExecTime.ObserveDuration(mb.ExecTime)
+	n.m.shardGas.Observe(int64(mb.GasUsed))
+	n.rec.ShardExecEnd(n.Epoch, s, mb.ExecTime)
+	n.rec.MicroBlockSealed(n.Epoch, s, len(mb.Receipts), len(mb.Deltas), len(mb.Deferred), mb.GasUsed)
+	return mb, nil
+}
+
+// runShardSequential executes a shard's transaction queue sequentially.
+func (n *Network) runShardSequential(s int, queue []*chain.Tx) (*MicroBlock, error) {
 	run := n.newShardRun(s)
 	mb := &MicroBlock{Shard: s, Epoch: n.Epoch, Accounts: run.accDelta}
 	start := time.Now()
@@ -615,34 +641,52 @@ func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
 		mb.Receipts = append(mb.Receipts, rec)
 		mb.GasUsed += rec.GasUsed
 	}
-	mb.ExecTime = time.Since(start)
-	n.m.shardExecTime.ObserveDuration(mb.ExecTime)
-	n.m.shardGas.Observe(int64(mb.GasUsed))
 
-	// Extract per-contract state deltas.
-	for addr, ov := range run.overlays {
+	// Extract per-contract state deltas. Extraction counts toward
+	// ExecTime: the shard cannot seal its MicroBlock without it, and the
+	// grouped path charges the same work inside its worker runs.
+	deltas, err := run.extractDeltas()
+	if err != nil {
+		return nil, err
+	}
+	mb.Deltas = deltas
+	mb.ExecTime = time.Since(start)
+	return mb, nil
+}
+
+// extractDeltas extracts one StateDelta per contract the run touched.
+func (r *shardRun) extractDeltas() ([]*chain.StateDelta, error) {
+	var out []*chain.StateDelta
+	for addr, ov := range r.overlays {
 		if !ov.Touched() {
 			continue
 		}
-		c := n.Contracts.Get(addr)
+		c := r.net.Contracts.Get(addr)
 		joins := map[string]signature.Join{}
 		if c.Sig != nil {
 			joins = c.Sig.Joins
 		}
-		d, err := ov.ExtractDelta(addr, s, joins)
+		d, err := ov.ExtractDelta(addr, r.shard, joins)
 		if err != nil {
 			return nil, err
 		}
-		mb.Deltas = append(mb.Deltas, d)
+		out = append(out, d)
 	}
-	n.rec.ShardExecEnd(n.Epoch, s, mb.ExecTime)
-	n.rec.MicroBlockSealed(n.Epoch, s, len(mb.Receipts), len(mb.Deltas), len(mb.Deferred), mb.GasUsed)
-	return mb, nil
+	return out, nil
 }
 
 // execute runs one transaction inside a shard.
 func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 	rec := &chain.Receipt{TxID: tx.ID}
+	// fail finalises a failure receipt: the cause is wrapped with the
+	// transaction's identity (the dispatcher's nonce-replay convention)
+	// so callers can errors.Is the sentinel through requeue paths, and
+	// Error carries the wrapped message.
+	fail := func(cause error) *chain.Receipt {
+		rec.Err = fmt.Errorf("tx %d sender %s nonce %d: %w", tx.ID, tx.From, tx.Nonce, cause)
+		rec.Error = rec.Err.Error()
+		return rec
+	}
 	gasCost := func(used uint64) *big.Int {
 		return new(big.Int).Mul(new(big.Int).SetUint64(used), new(big.Int).SetUint64(tx.GasPrice))
 	}
@@ -656,16 +700,14 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 	}
 	budget := tx.GasBudget()
 	if new(big.Int).Add(spent, budget).Cmp(r.gasAllowance(tx.From)) > 0 {
-		rec.Error = ErrGasExhausted.Error()
-		return rec
+		return fail(ErrGasExhausted)
 	}
 
 	switch tx.Kind {
 	case chain.TxTransfer:
 		total := new(big.Int).Add(tx.Amount, budget)
 		if r.balanceView(tx.From).Cmp(total) < 0 {
-			rec.Error = ErrInsufficientBalance.Error()
-			return rec
+			return fail(ErrInsufficientBalance)
 		}
 		r.debit(tx.From, tx.Amount)
 		r.credit(tx.To, tx.Amount)
@@ -678,20 +720,18 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 	case chain.TxCall:
 		c := r.net.Contracts.Get(tx.To)
 		if c == nil {
-			rec.Error = ErrUnknownContract.Error()
-			return rec
+			return fail(ErrUnknownContract)
 		}
 		shardOv := r.overlayFor(c)
 		txOv := chain.NewOverlay(shardOv, c.Checked.FieldTypes)
-		ctx := &eval.Context{
-			Sender:          tx.From.Value(),
-			Origin:          tx.From.Value(),
-			Amount:          value.Int{Ty: ast.TyUint128, V: tx.Amount},
-			BlockNumber:     new(big.Int).SetUint64(r.net.BlockNumber),
-			State:           txOv,
-			GasLimit:        tx.GasLimit,
-			ContractBalance: new(big.Int).Set(r.balanceView(tx.To)),
-		}
+		ctx := &r.evalCtx
+		ctx.Sender = tx.From.Value()
+		ctx.Origin = tx.From.Value()
+		ctx.Amount = value.Int{Ty: ast.TyUint128, V: tx.Amount}
+		ctx.BlockNumber = new(big.Int).SetUint64(r.net.BlockNumber)
+		ctx.State = txOv
+		ctx.GasLimit = tx.GasLimit
+		ctx.ContractBalance = new(big.Int).Set(r.balanceView(tx.To))
 		res, err := c.Interp.Run(ctx, tx.Transition, tx.Args)
 		rec.GasUsed = ctx.GasUsed
 		cost := gasCost(rec.GasUsed)
@@ -700,44 +740,38 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 		spent.Add(spent, cost)
 		r.accDelta.BumpNonce(tx.From, tx.Nonce)
 		if err != nil {
-			rec.Error = err.Error()
-			return rec
+			return fail(err)
 		}
 		// Native token movement: accept pulls the amount into the
 		// contract; outgoing messages push funds to user recipients.
 		if res.Accepted && tx.Amount.Sign() > 0 {
 			if r.balanceView(tx.From).Cmp(tx.Amount) < 0 {
-				rec.Error = ErrInsufficientBalance.Error() + " for accepted amount"
-				return rec
+				return fail(fmt.Errorf("%w for accepted amount", ErrInsufficientBalance))
 			}
 			r.debit(tx.From, tx.Amount)
 			r.credit(tx.To, tx.Amount)
 		}
 		for _, m := range res.Messages {
 			if err := r.deliverToUser(c.Addr, m); err != nil {
-				rec.Error = err.Error()
-				return rec
+				return fail(err)
 			}
 		}
 		if bad, err := r.overflowGuardViolation(c, shardOv, txOv); err != nil {
-			rec.Error = err.Error()
-			return rec
+			return fail(err)
 		} else if bad {
 			// Sec. 6: conservative per-shard overflow bound exceeded;
 			// the transaction is rejected in-shard (a production system
 			// would reroute it to the DS committee).
 			r.net.m.overflowTrips.Inc()
 			r.net.rec.OverflowGuardTripped(r.net.Epoch, r.shard, tx.ID)
-			rec.Error = ErrOverflowGuard.Error()
-			return rec
+			return fail(ErrOverflowGuard)
 		}
 		txOv.CommitTo(shardOv)
 		rec.Success = true
 		rec.Events = res.Events
 		return rec
 	default:
-		rec.Error = "unsupported transaction kind in shard"
-		return rec
+		return fail(errors.New("unsupported transaction kind in shard"))
 	}
 }
 

@@ -18,8 +18,13 @@ fi
 go build ./...
 go vet ./...
 go test ./...
-# The race run covers the golden-trace test (journal writes from the
-# shard pipeline) alongside the concurrent packages.
+# The race run covers the golden-trace tests (journal writes from the
+# shard pipeline) and the cross-mode determinism suite (sequential vs
+# parallel-shards vs intra-parallel vs both) alongside the concurrent
+# packages.
 go test -race ./internal/shard/... ./internal/dispatch/... ./internal/mempool/... ./internal/obs/...
 # Smoke-test the closed-loop admission path end to end through the CLI.
 go run ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 3 -workloads "FT transfer"
+# Smoke-test the intra-shard parallel executor on the commuting
+# workload it is built for.
+go run ./cmd/shardsim -intra-parallel 4 -epochs 3 -workloads "FT transfer disjoint"
