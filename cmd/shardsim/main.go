@@ -12,6 +12,13 @@
 // Admission control: -submit-rate switches to a closed-loop mode that
 // feeds each workload through the mempool (SubmitTx + per-epoch drain)
 // instead of the open-loop bench harness; -mempool-cap bounds the pool.
+//
+// Chaos: -faults seed:spec injects a deterministic fault schedule
+// (crashed shards, dropped MicroBlocks, corrupt deltas, stragglers)
+// into every simulated network, e.g.
+// -faults "7:crash=0.05,drop=0.02,straggle=0.2x4". The same seed and
+// spec reproduce the same fault schedule bit-for-bit in every
+// execution mode.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"strings"
 
 	"cosplit/internal/bench"
+	"cosplit/internal/fault"
 	"cosplit/internal/mempool"
 	"cosplit/internal/obs"
 	"cosplit/internal/shard"
@@ -48,6 +56,7 @@ func main() {
 		benchWl    = flag.String("bench-workload", "FT transfer disjoint", "workload for -epoch-bench")
 		submitRate = flag.Int("submit-rate", 0, "closed-loop mode: offer up to this many txs/epoch through the mempool (0 = open-loop bench)")
 		mempoolCap = flag.Int("mempool-cap", 0, "mempool capacity for -submit-rate mode (0 = default)")
+		faultSpec  = flag.String("faults", "", `deterministic fault injection, "seed:kind=prob[,...]" with kinds crash, drop, corrupt, straggle (e.g. "7:crash=0.05,straggle=0.2x4")`)
 		traceOut   = flag.String("trace-out", "", "write a JSONL epoch-trace journal of every simulated network to this file")
 		metricsOut = flag.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -78,6 +87,12 @@ func main() {
 	// and one journal (if requested) receives the interleaved traces.
 	reg := obs.NewRegistry()
 	netOpts := []shard.Option{shard.WithRegistry(reg)}
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "shardsim: injecting %s\n", plan)
+		netOpts = append(netOpts, shard.WithFaults(plan))
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		fail(err)
@@ -137,16 +152,24 @@ func main() {
 		}, runOpts...)
 		fmt.Printf("closed loop: %d epochs, %d txs/epoch offered, pool capacity %d\n\n",
 			*epochs, *submitRate, pcfg.Capacity)
-		fmt.Printf("%-20s %8s %8s %9s %8s %9s %7s %6s\n",
+		fmt.Printf("%-20s %8s %8s %9s %8s %9s %7s %6s",
 			"workload", "offered", "admitted", "backpres", "rejected", "committed", "failed", "depth")
+		if *faultSpec != "" {
+			fmt.Printf(" %6s %7s %6s", "lost", "viewchg", "escal")
+		}
+		fmt.Println()
 		for _, name := range names {
 			w, err := workload.ByName(name)
 			fail(err)
 			res, err := workload.RunClosedLoop(w, true, *submitRate, *epochs, pcfg, clOpts...)
 			fail(err)
-			fmt.Printf("%-20s %8d %8d %9d %8d %9d %7d %6d\n",
+			fmt.Printf("%-20s %8d %8d %9d %8d %9d %7d %6d",
 				res.Workload, res.Offered, res.Admitted, res.Backpressured,
 				res.Rejected, res.Committed, res.Failed, res.FinalDepth)
+			if *faultSpec != "" {
+				fmt.Printf(" %6d %7d %6d", res.Lost, res.ViewChanges, res.Escalated)
+			}
+			fmt.Println()
 		}
 	case *epochB:
 		ecfg := bench.DefaultEpochBenchConfig()

@@ -47,6 +47,10 @@ func DefaultModel(committee int) PBFTModel {
 // Phases in a PBFT round: pre-prepare, prepare, commit.
 const pbftPhases = 3
 
+// Phases in a PBFT view change: view-change broadcast and the new
+// leader's new-view announcement.
+const viewChangePhases = 2
+
 // RoundTime returns the modelled duration of one PBFT consensus round
 // over a block containing txCount transactions.
 func (m PBFTModel) RoundTime(txCount int) time.Duration {
@@ -54,6 +58,19 @@ func (m PBFTModel) RoundTime(txCount int) time.Duration {
 	return m.BaseProposal +
 		time.Duration(pbftPhases)*perPhase +
 		time.Duration(txCount)*m.PerTxCost
+}
+
+// ViewChangeTime returns the modelled cost of one PBFT view change:
+// the committee times out on its leader, broadcasts view-change
+// messages, and the next leader assembles and broadcasts the new-view
+// certificate. The fault-recovery path charges this when a shard
+// crashes, loses its MicroBlock, or ships a corrupt StateDelta — the
+// surviving committee must re-elect before the next epoch can make
+// progress. The leader-side certificate assembly is charged at
+// BaseProposal, like a block proposal.
+func (m PBFTModel) ViewChangeTime() time.Duration {
+	perPhase := m.NetLatency + time.Duration(m.CommitteeSize)*m.MsgVerify
+	return m.BaseProposal + time.Duration(viewChangePhases)*perPhase
 }
 
 // EpochConsensus returns the modelled consensus cost of one full epoch:

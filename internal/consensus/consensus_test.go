@@ -55,6 +55,27 @@ func TestZeroModel(t *testing.T) {
 	if m.RoundTime(0) != 0 {
 		t.Error("zero model should cost nothing")
 	}
+	if m.ViewChangeTime() != 0 {
+		t.Error("zero model's view change should cost nothing")
+	}
+}
+
+// TestViewChangeTime: a view change costs two communication phases
+// plus leader work — strictly positive, cheaper than a full block
+// round over any non-empty block, and monotonic in committee size.
+func TestViewChangeTime(t *testing.T) {
+	m := consensus.DefaultModel(5)
+	vc := m.ViewChangeTime()
+	if vc <= 0 {
+		t.Fatalf("view change cost = %v, want > 0", vc)
+	}
+	if vc >= m.RoundTime(0) {
+		t.Errorf("view change (%v) should be cheaper than a 3-phase round over an empty block (%v)",
+			vc, m.RoundTime(0))
+	}
+	if big := consensus.DefaultModel(50); big.ViewChangeTime() <= vc {
+		t.Error("larger committee's view change must cost more")
+	}
 }
 
 func TestEpochConsensusParts(t *testing.T) {

@@ -42,6 +42,11 @@ import (
 // DS is the shard index denoting the DS committee.
 const DS = -1
 
+// ReasonShardUnavailable is the routing reason attached when the
+// dispatcher reroutes a transaction to the DS committee because its
+// target shard is marked unavailable (fault-recovery escalation).
+const ReasonShardUnavailable = "shard unavailable: escalated to DS"
+
 // Decision is the dispatcher's routing verdict for one transaction.
 type Decision struct {
 	// Shard is the placement: a shard index, or DS for the DS committee.
@@ -95,6 +100,7 @@ type metrics struct {
 	nonceReplay   *obs.Counter // rejected specifically as replays
 	planHit       *obs.Counter // plan-cache hits in Decide
 	planMiss      *obs.Counter // plan-cache compilations
+	unavailable   *obs.Counter // rerouted to DS: target shard down
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -107,6 +113,7 @@ func newMetrics(reg *obs.Registry) metrics {
 		nonceReplay:   reg.Counter("dispatch.nonce_replay"),
 		planHit:       reg.Counter("dispatch.plan.hit"),
 		planMiss:      reg.Counter("dispatch.plan.miss"),
+		unavailable:   reg.Counter("dispatch.route.unavailable"),
 	}
 }
 
@@ -129,6 +136,11 @@ type Dispatcher struct {
 	// plans caches the compiled per-(contract, transition) constraint
 	// plan; signatures are immutable once a contract is deployed.
 	plans sync.Map // planKey -> *plan
+	// down marks shards the fault-recovery path has escalated: their
+	// traffic is rerouted to the DS committee until they recover. nil
+	// means every shard is available. Written only between epochs
+	// (SetUnavailable), read concurrently during dispatch.
+	down []bool
 
 	m metrics
 }
@@ -186,6 +198,20 @@ func (d *Dispatcher) ResetEpoch() {
 		clear(s.m)
 		s.mu.Unlock()
 	}
+}
+
+// SetUnavailable replaces the shard-availability mask: down[s] marks
+// shard s unavailable, rerouting its traffic to the DS committee with
+// ReasonShardUnavailable. A nil (or all-false) mask restores full
+// availability. Call it between epochs only — the mask is read without
+// synchronisation while dispatching.
+func (d *Dispatcher) SetUnavailable(down []bool) {
+	d.down = down
+}
+
+// shardDown reports whether the availability mask reroutes shard s.
+func (d *Dispatcher) shardDown(s int) bool {
+	return s >= 0 && s < len(d.down) && d.down[s]
 }
 
 // Load returns a copy of the per-shard load counters (last entry = DS).
@@ -310,10 +336,22 @@ func (d *Dispatcher) commit(tx *chain.Tx, r Routing) Decision {
 		d.m.rejected.Inc()
 		return r.Decision
 	}
-	shard := r.Shard
+	shard, reason := r.Shard, r.Reason
 	if r.Unconstrained {
 		shard = d.leastLoaded()
 		d.m.unconstrained.Inc()
+		if shard == DS {
+			// Every shard is down; the DS committee absorbs the load.
+			reason = ReasonShardUnavailable
+			d.m.unavailable.Inc()
+		}
+	}
+	// Unavailability backoff: traffic for an escalated shard executes on
+	// the DS committee until the shard recovers (leastLoaded already
+	// avoids down shards; this catches constrained placements).
+	if d.shardDown(shard) {
+		shard, reason = DS, ReasonShardUnavailable
+		d.m.unavailable.Inc()
 	}
 	if shard == DS {
 		d.m.routedDS.Inc()
@@ -322,7 +360,7 @@ func (d *Dispatcher) commit(tx *chain.Tx, r Routing) Decision {
 		d.m.routedShard.Inc()
 		d.load[shard].Add(1)
 	}
-	return Decision{Shard: shard, Reason: r.Reason}
+	return Decision{Shard: shard, Reason: reason}
 }
 
 // Dispatch routes a transaction. It is safe for concurrent use; for
@@ -381,10 +419,15 @@ func (d *Dispatcher) DispatchAll(txs []*chain.Tx, workers int) []Decision {
 	return out
 }
 
+// leastLoaded returns the available shard with the lowest load,
+// preferring the lowest index on ties; DS when every shard is down.
 func (d *Dispatcher) leastLoaded() int {
-	best, bestLoad := 0, d.load[0].Load()
-	for i := 1; i < d.NumShards; i++ {
-		if l := d.load[i].Load(); l < bestLoad {
+	best, bestLoad := DS, int64(0)
+	for i := 0; i < d.NumShards; i++ {
+		if d.shardDown(i) {
+			continue
+		}
+		if l := d.load[i].Load(); best == DS || l < bestLoad {
 			best, bestLoad = i, l
 		}
 	}

@@ -354,3 +354,53 @@ func TestDispatchMetrics(t *testing.T) {
 		t.Errorf("nonce_replay = %d, want 1", got)
 	}
 }
+
+// TestUnavailableShardReroutesToDS: the fault-recovery availability
+// mask sends a down shard's traffic to the DS committee, keeps
+// load-balanced placements off the shard, and restores normal routing
+// once cleared.
+func TestUnavailableShardReroutesToDS(t *testing.T) {
+	f := newFixture(t, 4, ftQuery())
+	disp := f.disp
+	from := f.users[0]
+	home := chain.ShardOf(from, 4)
+	down := make([]bool, 4)
+	down[home] = true
+	disp.SetUnavailable(down)
+
+	dec := disp.Dispatch(transferTx(f, from, f.users[1], 1))
+	if dec.Rejected || dec.Shard != dispatch.DS || dec.Reason != dispatch.ReasonShardUnavailable {
+		t.Fatalf("constrained tx on a down shard: %+v, want DS with %q", dec, dispatch.ReasonShardUnavailable)
+	}
+
+	mint := func(nonce uint64) *chain.Tx {
+		return &chain.Tx{
+			ID: nonce, Kind: chain.TxCall, From: from, To: f.contract.Addr,
+			Nonce: nonce, Amount: big.NewInt(0), GasLimit: 1000, GasPrice: 1,
+			Transition: "Mint",
+			Args: map[string]value.Value{
+				"recipient": chain.AddrFromUint(1000 + nonce).Value(),
+				"amount":    value.Uint128(1),
+			},
+		}
+	}
+	for n := uint64(2); n < 10; n++ {
+		dec := disp.Dispatch(mint(n))
+		if dec.Shard == home || dec.Shard == dispatch.DS {
+			t.Fatalf("load-balanced mint landed on shard %d with shard %d down", dec.Shard, home)
+		}
+	}
+
+	// Recovery: clearing the mask restores the home-shard placement.
+	disp.SetUnavailable(nil)
+	if dec := disp.Dispatch(transferTx(f, from, f.users[1], 10)); dec.Shard != home {
+		t.Errorf("after recovery, transfer in shard %d, want home %d", dec.Shard, home)
+	}
+
+	// Full outage: with every shard down, even unconstrained
+	// transactions execute on the DS committee.
+	disp.SetUnavailable([]bool{true, true, true, true})
+	if dec := disp.Dispatch(mint(11)); dec.Shard != dispatch.DS || dec.Reason != dispatch.ReasonShardUnavailable {
+		t.Errorf("full outage mint: %+v, want DS with %q", dec, dispatch.ReasonShardUnavailable)
+	}
+}

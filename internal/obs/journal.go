@@ -189,6 +189,31 @@ func (j *Journal) TxRequeued(epoch uint64, shard, count int) {
 	j.end(b)
 }
 
+// ShardFault implements Recorder.
+func (j *Journal) ShardFault(epoch uint64, shard int, kind string, lost int) {
+	b := j.begin("shard_fault", epoch)
+	b = appendInt(b, "shard", int64(shard))
+	b = appendStr(b, "kind", kind)
+	b = appendInt(b, "lost", int64(lost))
+	j.end(b)
+}
+
+// ViewChange implements Recorder.
+func (j *Journal) ViewChange(epoch uint64, shard int, took time.Duration) {
+	b := j.begin("view_change", epoch)
+	b = appendInt(b, "shard", int64(shard))
+	b = appendInt(b, "took_ns", int64(took))
+	j.end(b)
+}
+
+// ShardEscalated implements Recorder.
+func (j *Journal) ShardEscalated(epoch uint64, shard, txs int) {
+	b := j.begin("shard_escalated", epoch)
+	b = appendInt(b, "shard", int64(shard))
+	b = appendInt(b, "txs", int64(txs))
+	j.end(b)
+}
+
 // OverflowGuardTripped implements Recorder.
 func (j *Journal) OverflowGuardTripped(epoch uint64, shard int, tx uint64) {
 	b := j.begin("overflow_guard_tripped", epoch)

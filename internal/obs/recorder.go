@@ -98,6 +98,19 @@ type Recorder interface {
 	// TxRequeued reports count transactions deferred back into the
 	// mempool (shard -1 = the DS committee's deferrals).
 	TxRequeued(epoch uint64, shard, count int)
+	// ShardFault reports an injected fault taking effect on a shard:
+	// kind is the directive label ("crash", "drop", "corrupt",
+	// "straggle") and lost the number of batch transactions requeued by
+	// the recovery path (0 for straggle — the MicroBlock still seals).
+	ShardFault(epoch uint64, shard int, kind string, lost int)
+	// ViewChange reports a PBFT view change charged to a shard's
+	// committee after its MicroBlock went missing or failed validation.
+	ViewChange(epoch uint64, shard int, took time.Duration)
+	// ShardEscalated reports the dispatcher's unavailability backoff
+	// escalating a repeatedly faulting shard: txs transactions the
+	// routing placed on the shard were executed by the DS committee
+	// instead this epoch.
+	ShardEscalated(epoch uint64, shard, txs int)
 	// OverflowGuardTripped reports a transaction rejected by the Sec. 6
 	// conservative integer-overflow guard.
 	OverflowGuardTripped(epoch uint64, shard int, tx uint64)
@@ -151,6 +164,15 @@ func (Nop) DeltaMerged(epoch uint64, contracts, deltas, entries, conflicts int, 
 
 // TxRequeued implements Recorder.
 func (Nop) TxRequeued(epoch uint64, shard, count int) {}
+
+// ShardFault implements Recorder.
+func (Nop) ShardFault(epoch uint64, shard int, kind string, lost int) {}
+
+// ViewChange implements Recorder.
+func (Nop) ViewChange(epoch uint64, shard int, took time.Duration) {}
+
+// ShardEscalated implements Recorder.
+func (Nop) ShardEscalated(epoch uint64, shard, txs int) {}
 
 // OverflowGuardTripped implements Recorder.
 func (Nop) OverflowGuardTripped(epoch uint64, shard int, tx uint64) {}
@@ -248,6 +270,27 @@ func (m multi) DeltaMerged(epoch uint64, contracts, deltas, entries, conflicts i
 func (m multi) TxRequeued(epoch uint64, shard, count int) {
 	for _, r := range m {
 		r.TxRequeued(epoch, shard, count)
+	}
+}
+
+// ShardFault implements Recorder.
+func (m multi) ShardFault(epoch uint64, shard int, kind string, lost int) {
+	for _, r := range m {
+		r.ShardFault(epoch, shard, kind, lost)
+	}
+}
+
+// ViewChange implements Recorder.
+func (m multi) ViewChange(epoch uint64, shard int, took time.Duration) {
+	for _, r := range m {
+		r.ViewChange(epoch, shard, took)
+	}
+}
+
+// ShardEscalated implements Recorder.
+func (m multi) ShardEscalated(epoch uint64, shard, txs int) {
+	for _, r := range m {
+		r.ShardEscalated(epoch, shard, txs)
 	}
 }
 

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 
@@ -17,19 +18,27 @@ const maxCallDepth = 8
 // runDS executes the DS committee's queue sequentially on the merged
 // canonical state (after the shard deltas were folded in), up to the
 // DS gas limit. Unlike shards, the DS committee may process
-// inter-contract calls.
-func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*chain.Tx, err error) {
+// inter-contract calls. As in the shard path, the FinalBlock never
+// commits past its gas limit: a transaction that cannot fit in the
+// remaining epoch gas is deferred (with the rest of the queue) rather
+// than allowed to overshoot the cap.
+func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*chain.Tx) {
 	var gasUsed uint64
 	// The DS committee owns the canonical state during this phase; it
 	// works on per-contract mutable copies taken once per epoch and
 	// installs them at the end.
 	working := make(map[chain.Address]*eval.MemState)
 	for i, tx := range queue {
-		if gasUsed >= n.cfg.DSGasLimit {
+		remaining := n.cfg.DSGasLimit - gasUsed
+		if remaining == 0 {
 			deferred = append(deferred, queue[i:]...)
 			break
 		}
-		rec := n.executeDS(tx, working)
+		rec, wait := n.executeDS(tx, working, remaining)
+		if wait {
+			deferred = append(deferred, queue[i:]...)
+			break
+		}
 		rec.Shard = -1
 		rec.Epoch = n.Epoch
 		gasUsed += rec.GasUsed
@@ -43,7 +52,7 @@ func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*c
 	for addr, st := range working {
 		n.Contracts.Get(addr).ReplaceState(st)
 	}
-	return committed, failed, deferred, nil
+	return committed, failed, deferred
 }
 
 // workingState returns the DS committee's mutable copy of a contract's
@@ -58,8 +67,21 @@ func (n *Network) workingState(working map[chain.Address]*eval.MemState, addr ch
 }
 
 // executeDS runs one transaction with full (non-sharded) semantics on
-// the DS working state.
-func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemState) *chain.Receipt {
+// the DS working state, capped by the FinalBlock's remaining epoch
+// gas. When the transaction cannot complete within remaining but might
+// within a fresh epoch's full limit, executeDS reports wait=true and
+// leaves all state — working copies, balances, nonces — untouched so
+// the transaction can be deferred and retried.
+func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemState, remaining uint64) (_ *chain.Receipt, wait bool) {
+	// As in the shard path: the interpreter burns at most the declared
+	// transaction limit, clipped to the epoch budget (a declared limit
+	// of 0 means "unlimited" and is clipped too).
+	effLimit := tx.GasLimit
+	epochCapped := false
+	if effLimit == 0 || effLimit > remaining {
+		effLimit = remaining
+		epochCapped = true
+	}
 	rec := &chain.Receipt{TxID: tx.ID}
 	delta := chain.NewAccountDelta()
 
@@ -69,11 +91,11 @@ func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemSta
 	senderAcc := n.Accounts.Get(tx.From)
 	if senderAcc == nil {
 		rec.Error = "unknown sender"
-		return rec
+		return rec, false
 	}
 	if senderAcc.Balance.Cmp(tx.GasBudget()) < 0 {
 		rec.Error = "insufficient balance for gas"
-		return rec
+		return rec, false
 	}
 
 	switch tx.Kind {
@@ -81,7 +103,7 @@ func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemSta
 		total := new(big.Int).Add(tx.Amount, tx.GasBudget())
 		if senderAcc.Balance.Cmp(total) < 0 {
 			rec.Error = "insufficient balance"
-			return rec
+			return rec, false
 		}
 		rec.GasUsed = 1
 		delta.AddBalance(tx.From, new(big.Int).Neg(new(big.Int).Add(tx.Amount, gasCost(rec.GasUsed))))
@@ -89,16 +111,29 @@ func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemSta
 		delta.BumpNonce(tx.From, tx.Nonce)
 		if err := n.Accounts.Apply(delta); err != nil {
 			rec.Error = err.Error()
-			return rec
+			return rec, false
 		}
 		rec.Success = true
-		return rec
+		return rec, false
 	case chain.TxCall:
 		// Execute against per-contract overlays over the working state;
 		// commit everything atomically on success.
 		overlays := make(map[chain.Address]*chain.Overlay)
 		events, gas, err := n.dsCall(tx.From, tx.From, tx.To, tx.Transition, tx.Args,
-			tx.Amount, tx.GasLimit, 0, overlays, delta, working)
+			tx.Amount, effLimit, 0, overlays, delta, working)
+		if effLimit > 0 && gas > effLimit {
+			// The interpreter's gas check runs after each charge, so a
+			// failing call chain can overshoot by one operation; the
+			// FinalBlock accounting must never see more than the
+			// effective limit.
+			gas = effLimit
+		}
+		var oog *eval.OutOfGasError
+		if epochCapped && errors.As(err, &oog) && remaining < n.cfg.DSGasLimit {
+			// Out of the epoch's residual gas, not the transaction's own
+			// budget: defer to a fresh epoch without charging anything.
+			return nil, true
+		}
 		rec.GasUsed = gas
 		delta.AddBalance(tx.From, new(big.Int).Neg(gasCost(gas)))
 		delta.BumpNonce(tx.From, tx.Nonce)
@@ -109,14 +144,14 @@ func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemSta
 			d2.BumpNonce(tx.From, tx.Nonce)
 			if aerr := n.Accounts.Apply(d2); aerr != nil {
 				rec.Error = aerr.Error()
-				return rec
+				return rec, false
 			}
 			rec.Error = err.Error()
-			return rec
+			return rec, false
 		}
 		if err := n.Accounts.Apply(delta); err != nil {
 			rec.Error = err.Error()
-			return rec
+			return rec, false
 		}
 		// Commit contract state changes into the working copies.
 		for addr, ov := range overlays {
@@ -125,15 +160,15 @@ func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemSta
 			}
 			if err := ov.ApplyTo(n.workingState(working, addr)); err != nil {
 				rec.Error = err.Error()
-				return rec
+				return rec, false
 			}
 		}
 		rec.Success = true
 		rec.Events = events
-		return rec
+		return rec, false
 	default:
 		rec.Error = "unsupported transaction kind"
-		return rec
+		return rec, false
 	}
 }
 

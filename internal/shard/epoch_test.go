@@ -49,6 +49,50 @@ func TestGasLimitDefersTransactions(t *testing.T) {
 	}
 }
 
+// TestDeferredTxsSurviveWithoutMempool: with no admission-controlled
+// pool attached, gas-deferred transactions must land back in the
+// legacy pending queue — visible through MempoolSize — and commit in a
+// later epoch. Regression for silently dropping deferred work when
+// WithMempool is absent.
+func TestDeferredTxsSurviveWithoutMempool(t *testing.T) {
+	net := shard.NewNetwork(shard.WithGasLimits(100, 100))
+	deployer := chain.AddrFromUint(999)
+	net.CreateUser(deployer, 1<<40)
+	owner := chain.AddrFromUint(1)
+	net.CreateUser(owner, 1<<40)
+	contract, err := net.DeployContract(deployer, contracts.FungibleToken, ftParams(owner), ftQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint64
+	for n := uint64(1); n <= 5; n++ {
+		ids = append(ids, net.Submit(transferTx(owner, chain.AddrFromUint(100+n), contract, n, 1)))
+	}
+	stats, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deferred == 0 {
+		t.Fatal("gas limit deferred nothing; the regression is not exercised")
+	}
+	if got := net.MempoolSize(); got != stats.Deferred {
+		t.Errorf("pending queue holds %d txs, want the %d deferred", got, stats.Deferred)
+	}
+	for epochs := 0; net.MempoolSize() > 0; epochs++ {
+		if _, err := net.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if epochs > 20 {
+			t.Fatal("deferred transactions never drained")
+		}
+	}
+	for _, id := range ids {
+		if rec := net.Receipt(id); rec == nil || !rec.Success {
+			t.Errorf("tx %d: receipt %+v, want committed", id, rec)
+		}
+	}
+}
+
 // TestInterContractCallInDS: a contract-to-contract message chain is
 // executed by the DS committee.
 func TestInterContractCallInDS(t *testing.T) {

@@ -1,0 +1,376 @@
+package shard_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/consensus"
+	"cosplit/internal/fault"
+	"cosplit/internal/mempool"
+	"cosplit/internal/obs"
+	"cosplit/internal/shard"
+)
+
+// faultEvents captures the fault-recovery trace events (everything
+// else is a no-op), so tests can assert the pipeline's bookkeeping
+// without parsing a journal.
+type faultEvents struct {
+	obs.Nop
+	mu          sync.Mutex
+	faults      []string
+	viewChanges []time.Duration
+	escalations []string
+}
+
+func (f *faultEvents) ShardFault(epoch uint64, s int, kind string, lost int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, fmt.Sprintf("e%d/s%d/%s/lost=%d", epoch, s, kind, lost))
+}
+
+func (f *faultEvents) ViewChange(epoch uint64, s int, took time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.viewChanges = append(f.viewChanges, took)
+}
+
+func (f *faultEvents) ShardEscalated(epoch uint64, s, txs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.escalations = append(f.escalations, fmt.Sprintf("e%d/s%d/txs=%d", epoch, s, txs))
+}
+
+// TestFaultPlanDeterminism: under a seeded generated fault plan the
+// pipeline stays bit-identical — across repeated runs and across all
+// four execution modes. Lost batches, requeues, view changes and
+// escalations must all replay exactly.
+func TestFaultPlanDeterminism(t *testing.T) {
+	spec := fault.Spec{CrashProb: 0.2, DropProb: 0.1, CorruptProb: 0.1, StraggleProb: 0.2}
+	plan := fault.Generate(7, spec)
+	reg := obs.NewRegistry()
+	seq := runPipeline(t, namedWorkload(t, "FT transfer", 1), false, 0,
+		shard.WithFaults(plan), shard.WithRegistry(reg))
+	if lost := reg.Snapshot().Counters["fault.lost_txs"]; lost == 0 {
+		t.Fatal("fault plan injected no block losses; the determinism check is vacuous")
+	}
+	for run := 0; run < 2; run++ {
+		again := runPipeline(t, namedWorkload(t, "FT transfer", 1), false, 0,
+			shard.WithFaults(plan))
+		diffResults(t, fmt.Sprintf("sequential rerun %d", run), seq, again)
+	}
+	for _, m := range execModes {
+		got := runPipeline(t, namedWorkload(t, "FT transfer", 1), m.parallel, m.intra,
+			shard.WithFaults(plan))
+		diffResults(t, m.name, seq, got)
+	}
+}
+
+// TestEmptyFaultPlanMatchesGoldenTrace: attaching an empty fault plan
+// (no spec, no overrides) leaves the normalised JSONL trace
+// byte-identical to the recorded golden — the fault path must be
+// invisible until a directive actually fires.
+func TestEmptyFaultPlanMatchesGoldenTrace(t *testing.T) {
+	plans := map[string]*fault.Plan{
+		"nil":        nil,
+		"new":        fault.New(),
+		"zero-spec":  fault.Generate(99, fault.Spec{}),
+		"parsed":     mustParse(t, "42:"),
+		"hand-reset": fault.New(),
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "trace_golden.jsonl"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			var tick time.Duration
+			journal := obs.NewJournal(&buf, obs.WithClock(func() time.Duration {
+				tick += time.Microsecond
+				return tick
+			}))
+			// The exact scenario of TestGoldenTraceSchema, plus WithFaults.
+			net := shard.NewNetwork(
+				shard.WithShards(2),
+				shard.WithGasLimits(3, 1000),
+				shard.WithMempool(mempool.DefaultConfig()),
+				shard.WithRecorder(journal),
+				shard.WithFaults(plan),
+			)
+			alice := chain.AddrFromUint(1)
+			bob := chain.AddrFromUint(2)
+			net.CreateUser(alice, 1_000_000)
+			net.CreateUser(bob, 1_000_000)
+			for n := uint64(1); n <= 5; n++ {
+				if _, err := net.SubmitTx(payTx(alice, bob, n, 10)); err != nil {
+					t.Fatalf("submit nonce %d: %v", n, err)
+				}
+			}
+			if _, err := net.SubmitTx(payTx(alice, bob, 5, 10)); err == nil {
+				t.Fatal("duplicate nonce admitted")
+			}
+			net.Submit(payTx(chain.AddrFromUint(99), bob, 1, 10))
+			for e := 0; e < 2; e++ {
+				if _, err := net.RunEpoch(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := journal.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := normalizeTrace(t, buf.Bytes()); got != string(want) {
+				t.Errorf("empty plan %q perturbed the golden trace.\nGot:\n%s\nWant:\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+func mustParse(t *testing.T, s string) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCrashedShardRecovers: a crash loses the shard's whole batch —
+// no receipts, no state change, a view change charged at the PBFT
+// model's rate — and the requeued batch commits in the next epoch
+// even without a mempool attached (the legacy pending queue must hold
+// it; regression for silently dropping deferred work).
+func TestCrashedShardRecovers(t *testing.T) {
+	ev := &faultEvents{}
+	plan := fault.New().Set(1, 0, fault.Directive{Kind: fault.CrashMidEpoch})
+	net := shard.NewNetwork(shard.WithShards(2),
+		shard.WithFaults(plan), shard.WithRecorder(ev))
+	users := make([]chain.Address, 8)
+	for i := range users {
+		users[i] = chain.AddrFromUint(uint64(i + 1))
+		net.CreateUser(users[i], 1_000_000)
+	}
+
+	// One native payment per user, routed to the sender's home shard:
+	// both shards get traffic.
+	var ids []uint64
+	var lostWant int
+	for i, u := range users {
+		ids = append(ids, net.Submit(payTx(u, users[(i+1)%len(users)], 1, 10)))
+		if chain.ShardOf(u, 2) == 0 {
+			lostWant++
+		}
+	}
+	if lostWant == 0 || lostWant == len(users) {
+		t.Fatalf("test users all map to one shard (lost=%d of %d)", lostWant, len(users))
+	}
+
+	stats, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Lost != lostWant {
+		t.Errorf("epoch 1 Lost = %d, want %d", stats.Lost, lostWant)
+	}
+	if stats.ViewChanges != 1 {
+		t.Errorf("epoch 1 ViewChanges = %d, want 1", stats.ViewChanges)
+	}
+	if stats.Committed != len(users)-lostWant {
+		t.Errorf("epoch 1 committed = %d, want the healthy shard's %d", stats.Committed, len(users)-lostWant)
+	}
+	if want := []string{fmt.Sprintf("e1/s0/crash/lost=%d", lostWant)}; len(ev.faults) != 1 || ev.faults[0] != want[0] {
+		t.Errorf("fault events = %v, want %v", ev.faults, want)
+	}
+	vcWant := consensus.DefaultModel(net.Config().NodesPerShard).ViewChangeTime()
+	if len(ev.viewChanges) != 1 || ev.viewChanges[0] != vcWant {
+		t.Errorf("view changes = %v, want one of %v", ev.viewChanges, vcWant)
+	}
+	if got := net.MempoolSize(); got != lostWant {
+		t.Errorf("requeued mempool size = %d, want %d", got, lostWant)
+	}
+	// The lost transactions have no receipts yet.
+	pending := 0
+	for _, id := range ids {
+		if net.Receipt(id) == nil {
+			pending++
+		}
+	}
+	if pending != lostWant {
+		t.Errorf("pending receipts = %d, want %d", pending, lostWant)
+	}
+
+	// Epoch 2 is healthy: the requeued batch commits and every
+	// transaction ends with a successful receipt.
+	stats2, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Lost != 0 || stats2.ViewChanges != 0 {
+		t.Errorf("epoch 2 unexpectedly faulted: %+v", stats2)
+	}
+	for _, id := range ids {
+		if rec := net.Receipt(id); rec == nil || !rec.Success {
+			t.Errorf("tx %d: receipt %+v after recovery", id, rec)
+		}
+	}
+}
+
+// TestRepeatedFaultsEscalateToDS: after FaultEscalation consecutive
+// lost blocks the dispatcher reroutes the shard's traffic to DS
+// execution; once the shard seals a healthy (empty) block the mask
+// clears and placement returns to the shard.
+func TestRepeatedFaultsEscalateToDS(t *testing.T) {
+	ev := &faultEvents{}
+	plan := fault.New().
+		Set(1, 0, fault.Directive{Kind: fault.DropMicroBlock}).
+		Set(2, 0, fault.Directive{Kind: fault.CorruptDelta})
+	net := shard.NewNetwork(shard.WithShards(2),
+		shard.WithFaults(plan), shard.WithRecorder(ev), shard.WithFaultEscalation(2))
+
+	var shard0, other chain.Address
+	for i := uint64(1); i <= 16; i++ {
+		u := chain.AddrFromUint(i)
+		net.CreateUser(u, 1_000_000)
+		switch {
+		case shard0 == (chain.Address{}) && chain.ShardOf(u, 2) == 0:
+			shard0 = u
+		case other == (chain.Address{}) && chain.ShardOf(u, 2) == 1:
+			other = u
+		}
+	}
+	if shard0 == (chain.Address{}) || other == (chain.Address{}) {
+		t.Fatal("could not find users on both shards")
+	}
+
+	// Epochs 1 and 2 lose shard 0's block each time (nonces 1 and 2
+	// requeue and retry).
+	nonce := uint64(0)
+	submit := func() uint64 {
+		nonce++
+		return net.Submit(payTx(shard0, other, nonce, 10))
+	}
+	first := submit()
+	for e := 1; e <= 2; e++ {
+		stats, err := net.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Lost == 0 {
+			t.Fatalf("epoch %d lost nothing", e)
+		}
+		if stats.Escalated != 0 {
+			t.Fatalf("epoch %d escalated before the streak bound: %+v", e, stats)
+		}
+	}
+
+	// Epoch 3: streak reached the bound, shard 0 is down. The requeued
+	// transfer and a fresh one both execute on the DS committee.
+	second := submit()
+	stats, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Escalated == 0 {
+		t.Fatalf("epoch 3 rerouted nothing: %+v", stats)
+	}
+	if len(ev.escalations) == 0 {
+		t.Fatal("no shard_escalated event")
+	}
+	for _, id := range []uint64{first, second} {
+		rec := net.Receipt(id)
+		if rec == nil || !rec.Success {
+			t.Fatalf("tx %d after escalation: %+v", id, rec)
+		}
+		if rec.Shard != -1 {
+			t.Errorf("tx %d executed on shard %d, want the DS committee (-1)", id, rec.Shard)
+		}
+	}
+
+	// Shard 0 sealed a healthy empty block in epoch 3, so the streak
+	// reset: epoch 4 routes its traffic back onto the shard.
+	third := submit()
+	if _, err := net.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	rec := net.Receipt(third)
+	if rec == nil || !rec.Success {
+		t.Fatalf("tx %d after recovery: %+v", third, rec)
+	}
+	if rec.Shard != 0 {
+		t.Errorf("recovered shard placement = %d, want 0", rec.Shard)
+	}
+}
+
+// TestFaultLiveness is the reconciliation bar: under a hostile seeded
+// plan with every fault kind active, every admitted transaction must
+// still terminally commit or reject — nothing may be lost in the
+// crash/requeue/escalate cycle — and the mempool must drain.
+func TestFaultLiveness(t *testing.T) {
+	plan := fault.Generate(1234, fault.Spec{
+		CrashProb: 0.25, DropProb: 0.1, CorruptProb: 0.1, StraggleProb: 0.2,
+	})
+	reg := obs.NewRegistry()
+	net, contract, users := deployFT(t, 4, 12, true,
+		shard.WithFaults(plan), shard.WithRegistry(reg),
+		shard.WithMempool(mempool.DefaultConfig()),
+		shard.WithFaultEscalation(2))
+
+	var ids []uint64
+	epochs := 0
+	submit := func(tx *chain.Tx) {
+		id, err := net.SubmitTx(tx)
+		if err != nil {
+			t.Fatalf("submit %+v: %v", tx, err)
+		}
+		ids = append(ids, id)
+	}
+	drain := func() {
+		for net.MempoolSize() > 0 {
+			if _, err := net.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+			if epochs++; epochs > 200 {
+				t.Fatalf("mempool never drained under faults (%d pending)", net.MempoolSize())
+			}
+		}
+	}
+
+	// The FT owner fans tokens out to everyone (only users[0] holds the
+	// initial supply), then each user circulates them for three rounds —
+	// all under the hostile fault schedule.
+	ownerNonce := uint64(0)
+	for _, u := range users[1:] {
+		ownerNonce++
+		submit(transferTx(users[0], u, contract, ownerNonce, 100))
+	}
+	drain()
+	for round := uint64(1); round <= 3; round++ {
+		for i, u := range users {
+			nonce := round
+			if i == 0 {
+				nonce += ownerNonce
+			}
+			submit(transferTx(u, users[(i+1)%len(users)], contract, nonce, 1))
+		}
+		drain()
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["fault.lost_txs"] == 0 {
+		t.Fatal("no transactions were lost to faults; the liveness check is vacuous")
+	}
+	for _, id := range ids {
+		rec := net.Receipt(id)
+		if rec == nil {
+			t.Errorf("tx %d: admitted but never terminally processed", id)
+			continue
+		}
+		if !rec.Success {
+			t.Errorf("tx %d: failed: %s", id, rec.Error)
+		}
+	}
+}

@@ -329,7 +329,10 @@ func (n *Network) runShardGrouped(s int, queue []*chain.Tx) (*MicroBlock, error)
 		runs[wi] = run
 		for _, gi := range assign[wi] {
 			for _, ti := range groups[gi] {
-				recs[ti] = run.execute(queue[ti])
+				// Workers run under the transactions' own gas limits; the
+				// fold below re-checks the MicroBlock budget and falls back
+				// to the sequential path when a receipt no longer fits.
+				recs[ti], _ = run.execute(queue[ti], 0)
 			}
 		}
 		runDeltas[wi], runErrs[wi] = run.extractDeltas()
@@ -377,11 +380,18 @@ func (n *Network) runShardGrouped(s int, queue []*chain.Tx) (*MicroBlock, error)
 	foldStart := time.Now()
 	mb := &MicroBlock{Shard: s, Epoch: n.Epoch, Accounts: chain.NewAccountDelta()}
 	for i := range queue {
-		if mb.GasUsed >= n.cfg.ShardGasLimit {
+		// Fall back to the sequential path as soon as a receipt would
+		// not fit in the MicroBlock's remaining gas: the sequential loop
+		// owns the defer-or-fail semantics for epoch-capped transactions,
+		// and rerunning under it reproduces these receipts bit-for-bit
+		// (each committed receipt's gas fits the budget the sequential
+		// executor would have offered it).
+		remaining := n.cfg.ShardGasLimit - mb.GasUsed
+		rec := recs[i]
+		if remaining == 0 || rec.GasUsed > remaining {
 			n.m.groupFallbacks.Inc()
 			return nil, nil
 		}
-		rec := recs[i]
 		rec.Shard = s
 		rec.Epoch = n.Epoch
 		mb.Receipts = append(mb.Receipts, rec)

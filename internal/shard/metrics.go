@@ -18,6 +18,19 @@ type netMetrics struct {
 	mergeConflicts *obs.Counter
 	overflowTrips  *obs.Counter
 
+	// Fault injection and recovery: injected directives by kind, lost
+	// (requeued) transactions, PBFT view changes charged, shard-epochs
+	// spent escalated to DS, and transactions rerouted by the
+	// availability mask.
+	faultCrashes     *obs.Counter
+	faultDrops       *obs.Counter
+	faultCorruptions *obs.Counter
+	faultStraggles   *obs.Counter
+	faultLostTxs     *obs.Counter
+	viewChanges      *obs.Counter
+	escalations      *obs.Counter
+	escalatedTxs     *obs.Counter
+
 	mempool *obs.Gauge
 
 	queueDepth   *obs.Histogram // transactions queued per shard per epoch
@@ -45,30 +58,38 @@ type netMetrics struct {
 
 func newNetMetrics(reg *obs.Registry) netMetrics {
 	return netMetrics{
-		epochs:         reg.Counter("net.epochs"),
-		committed:      reg.Counter("tx.committed"),
-		failed:         reg.Counter("tx.failed"),
-		rejected:       reg.Counter("tx.rejected"),
-		deferred:       reg.Counter("tx.deferred"),
-		dsCommitted:    reg.Counter("tx.ds_committed"),
-		mergeContracts: reg.Counter("merge.contracts"),
-		mergeConflicts: reg.Counter("merge.conflicts"),
-		overflowTrips:  reg.Counter("shard.overflow_guard_trips"),
-		mempool:        reg.Gauge("net.mempool"),
-		queueDepth:     reg.SizeHistogram("shard.queue_depth"),
-		shardGas:       reg.SizeHistogram("shard.gas_used"),
-		deltaEntries:   reg.SizeHistogram("merge.delta_entries"),
-		groups:         reg.SizeHistogram("shard.groups"),
-		groupSize:      reg.SizeHistogram("shard.group_size"),
-		groupResidue:   reg.SizeHistogram("shard.group_residue"),
-		groupFallbacks: reg.Counter("shard.group_fallbacks"),
-		foldTime:       reg.TimeHistogram("shard.fold_time"),
-		dispatchTime:   reg.TimeHistogram("epoch.dispatch_time"),
-		shardExecTime:  reg.TimeHistogram("shard.exec_time"),
-		mergeTime:      reg.TimeHistogram("epoch.merge_time"),
-		dsExecTime:     reg.TimeHistogram("epoch.ds_exec_time"),
-		consensusTime:  reg.TimeHistogram("epoch.consensus_time"),
-		wallTime:       reg.TimeHistogram("epoch.wall_time"),
-		measuredTime:   reg.TimeHistogram("epoch.measured_time"),
+		epochs:           reg.Counter("net.epochs"),
+		committed:        reg.Counter("tx.committed"),
+		failed:           reg.Counter("tx.failed"),
+		rejected:         reg.Counter("tx.rejected"),
+		deferred:         reg.Counter("tx.deferred"),
+		dsCommitted:      reg.Counter("tx.ds_committed"),
+		mergeContracts:   reg.Counter("merge.contracts"),
+		mergeConflicts:   reg.Counter("merge.conflicts"),
+		overflowTrips:    reg.Counter("shard.overflow_guard_trips"),
+		faultCrashes:     reg.Counter("fault.crashes"),
+		faultDrops:       reg.Counter("fault.drops"),
+		faultCorruptions: reg.Counter("fault.corruptions"),
+		faultStraggles:   reg.Counter("fault.straggles"),
+		faultLostTxs:     reg.Counter("fault.lost_txs"),
+		viewChanges:      reg.Counter("fault.view_changes"),
+		escalations:      reg.Counter("fault.escalations"),
+		escalatedTxs:     reg.Counter("fault.escalated_txs"),
+		mempool:          reg.Gauge("net.mempool"),
+		queueDepth:       reg.SizeHistogram("shard.queue_depth"),
+		shardGas:         reg.SizeHistogram("shard.gas_used"),
+		deltaEntries:     reg.SizeHistogram("merge.delta_entries"),
+		groups:           reg.SizeHistogram("shard.groups"),
+		groupSize:        reg.SizeHistogram("shard.group_size"),
+		groupResidue:     reg.SizeHistogram("shard.group_residue"),
+		groupFallbacks:   reg.Counter("shard.group_fallbacks"),
+		foldTime:         reg.TimeHistogram("shard.fold_time"),
+		dispatchTime:     reg.TimeHistogram("epoch.dispatch_time"),
+		shardExecTime:    reg.TimeHistogram("shard.exec_time"),
+		mergeTime:        reg.TimeHistogram("epoch.merge_time"),
+		dsExecTime:       reg.TimeHistogram("epoch.ds_exec_time"),
+		consensusTime:    reg.TimeHistogram("epoch.consensus_time"),
+		wallTime:         reg.TimeHistogram("epoch.wall_time"),
+		measuredTime:     reg.TimeHistogram("epoch.measured_time"),
 	}
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"cosplit/internal/fault"
 	"cosplit/internal/mempool"
 	"cosplit/internal/obs"
 )
@@ -53,6 +54,12 @@ type Config struct {
 	// symmetric bound below zero), guaranteeing the joined deltas of N
 	// shards cannot overflow at merge time.
 	OverflowGuard bool
+	// FaultEscalation is the unavailability-backoff bound: after this
+	// many consecutive epochs of losing a shard's MicroBlock (crash,
+	// drop, corrupt), the dispatcher stops routing to the shard and its
+	// traffic escalates to DS execution until the shard seals a healthy
+	// block again. Only consulted when a fault plan is attached.
+	FaultEscalation int
 }
 
 // DefaultConfig mirrors the paper's experimental setup: 5 nodes per
@@ -66,6 +73,7 @@ func DefaultConfig(numShards int) Config {
 		DSGasLimit:         2_000_000,
 		SplitGasAccounting: true,
 		ModelConsensus:     true,
+		FaultEscalation:    3,
 	}
 }
 
@@ -75,6 +83,7 @@ type settings struct {
 	recs    []obs.Recorder
 	reg     *obs.Registry
 	poolCfg *mempool.Config
+	faults  *fault.Plan
 }
 
 // Option configures a Network at construction time. The zero option
@@ -155,6 +164,32 @@ func WithRecorder(rec obs.Recorder) Option {
 // dispatcher, benchmark harness) share one snapshot.
 func WithRegistry(reg *obs.Registry) Option {
 	return func(s *settings) { s.reg = reg }
+}
+
+// WithFaults attaches a deterministic fault-injection plan to the
+// epoch pipeline. Each epoch, every shard consults the plan:
+// stragglers seal their MicroBlock late (modeled execution time scaled
+// by the straggle factor), while crashed shards, dropped MicroBlocks
+// and corrupt StateDeltas all lose the shard's block — the DS merge
+// skips it, the shard's committee is charged a PBFT view change, and
+// the whole batch is requeued through the mempool's watermark-rewind
+// path. After Config.FaultEscalation consecutive losses the
+// dispatcher reroutes the shard's traffic to DS execution until the
+// shard seals a healthy block again. An empty (or nil) plan leaves
+// the pipeline byte-identical to an unfaulted network.
+func WithFaults(plan *fault.Plan) Option {
+	return func(s *settings) { s.faults = plan }
+}
+
+// WithFaultEscalation overrides the unavailability-backoff bound (see
+// Config.FaultEscalation). Values below 1 are clamped to 1.
+func WithFaultEscalation(epochs int) Option {
+	return func(s *settings) {
+		if epochs < 1 {
+			epochs = 1
+		}
+		s.cfg.FaultEscalation = epochs
+	}
 }
 
 // WithMempool puts an admission-controlled mempool in front of the

@@ -31,6 +31,7 @@ import (
 	"cosplit/internal/consensus"
 	"cosplit/internal/core/signature"
 	"cosplit/internal/dispatch"
+	"cosplit/internal/fault"
 	"cosplit/internal/mempool"
 	"cosplit/internal/obs"
 	"cosplit/internal/scilla/ast"
@@ -77,6 +78,15 @@ type EpochStats struct {
 	// single-machine behaviour.
 	WallTime     time.Duration
 	MeasuredTime time.Duration
+
+	// Fault injection and recovery (all zero without WithFaults):
+	// Lost counts transactions requeued because their shard's
+	// MicroBlock was lost to an injected fault, ViewChanges the shard
+	// committees charged a PBFT view change, and Escalated the
+	// transactions the availability mask rerouted to DS execution.
+	Lost        int
+	ViewChanges int
+	Escalated   int
 }
 
 // Network is the simulated sharded blockchain.
@@ -96,6 +106,14 @@ type Network struct {
 	// pool is the admission-controlled mempool (WithMempool); nil
 	// networks run the legacy unconditional Submit queue only.
 	pool *mempool.Pool
+
+	// faults is the injection plan (WithFaults; nil or empty injects
+	// nothing). faultStreak counts consecutive epochs each shard lost
+	// its MicroBlock; downBuf is the availability mask handed to the
+	// dispatcher when a streak reaches Config.FaultEscalation.
+	faults      *fault.Plan
+	faultStreak []int
+	downBuf     []bool
 
 	mempool  []*chain.Tx
 	receipts map[uint64]*chain.Receipt
@@ -141,6 +159,7 @@ func NewNetwork(opts ...Option) *Network {
 		Contracts:  contracts,
 		Disp:       d,
 		pool:       pool,
+		faults:     s.faults,
 		cfg:        s.cfg,
 		rec:        rec,
 		reg:        s.reg,
@@ -277,6 +296,7 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	stats := &EpochStats{Epoch: n.Epoch, PerShard: make([]int, n.cfg.NumShards)}
 	sum := obs.EpochSummary{Epoch: n.Epoch}
 	n.Disp.ResetEpoch()
+	anyDown := n.applyAvailability()
 
 	// Worker budget for the parallel pipeline: bounded by the host's
 	// GOMAXPROCS so the pool never oversubscribes the machine.
@@ -300,6 +320,9 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 			continue
 		}
 		n.rec.TxDispatched(n.Epoch, tx.ID, dec.Shard, dec.Reason)
+		if anyDown && dec.Reason == dispatch.ReasonShardUnavailable {
+			stats.Escalated++
+		}
 		if dec.Shard == dispatch.DS {
 			dsQueue = append(dsQueue, tx)
 		} else {
@@ -308,6 +331,15 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	}
 	n.dsQueueBuf = dsQueue
 	sum.Dispatch = time.Since(t0)
+	if anyDown {
+		n.m.escalatedTxs.Add(int64(stats.Escalated))
+		for s, down := range n.downBuf {
+			if down {
+				n.m.escalations.Inc()
+				n.rec.ShardEscalated(n.Epoch, s, stats.Escalated)
+			}
+		}
+	}
 
 	// Phase 2: shards execute their queues — concurrently on a worker
 	// pool bounded by GOMAXPROCS when ParallelShards is set, else
@@ -355,7 +387,51 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		n.perShardBuf = make([]int, n.cfg.NumShards)
 	}
 	perShardCounts := n.perShardBuf[:n.cfg.NumShards]
+	var faulted []int
 	for s, mb := range blocks {
+		d := n.faults.At(n.Epoch, s)
+		switch {
+		case d.Kind == fault.Straggle:
+			// The block seals late but intact: record the injection and
+			// process it like a healthy one (runShard already scaled the
+			// modeled execution time).
+			n.m.faultStraggles.Inc()
+			n.rec.ShardFault(n.Epoch, s, d.Kind.String(), 0)
+		case d.Kind.Lost():
+			// The DS merge never sees a valid MicroBlock from this shard
+			// (crash, drop in transit, or a StateDelta failing validation):
+			// nothing commits, the shard's whole batch is requeued through
+			// the mempool's watermark-rewind path, and the unavailability
+			// streak advances toward escalation.
+			lost := len(queues[s])
+			switch d.Kind {
+			case fault.CrashMidEpoch:
+				n.m.faultCrashes.Inc()
+			case fault.DropMicroBlock:
+				n.m.faultDrops.Inc()
+			case fault.CorruptDelta:
+				n.m.faultCorruptions.Inc()
+			}
+			n.m.faultLostTxs.Add(int64(lost))
+			n.rec.ShardFault(n.Epoch, s, d.Kind.String(), lost)
+			stats.Lost += lost
+			n.faultStreak[s]++
+			faulted = append(faulted, s)
+			if d.Kind != fault.CrashMidEpoch {
+				// Dropped and corrupt blocks were fully executed before
+				// being lost; a crashed shard never finished its run.
+				if mb.ExecTime > sum.ExecMax {
+					sum.ExecMax = mb.ExecTime
+				}
+				sum.ExecSum += mb.ExecTime
+			}
+			perShardCounts[s] = 0
+			n.requeue(s, queues[s])
+			continue
+		}
+		if n.faultStreak != nil {
+			n.faultStreak[s] = 0
+		}
 		if mb.ExecTime > sum.ExecMax {
 			sum.ExecMax = mb.ExecTime
 		}
@@ -374,6 +450,20 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		accDelta.Merge(mb.Accounts)
 		stats.Deferred += len(mb.Deferred)
 		n.requeue(s, mb.Deferred)
+	}
+	// Every shard whose block was lost runs a PBFT view change before
+	// the next epoch; the committees re-elect in parallel, so the
+	// modeled wall time charges one round when at least one faulted.
+	var viewChange time.Duration
+	if len(faulted) > 0 {
+		if n.cfg.ModelConsensus {
+			viewChange = n.shardModel.ViewChangeTime()
+		}
+		stats.ViewChanges = len(faulted)
+		for _, s := range faulted {
+			n.m.viewChanges.Inc()
+			n.rec.ViewChange(n.Epoch, s, viewChange)
+		}
 	}
 
 	// Phase 3: the DS committee merges all StateDeltas (three-way
@@ -416,10 +506,7 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	// conflicting transactions sequentially on the merged state.
 	t2 := time.Now()
 	n.rec.ShardExecStart(n.Epoch, dispatch.DS, len(dsQueue))
-	dsCommitted, dsFailed, dsDeferred, err := n.runDS(dsQueue)
-	if err != nil {
-		return nil, err
-	}
+	dsCommitted, dsFailed, dsDeferred := n.runDS(dsQueue)
 	sum.DSExec = time.Since(t2)
 	n.rec.ShardExecEnd(n.Epoch, dispatch.DS, sum.DSExec)
 	stats.Committed += dsCommitted
@@ -428,11 +515,12 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	stats.Deferred += len(dsDeferred)
 	n.requeue(dispatch.DS, dsDeferred)
 
-	// Phase 5: modelled consensus cost.
+	// Phase 5: modelled consensus cost (plus the view-change round when
+	// an injected fault lost a MicroBlock this epoch).
 	if n.cfg.ModelConsensus {
 		shardRound, dsRound := consensus.EpochConsensusParts(
 			n.shardModel, n.dsModel, perShardCounts, len(dsQueue))
-		sum.Consensus = shardRound + dsRound
+		sum.Consensus = shardRound + dsRound + viewChange
 	}
 	sum.Wall = sum.Dispatch + sum.ExecMax + sum.Merge + sum.DSExec + sum.Consensus
 	sum.Measured = time.Since(epochStart)
@@ -456,6 +544,36 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 // rejectedShard labels receipts and trace events for transactions the
 // dispatcher refused (dispatch.DS, -1, labels the DS committee).
 const rejectedShard = -2
+
+// applyAvailability refreshes the dispatcher's shard-availability mask
+// from the fault streaks: a shard that lost its MicroBlock for
+// Config.FaultEscalation consecutive epochs is marked down and its
+// traffic reroutes to DS execution. The mask clears per shard as soon
+// as the shard seals a healthy block (a down shard receives no
+// transactions, so its next empty epoch is the recovery probe). It
+// reports whether any shard is down this epoch; without a fault plan
+// it does nothing.
+func (n *Network) applyAvailability() bool {
+	if n.faults.Empty() {
+		return false
+	}
+	if len(n.faultStreak) != n.cfg.NumShards {
+		n.faultStreak = make([]int, n.cfg.NumShards)
+		n.downBuf = make([]bool, n.cfg.NumShards)
+	}
+	any := false
+	for s, streak := range n.faultStreak {
+		down := streak >= n.cfg.FaultEscalation
+		n.downBuf[s] = down
+		any = any || down
+	}
+	if any {
+		n.Disp.SetUnavailable(n.downBuf)
+	} else {
+		n.Disp.SetUnavailable(nil)
+	}
+	return any
+}
 
 // finishEpochMetrics folds one epoch's summary into the always-on
 // registry instruments.
@@ -609,6 +727,13 @@ func (r *shardRun) gasAllowance(sender chain.Address) *big.Int {
 func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
 	n.rec.ShardExecStart(n.Epoch, s, len(queue))
 	n.m.queueDepth.Observe(int64(len(queue)))
+	directive := n.faults.At(n.Epoch, s)
+	if directive.Kind == fault.CrashMidEpoch {
+		// The shard dies mid-epoch: nothing it executed survives and no
+		// MicroBlock is sealed. The merge loop records the fault, charges
+		// the view change and requeues the batch.
+		return &MicroBlock{Shard: s, Epoch: n.Epoch, Accounts: chain.NewAccountDelta()}, nil
+	}
 	mb, err := n.runShardGrouped(s, queue)
 	if err != nil {
 		return nil, err
@@ -617,6 +742,15 @@ func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
 		if mb, err = n.runShardSequential(s, queue); err != nil {
 			return nil, err
 		}
+	}
+	if directive.Kind == fault.Straggle {
+		// A straggler seals the same block, late: scale the modeled
+		// execution time (the epoch waits on its slowest shard).
+		factor := directive.Factor
+		if factor < 1 {
+			factor = 1
+		}
+		mb.ExecTime = time.Duration(float64(mb.ExecTime) * factor)
 	}
 	n.m.shardExecTime.ObserveDuration(mb.ExecTime)
 	n.m.shardGas.Observe(int64(mb.GasUsed))
@@ -631,11 +765,21 @@ func (n *Network) runShardSequential(s int, queue []*chain.Tx) (*MicroBlock, err
 	mb := &MicroBlock{Shard: s, Epoch: n.Epoch, Accounts: run.accDelta}
 	start := time.Now()
 	for i, tx := range queue {
-		if mb.GasUsed >= n.cfg.ShardGasLimit {
+		// The block never commits past the MicroBlock gas limit: each
+		// transaction runs under the remaining epoch gas, and one that
+		// cannot fit in what is left is deferred to the next epoch (with
+		// the rest of the queue, preserving order) rather than allowed to
+		// blow past the cap.
+		remaining := n.cfg.ShardGasLimit - mb.GasUsed
+		if remaining == 0 {
 			mb.Deferred = append(mb.Deferred, queue[i:]...)
 			break
 		}
-		rec := run.execute(tx)
+		rec, wait := run.execute(tx, remaining)
+		if wait {
+			mb.Deferred = append(mb.Deferred, queue[i:]...)
+			break
+		}
 		rec.Shard = s
 		rec.Epoch = n.Epoch
 		mb.Receipts = append(mb.Receipts, rec)
@@ -675,17 +819,34 @@ func (r *shardRun) extractDeltas() ([]*chain.StateDelta, error) {
 	return out, nil
 }
 
-// execute runs one transaction inside a shard.
-func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
+// execute runs one transaction inside a shard, capped by the epoch's
+// remaining MicroBlock gas. remaining == 0 means "no epoch cap" (the
+// grouped parallel path runs workers under the declared transaction
+// limits and lets the fold re-check the block budget). When the
+// transaction cannot complete within a non-zero remaining budget but
+// might within a fresh epoch's full limit, execute reports wait=true
+// and leaves all shard state — balances, nonces, gas spending —
+// untouched so the transaction can be deferred and retried.
+func (r *shardRun) execute(tx *chain.Tx, remaining uint64) (_ *chain.Receipt, wait bool) {
+	// effLimit is what the interpreter may burn: the transaction's own
+	// declared limit, clipped to the epoch budget when one applies
+	// (a declared limit of 0 means "unlimited" to the interpreter, so
+	// it is clipped too rather than passed through).
+	effLimit := tx.GasLimit
+	epochCapped := false
+	if remaining > 0 && (effLimit == 0 || effLimit > remaining) {
+		effLimit = remaining
+		epochCapped = true
+	}
 	rec := &chain.Receipt{TxID: tx.ID}
 	// fail finalises a failure receipt: the cause is wrapped with the
 	// transaction's identity (the dispatcher's nonce-replay convention)
 	// so callers can errors.Is the sentinel through requeue paths, and
 	// Error carries the wrapped message.
-	fail := func(cause error) *chain.Receipt {
+	fail := func(cause error) (*chain.Receipt, bool) {
 		rec.Err = fmt.Errorf("tx %d sender %s nonce %d: %w", tx.ID, tx.From, tx.Nonce, cause)
 		rec.Error = rec.Err.Error()
-		return rec
+		return rec, false
 	}
 	gasCost := func(used uint64) *big.Int {
 		return new(big.Int).Mul(new(big.Int).SetUint64(used), new(big.Int).SetUint64(tx.GasPrice))
@@ -716,7 +877,7 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 		spent.Add(spent, gasCost(rec.GasUsed))
 		r.accDelta.BumpNonce(tx.From, tx.Nonce)
 		rec.Success = true
-		return rec
+		return rec, false
 	case chain.TxCall:
 		c := r.net.Contracts.Get(tx.To)
 		if c == nil {
@@ -730,9 +891,24 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 		ctx.Amount = value.Int{Ty: ast.TyUint128, V: tx.Amount}
 		ctx.BlockNumber = new(big.Int).SetUint64(r.net.BlockNumber)
 		ctx.State = txOv
-		ctx.GasLimit = tx.GasLimit
+		ctx.GasLimit = effLimit
 		ctx.ContractBalance = new(big.Int).Set(r.balanceView(tx.To))
 		res, err := c.Interp.Run(ctx, tx.Transition, tx.Args)
+		if effLimit > 0 && ctx.GasUsed > effLimit {
+			// The interpreter's gas check runs after each charge, so a
+			// failing run can overshoot the limit by one operation; the
+			// block accounting must never see more than the effective
+			// limit or the MicroBlock could exceed its gas cap.
+			ctx.GasUsed = effLimit
+		}
+		var oog *eval.OutOfGasError
+		if epochCapped && errors.As(err, &oog) && remaining < r.net.cfg.ShardGasLimit {
+			// The transaction ran out of the epoch's residual gas, not its
+			// own declared budget: a fresh epoch offers more headroom, so
+			// defer it instead of failing. Nothing is charged — the failed
+			// attempt's state lives only in the discarded tx overlay.
+			return nil, true
+		}
 		rec.GasUsed = ctx.GasUsed
 		cost := gasCost(rec.GasUsed)
 		// Gas is charged whether or not the transition succeeds.
@@ -769,7 +945,7 @@ func (r *shardRun) execute(tx *chain.Tx) *chain.Receipt {
 		txOv.CommitTo(shardOv)
 		rec.Success = true
 		rec.Events = res.Events
-		return rec
+		return rec, false
 	default:
 		return fail(errors.New("unsupported transaction kind in shard"))
 	}

@@ -29,6 +29,13 @@ type ClosedLoopResult struct {
 	Committed int
 	Failed    int
 	Deferred  int
+	// Fault-recovery outcomes (all zero unless the network was built
+	// with shard.WithFaults): transactions requeued after a lost
+	// MicroBlock, PBFT view changes charged, and transactions the
+	// availability mask rerouted to DS execution.
+	Lost        int
+	ViewChanges int
+	Escalated   int
 	// FinalDepth is the pool depth after the last epoch.
 	FinalDepth int
 }
@@ -81,6 +88,9 @@ func RunClosedLoop(w *Workload, sharded bool, rate, epochs int, poolCfg mempool.
 		res.Committed += stats.Committed
 		res.Failed += stats.Failed
 		res.Deferred += stats.Deferred
+		res.Lost += stats.Lost
+		res.ViewChanges += stats.ViewChanges
+		res.Escalated += stats.Escalated
 	}
 	res.FinalDepth = env.Net.Pool().Len()
 	return res, nil

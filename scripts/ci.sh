@@ -22,9 +22,15 @@ go test ./...
 # shard pipeline) and the cross-mode determinism suite (sequential vs
 # parallel-shards vs intra-parallel vs both) alongside the concurrent
 # packages.
-go test -race ./internal/shard/... ./internal/dispatch/... ./internal/mempool/... ./internal/obs/...
+go test -race ./internal/shard/... ./internal/dispatch/... ./internal/mempool/... ./internal/obs/... ./internal/fault/...
 # Smoke-test the closed-loop admission path end to end through the CLI.
 go run ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 3 -workloads "FT transfer"
 # Smoke-test the intra-shard parallel executor on the commuting
 # workload it is built for.
 go run ./cmd/shardsim -intra-parallel 4 -epochs 3 -workloads "FT transfer disjoint"
+# Chaos smoke: deterministic fault injection (crashes, drops,
+# stragglers) through the closed loop, under the race detector so the
+# recovery paths (requeue, view change, escalation) are exercised with
+# the parallel executors on.
+go run -race ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 4 -parallel -intra-parallel 4 \
+    -workloads "FT transfer" -faults "7:crash=0.1,drop=0.05,corrupt=0.02,straggle=0.25x4"
