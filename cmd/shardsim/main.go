@@ -60,6 +60,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a JSONL epoch-trace journal of every simulated network to this file")
 		metricsOut = flag.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		noCompile  = flag.Bool("no-compile", false, "disable the closure-chain compiled executor and run every transition on the AST interpreter (results are bit-identical, only slower)")
 	)
 	flag.Parse()
 
@@ -87,6 +88,9 @@ func main() {
 	// and one journal (if requested) receives the interleaved traces.
 	reg := obs.NewRegistry()
 	netOpts := []shard.Option{shard.WithRegistry(reg)}
+	if *noCompile {
+		netOpts = append(netOpts, shard.WithCompiledExecution(false))
+	}
 	if *faultSpec != "" {
 		plan, err := fault.ParseSpec(*faultSpec)
 		fail(err)

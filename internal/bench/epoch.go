@@ -14,6 +14,7 @@ import (
 	"cosplit/internal/contracts"
 	"cosplit/internal/obs"
 	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/compile"
 	"cosplit/internal/scilla/eval"
 	"cosplit/internal/scilla/value"
 	"cosplit/internal/shard"
@@ -361,6 +362,46 @@ func RunEpochMicrobench() ([]Microbench, error) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := in.Run(ctx, "Transfer", args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"eval.CompiledTransferExec", func(b *testing.B) {
+			// The compiled hot path: the same Transfer served by the
+			// closure-chain executor with pooled machines — the engine
+			// the shard pipeline runs by default.
+			chk := contracts.MustParse("FungibleToken")
+			owner := chain.AddrFromUint(42).Value()
+			in, err := eval.New(chk, map[string]value.Value{
+				"contract_owner": owner,
+				"token_name":     value.Str{S: "BenchToken"},
+				"token_symbol":   value.Str{S: "BT"},
+				"decimals":       value.Uint32V(6),
+				"init_supply":    value.Uint128(1 << 62),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := compile.New(in)
+			st := eval.NewMemState(chk.FieldTypes)
+			if err := st.InitFrom(in); err != nil {
+				b.Fatal(err)
+			}
+			ctx := &eval.Context{
+				Sender:      owner,
+				Origin:      owner,
+				Amount:      value.Uint128(0),
+				BlockNumber: big.NewInt(100),
+				State:       st,
+			}
+			args := map[string]value.Value{
+				"to":     chain.AddrFromUint(7).Value(),
+				"amount": value.Uint128(1),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Run(ctx, "Transfer", args); err != nil {
 					b.Fatal(err)
 				}
 			}

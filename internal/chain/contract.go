@@ -6,6 +6,7 @@ import (
 
 	"cosplit/internal/core/analysis"
 	"cosplit/internal/core/signature"
+	"cosplit/internal/scilla/compile"
 	"cosplit/internal/scilla/eval"
 	"cosplit/internal/scilla/parser"
 	"cosplit/internal/scilla/typecheck"
@@ -18,6 +19,10 @@ type Contract struct {
 	Addr    Address
 	Checked *typecheck.Checked
 	Interp  *eval.Interpreter
+	// Compiled is the closure-chain compiled form of the contract's
+	// transitions, built once at deployment; transitions the compiler
+	// cannot handle transparently fall back to Interp.
+	Compiled *compile.Program
 	// Sig is the validated sharding signature; nil means the contract
 	// uses the default (baseline) sharding strategy.
 	Sig    *signature.Signature
@@ -56,11 +61,12 @@ func Deploy(addr Address, source string, params map[string]value.Value, dep *Dep
 		return nil, fmt.Errorf("field init: %w", err)
 	}
 	c := &Contract{
-		Addr:    addr,
-		Checked: chk,
-		Interp:  in,
-		Params:  allParams,
-		State:   st,
+		Addr:     addr,
+		Checked:  chk,
+		Interp:   in,
+		Compiled: compile.New(in),
+		Params:   allParams,
+		State:    st,
 	}
 	if dep != nil && dep.Query != nil {
 		an, err := analysis.New(chk)

@@ -119,6 +119,10 @@ func (o *Overlay) ExtractDelta(contract Address, shard int, joins map[string]sig
 		}
 		return fd
 	}
+	// Values flow into the delta by reference: every apply sink
+	// (applyWhole, applyEntry) copies before mutating canonical state,
+	// and overlay values are never mutated in place, so the extra
+	// defensive copy here only cost allocations.
 	for f, v := range o.scalars {
 		fd := fieldDelta(f)
 		if joins[f] == signature.IntMerge {
@@ -133,8 +137,12 @@ func (o *Overlay) ExtractDelta(contract Address, shard int, joins map[string]sig
 				continue
 			}
 		}
-		fd.Whole = &EntryDelta{Kind: Overwrite, Value: value.Copy(v)}
+		fd.Whole = &EntryDelta{Kind: Overwrite, Value: v}
 	}
+	// baseKeyed lets single-key lookups reuse the entry's canonical
+	// keypath instead of re-canonicalising the key per entry.
+	baseKeyed, _ := o.base.(eval.KeyedState)
+	var ckBuf [1]string
 	for f, writes := range o.mapWrites {
 		fd := fieldDelta(f)
 		for kp, e := range writes {
@@ -144,20 +152,30 @@ func (o *Overlay) ExtractDelta(contract Address, shard int, joins map[string]sig
 			case joins[f] == signature.IntMerge:
 				newInt, ok := intOf(e.val)
 				if !ok {
-					fd.Entries[kp] = EntryDelta{Kind: Overwrite, Keys: e.keys, Value: value.Copy(e.val)}
+					fd.Entries[kp] = EntryDelta{Kind: Overwrite, Keys: e.keys, Value: e.val}
 					continue
 				}
-				old := new(big.Int)
-				if bv, found, err := o.base.MapGet(f, e.keys); err != nil {
+				var bv value.Value
+				var found bool
+				var err error
+				if baseKeyed != nil && len(e.keys) == 1 {
+					ckBuf[0] = kp
+					bv, found, err = baseKeyed.MapGetCK(f, ckBuf[:], e.keys)
+				} else {
+					bv, found, err = o.base.MapGet(f, e.keys)
+				}
+				if err != nil {
 					return nil, err
-				} else if found {
+				}
+				old := new(big.Int)
+				if found {
 					if oi, ok := intOf(bv); ok {
 						old = oi
 					}
 				}
 				fd.Entries[kp] = EntryDelta{Kind: IntAdd, Keys: e.keys, Delta: new(big.Int).Sub(newInt, old)}
 			default:
-				fd.Entries[kp] = EntryDelta{Kind: Overwrite, Keys: e.keys, Value: value.Copy(e.val)}
+				fd.Entries[kp] = EntryDelta{Kind: Overwrite, Keys: e.keys, Value: e.val}
 			}
 		}
 	}

@@ -70,6 +70,10 @@ type Overlay struct {
 	// merged caches the materialised merge of LoadField for map fields
 	// with pending entry writes; invalidated by any write to the field.
 	merged map[string]value.Value
+	// spare recycles per-field write tables across Reset cycles so a
+	// pooled per-transaction overlay stops allocating fresh maps for
+	// every transaction that touches the same fields.
+	spare []map[string]mapEntry
 }
 
 // keypath returns Keypath(keys), interning the single-ByStr-key case.
@@ -102,6 +106,48 @@ func NewOverlay(base StateReader, fieldTypes map[string]ast.Type) *Overlay {
 		o.intern = make(map[string]string)
 	}
 	return o
+}
+
+// Reset rewinds the overlay to an empty view over base, recycling its
+// internal maps. Executors that create one short-lived overlay per
+// transaction (rollback scopes) keep a single pooled overlay and Reset
+// it instead of allocating a fresh one: the write tables, cleared in
+// place, keep their buckets, so steady-state execution stops paying
+// map growth and the GC pressure that comes with it. Values previously
+// read from or committed out of the overlay are unaffected — Reset
+// drops references, it never mutates values.
+func (o *Overlay) Reset(base StateReader, fieldTypes map[string]ast.Type) {
+	o.base = base
+	o.fieldTypes = fieldTypes
+	clear(o.scalars)
+	for f, w := range o.mapWrites {
+		clear(w)
+		o.spare = append(o.spare, w)
+		delete(o.mapWrites, f)
+	}
+	clear(o.merged)
+	if p, ok := base.(*Overlay); ok {
+		o.intern = p.intern
+	} else if o.intern == nil {
+		o.intern = make(map[string]string)
+	}
+}
+
+// writesFor returns the per-field write table, reusing a recycled one
+// before allocating.
+func (o *Overlay) writesFor(field string) map[string]mapEntry {
+	w, ok := o.mapWrites[field]
+	if !ok {
+		if n := len(o.spare); n > 0 {
+			w = o.spare[n-1]
+			o.spare[n-1] = nil
+			o.spare = o.spare[:n-1]
+		} else {
+			w = make(map[string]mapEntry)
+		}
+		o.mapWrites[field] = w
+	}
+	return w
 }
 
 // fieldMapDepth returns the nesting depth of a map field.
@@ -192,11 +238,7 @@ func (o *Overlay) MapSet(field string, keys []value.Value, v value.Value) error 
 		}
 		return setNested(m, keys, value.Copy(v), o.fieldTypes[field])
 	}
-	w, ok := o.mapWrites[field]
-	if !ok {
-		w = make(map[string]mapEntry)
-		o.mapWrites[field] = w
-	}
+	w := o.writesFor(field)
 	delete(o.merged, field)
 	kp := o.keypath(keys)
 	w[kp] = mapEntry{keys: o.ownKeys(w, kp, keys), val: value.Copy(v)}
@@ -223,30 +265,121 @@ func (o *Overlay) MapDelete(field string, keys []value.Value) error {
 		deleteNested(m, keys)
 		return nil
 	}
-	w, ok := o.mapWrites[field]
-	if !ok {
-		w = make(map[string]mapEntry)
-		o.mapWrites[field] = w
-	}
+	w := o.writesFor(field)
 	delete(o.merged, field)
 	kp := o.keypath(keys)
 	w[kp] = mapEntry{keys: o.ownKeys(w, kp, keys), deleted: true}
 	return nil
 }
 
+// keypathCK joins precomputed per-level canonical keys into a keypath.
+func keypathCK(cks []string) string {
+	switch len(cks) {
+	case 0:
+		return ""
+	case 1:
+		return cks[0]
+	}
+	return strings.Join(cks, keypathSep)
+}
+
+// MapGetCK implements eval.KeyedState: MapGet with precomputed
+// canonical keys, skipping per-access keypath canonicalisation.
+func (o *Overlay) MapGetCK(field string, cks []string, keys []value.Value) (value.Value, bool, error) {
+	if v, ok := o.scalars[field]; ok {
+		m, ok := v.(*value.Map)
+		if !ok {
+			return nil, false, fmt.Errorf("field %s is not a map", field)
+		}
+		return getNestedCK(m, cks)
+	}
+	if e, ok := o.mapWrites[field][keypathCK(cks)]; ok {
+		if e.deleted {
+			return nil, false, nil
+		}
+		return e.val, true, nil
+	}
+	if ks, ok := o.base.(eval.KeyedState); ok {
+		return ks.MapGetCK(field, cks, keys)
+	}
+	return o.base.MapGet(field, keys)
+}
+
+// MapSetCK implements eval.KeyedState.
+func (o *Overlay) MapSetCK(field string, cks []string, keys []value.Value, v value.Value) error {
+	if sv, ok := o.scalars[field]; ok {
+		m, ok := sv.(*value.Map)
+		if !ok {
+			return fmt.Errorf("field %s is not a map", field)
+		}
+		return setNestedCK(m, cks, keys, value.Copy(v), o.fieldTypes[field])
+	}
+	w := o.writesFor(field)
+	delete(o.merged, field)
+	kp := keypathCK(cks)
+	w[kp] = mapEntry{keys: o.ownKeys(w, kp, keys), val: value.Copy(v)}
+	return nil
+}
+
+// MapDeleteCK implements eval.KeyedState.
+func (o *Overlay) MapDeleteCK(field string, cks []string, keys []value.Value) error {
+	if sv, ok := o.scalars[field]; ok {
+		m, ok := sv.(*value.Map)
+		if !ok {
+			return fmt.Errorf("field %s is not a map", field)
+		}
+		deleteNestedCK(m, cks)
+		return nil
+	}
+	w := o.writesFor(field)
+	delete(o.merged, field)
+	kp := keypathCK(cks)
+	w[kp] = mapEntry{keys: o.ownKeys(w, kp, keys), deleted: true}
+	return nil
+}
+
 // CommitTo folds this overlay's writes into its parent overlay. The
-// receiver must have been created with parent as its base.
+// receiver must have been created with (or Reset onto) parent as its
+// base, and is considered consumed afterwards: its values and key
+// slices transfer to the parent without re-copying — the overlay
+// already owns copies of everything it stores, so handing them over is
+// safe as long as the committed overlay is discarded or Reset before
+// its next write.
 func (o *Overlay) CommitTo(parent *Overlay) {
 	for f, v := range o.scalars {
-		parent.StoreField(f, v) //nolint:errcheck // field names validated on write
+		delete(parent.mapWrites, f)
+		delete(parent.merged, f)
+		// Scalars stay copied: the parent's wholesale map copy is
+		// mutated in place by later entry folds, so it must not alias
+		// values the committed transition may have exposed in results.
+		parent.scalars[f] = value.Copy(v)
 	}
 	for f, writes := range o.mapWrites {
-		for _, e := range writes {
-			if e.deleted {
-				parent.MapDelete(f, e.keys) //nolint:errcheck
-			} else {
-				parent.MapSet(f, e.keys, e.val) //nolint:errcheck
+		if sv, ok := parent.scalars[f]; ok {
+			// The parent holds the field wholesale; fold entries into
+			// that materialised copy, as MapSet/MapDelete would.
+			m, ok := sv.(*value.Map)
+			if !ok {
+				continue
 			}
+			for _, e := range writes {
+				if e.deleted {
+					deleteNested(m, e.keys)
+				} else {
+					setNested(m, e.keys, e.val, parent.fieldTypes[f]) //nolint:errcheck // validated on child write
+				}
+			}
+			continue
+		}
+		pw := parent.writesFor(f)
+		delete(parent.merged, f)
+		for kp, e := range writes {
+			if old, ok := pw[kp]; ok {
+				// Keep the parent's owned key slice on overwrite,
+				// mirroring ownKeys.
+				e.keys = old.keys
+			}
+			pw[kp] = e
 		}
 	}
 }
@@ -320,9 +453,75 @@ func deleteNested(m *value.Map, keys []value.Value) {
 	cur.Delete(keys[len(keys)-1])
 }
 
+// CK variants of the nested helpers, using precomputed canonical keys.
+
+func getNestedCK(m *value.Map, cks []string) (value.Value, bool, error) {
+	cur := m
+	for i := 0; i < len(cks)-1; i++ {
+		v, ok := cur.GetCK(cks[i])
+		if !ok {
+			return nil, false, nil
+		}
+		nm, ok := v.(*value.Map)
+		if !ok {
+			return nil, false, fmt.Errorf("non-map value at nesting depth %d", i)
+		}
+		cur = nm
+	}
+	v, ok := cur.GetCK(cks[len(cks)-1])
+	return v, ok, nil
+}
+
+func setNestedCK(m *value.Map, cks []string, keys []value.Value, v value.Value, fieldType ast.Type) error {
+	cur := m
+	t := fieldType
+	for i := 0; i < len(cks)-1; i++ {
+		mt, ok := t.(ast.MapType)
+		if !ok {
+			return fmt.Errorf("field not nested at depth %d", i)
+		}
+		t = mt.Val
+		next, found := cur.GetCK(cks[i])
+		if !found {
+			inner, ok := t.(ast.MapType)
+			if !ok {
+				return fmt.Errorf("field not nested at depth %d", i+1)
+			}
+			nm := value.NewMap(inner.Key, inner.Val)
+			cur.SetCK(cks[i], keys[i], nm)
+			next = nm
+		}
+		nm, ok := next.(*value.Map)
+		if !ok {
+			return fmt.Errorf("non-map value at nesting depth %d", i)
+		}
+		cur = nm
+	}
+	cur.SetCK(cks[len(cks)-1], keys[len(keys)-1], v)
+	return nil
+}
+
+func deleteNestedCK(m *value.Map, cks []string) {
+	cur := m
+	for i := 0; i < len(cks)-1; i++ {
+		v, ok := cur.GetCK(cks[i])
+		if !ok {
+			return
+		}
+		nm, ok := v.(*value.Map)
+		if !ok {
+			return
+		}
+		cur = nm
+	}
+	cur.DeleteCK(cks[len(cks)-1])
+}
+
 // Interface conformance checks.
 var (
 	_ eval.StateAccess = (*Overlay)(nil)
+	_ eval.KeyedState  = (*Overlay)(nil)
+	_ eval.KeyedState  = (*eval.MemState)(nil)
 	_ StateReader      = (*Overlay)(nil)
 	_ StateReader      = (*eval.MemState)(nil)
 )

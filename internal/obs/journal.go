@@ -257,6 +257,16 @@ func (j *Journal) MempoolDrained(epoch uint64, batch, remaining, parked int, too
 	j.end(b)
 }
 
+// TransitionCompiled implements Recorder.
+func (j *Journal) TransitionCompiled(epoch uint64, contract, transition string, compiled, fastPath bool) {
+	b := j.begin("transition_compiled", epoch)
+	b = appendStr(b, "contract", contract)
+	b = appendStr(b, "transition", transition)
+	b = appendBool(b, "compiled", compiled)
+	b = appendBool(b, "fast_path", fastPath)
+	j.end(b)
+}
+
 // EpochFinalized implements Recorder.
 func (j *Journal) EpochFinalized(s EpochSummary) {
 	b := j.begin("epoch_finalized", s.Epoch)

@@ -131,6 +131,11 @@ type Recorder interface {
 	// how many of the remaining are parked behind nonce gaps, and the
 	// drain duration.
 	MempoolDrained(epoch uint64, batch, remaining, parked int, took time.Duration)
+	// TransitionCompiled reports the deploy-time compilation outcome of
+	// one transition: whether it lowered to the closure-chain executor
+	// (compiled=false means it will run on the interpreter fallback)
+	// and whether the compiled form engaged the fused Option fast path.
+	TransitionCompiled(epoch uint64, contract, transition string, compiled, fastPath bool)
 	// EpochFinalized is the last event of an epoch and carries the full
 	// per-stage summary.
 	EpochFinalized(s EpochSummary)
@@ -188,6 +193,9 @@ func (Nop) TxEvicted(epoch, tx uint64, reason string) {}
 
 // MempoolDrained implements Recorder.
 func (Nop) MempoolDrained(epoch uint64, batch, remaining, parked int, took time.Duration) {}
+
+// TransitionCompiled implements Recorder.
+func (Nop) TransitionCompiled(epoch uint64, contract, transition string, compiled, fastPath bool) {}
 
 // EpochFinalized implements Recorder.
 func (Nop) EpochFinalized(s EpochSummary) {}
@@ -326,6 +334,13 @@ func (m multi) TxEvicted(epoch, tx uint64, reason string) {
 func (m multi) MempoolDrained(epoch uint64, batch, remaining, parked int, took time.Duration) {
 	for _, r := range m {
 		r.MempoolDrained(epoch, batch, remaining, parked, took)
+	}
+}
+
+// TransitionCompiled implements Recorder.
+func (m multi) TransitionCompiled(epoch uint64, contract, transition string, compiled, fastPath bool) {
+	for _, r := range m {
+		r.TransitionCompiled(epoch, contract, transition, compiled, fastPath)
 	}
 }
 

@@ -107,7 +107,23 @@ func MaxInt(t PrimType) *big.Int {
 	return v.Sub(v, big.NewInt(1))
 }
 
+// intBounds caches per-kind range bounds so the hot range check after
+// every arithmetic builtin does not rebuild two big.Ints. The cached
+// values are never handed out; MinInt/MaxInt still return fresh copies.
+var intBounds [UnitKind + 1]struct{ min, max *big.Int }
+
+func init() {
+	for _, t := range []PrimType{TyInt32, TyInt64, TyInt128, TyInt256, TyUint32, TyUint64, TyUint128, TyUint256} {
+		intBounds[t.Kind].min = MinInt(t)
+		intBounds[t.Kind].max = MaxInt(t)
+	}
+}
+
 // InRange reports whether v fits in integer primitive t.
 func InRange(t PrimType, v *big.Int) bool {
-	return v.Cmp(MinInt(t)) >= 0 && v.Cmp(MaxInt(t)) <= 0
+	b := &intBounds[t.Kind]
+	if b.min == nil {
+		return v.Cmp(MinInt(t)) >= 0 && v.Cmp(MaxInt(t)) <= 0
+	}
+	return v.Cmp(b.min) >= 0 && v.Cmp(b.max) <= 0
 }

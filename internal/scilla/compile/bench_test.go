@@ -1,0 +1,58 @@
+package compile_test
+
+import (
+	"math/big"
+	"testing"
+
+	"cosplit/internal/contracts"
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/compile"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// BenchmarkCompiledTransfer measures the steady-state compiled
+// fast path of FungibleToken.Transfer against a warm MemState.
+func BenchmarkCompiledTransfer(b *testing.B) {
+	chk := contracts.MustParse("FungibleToken")
+	owner := make([]byte, 20)
+	params := map[string]value.Value{
+		"contract_owner": value.ByStr{Ty: ast.TyByStr20, B: owner},
+		"token_name":     value.Str{S: "Test"},
+		"token_symbol":   value.Str{S: "TST"},
+		"decimals":       value.Int{Ty: ast.TyUint32, V: big.NewInt(6)},
+		"init_supply":    value.Uint128(1_000_000_000),
+	}
+	in, err := eval.New(chk, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := compile.New(in)
+	st := eval.NewMemState(chk.FieldTypes)
+	if err := st.InitFrom(in); err != nil {
+		b.Fatal(err)
+	}
+	to := make([]byte, 20)
+	to[0] = 0xaa
+	args := map[string]value.Value{
+		"to":     value.ByStr{Ty: ast.TyByStr20, B: to},
+		"amount": value.Uint128(1),
+	}
+	ctx := &eval.Context{
+		Sender:          value.ByStr{Ty: ast.TyByStr20, B: owner},
+		Origin:          value.ByStr{Ty: ast.TyByStr20, B: owner},
+		Amount:          value.Uint128(0),
+		BlockNumber:     big.NewInt(10),
+		Timestamp:       1,
+		State:           st,
+		ContractBalance: big.NewInt(100),
+		GasLimit:        1_000_000,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Run(ctx, "Transfer", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package compile
+
+import (
+	"math/big"
+
+	"cosplit/internal/scilla/ast"
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// --- special statement ops ---
+
+func opLoadBalance(slot int) stmtOp {
+	return func(m *mach) error {
+		if err := m.burn(eval.GasStmt); err != nil {
+			return err
+		}
+		if err := m.burn(eval.GasLoad); err != nil {
+			return err
+		}
+		bal := big.NewInt(0)
+		if m.ctx.ContractBalance != nil {
+			bal = new(big.Int).Set(m.ctx.ContractBalance)
+		}
+		m.slots[slot] = value.Int{Ty: ast.TyUint128, V: bal}
+		return nil
+	}
+}
+
+func opReadBlockNumber(slot int) stmtOp {
+	return func(m *mach) error {
+		if err := m.burn(eval.GasStmt); err != nil {
+			return err
+		}
+		m.slots[slot] = value.BNum{V: new(big.Int).Set(m.ctx.BlockNumber)}
+		return nil
+	}
+}
+
+func opReadTimestamp(slot int) stmtOp {
+	return func(m *mach) error {
+		if err := m.burn(eval.GasStmt); err != nil {
+			return err
+		}
+		m.slots[slot] = value.Int{Ty: ast.TyUint64, V: new(big.Int).SetUint64(m.ctx.Timestamp)}
+		return nil
+	}
+}
+
+// --- Option fusion analysis ---
+
+// fuseScan reports whether the binding x, produced by a map read, can
+// be kept unwrapped (raw value + found flag) for the remainder of the
+// block: every use of x must be as the scrutinee of a match whose arms
+// are limited to Some(bind|_)/None/_ shapes. Any other use — passing x
+// to a builtin or constructor, storing it, capturing it in a closure —
+// needs the real Option value and defeats the fusion.
+func fuseScan(stmts []ast.Stmt, x string) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.LoadStmt:
+			if st.Lhs == x {
+				return true // rebound; later uses are a new binding
+			}
+		case *ast.StoreStmt:
+			if st.Rhs == x {
+				return false
+			}
+		case *ast.BindStmt:
+			if !scanExpr(st.Expr, x) {
+				return false
+			}
+			if st.Lhs == x {
+				return true
+			}
+		case *ast.MapUpdateStmt:
+			if st.Rhs == x || containsName(st.Keys, x) {
+				return false
+			}
+		case *ast.MapGetStmt:
+			if containsName(st.Keys, x) {
+				return false
+			}
+			if st.Lhs == x {
+				return true
+			}
+		case *ast.MapDeleteStmt:
+			if containsName(st.Keys, x) {
+				return false
+			}
+		case *ast.ReadBlockchainStmt:
+			if st.Lhs == x {
+				return true
+			}
+		case *ast.MatchStmt:
+			if st.Scrutinee == x {
+				if !admissibleStmtArms(st.Arms) {
+					return false
+				}
+			}
+			for i := range st.Arms {
+				if patternBinds(st.Arms[i].Pat, x) {
+					continue // shadowed inside this arm
+				}
+				if !fuseScan(st.Arms[i].Body, x) {
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if st.Arg == x {
+				return false
+			}
+		case *ast.EventStmt:
+			if st.Arg == x {
+				return false
+			}
+		case *ast.ThrowStmt:
+			if st.Arg == x {
+				return false
+			}
+		case *ast.AcceptStmt:
+			// no names
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// scanExpr checks an expression under the same rules as fuseScan.
+func scanExpr(e ast.Expr, x string) bool {
+	switch ex := e.(type) {
+	case *ast.LitExpr:
+		return true
+	case *ast.VarExpr:
+		return ex.Name != x
+	case *ast.MsgExpr:
+		for i := range ex.Entries {
+			if !ex.Entries[i].IsLit && ex.Entries[i].Var == x {
+				return false
+			}
+		}
+		return true
+	case *ast.ConstrExpr:
+		return !containsName(ex.Args, x)
+	case *ast.BuiltinExpr:
+		return !containsName(ex.Args, x)
+	case *ast.LetExpr:
+		if !scanExpr(ex.Bound, x) {
+			return false
+		}
+		if ex.Name == x {
+			return true // body sees the let-bound x
+		}
+		return scanExpr(ex.Body, x)
+	case *ast.FunExpr:
+		// A closure body runs later, against a materialised capture; a
+		// fused binding cannot cross that boundary.
+		if ex.Param == x {
+			return true
+		}
+		return !exprUses(ex.Body, x)
+	case *ast.TFunExpr:
+		return !exprUses(ex.Body, x)
+	case *ast.AppExpr:
+		return ex.Func != x && !containsName(ex.Args, x)
+	case *ast.TAppExpr:
+		return ex.Name != x
+	case *ast.MatchExpr:
+		if ex.Scrutinee == x {
+			if !admissibleExprArms(ex.Arms) {
+				return false
+			}
+		}
+		for i := range ex.Arms {
+			if patternBinds(ex.Arms[i].Pat, x) {
+				continue
+			}
+			if !scanExpr(ex.Arms[i].Body, x) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// exprUses reports whether e references the name x at all (ignoring
+// shadowing — a conservative over-approximation is fine here).
+func exprUses(e ast.Expr, x string) bool {
+	switch ex := e.(type) {
+	case *ast.LitExpr:
+		return false
+	case *ast.VarExpr:
+		return ex.Name == x
+	case *ast.MsgExpr:
+		for i := range ex.Entries {
+			if !ex.Entries[i].IsLit && ex.Entries[i].Var == x {
+				return true
+			}
+		}
+		return false
+	case *ast.ConstrExpr:
+		return containsName(ex.Args, x)
+	case *ast.BuiltinExpr:
+		return containsName(ex.Args, x)
+	case *ast.LetExpr:
+		return exprUses(ex.Bound, x) || exprUses(ex.Body, x)
+	case *ast.FunExpr:
+		return exprUses(ex.Body, x)
+	case *ast.TFunExpr:
+		return exprUses(ex.Body, x)
+	case *ast.AppExpr:
+		return ex.Func == x || containsName(ex.Args, x)
+	case *ast.TAppExpr:
+		return ex.Name == x
+	case *ast.MatchExpr:
+		if ex.Scrutinee == x {
+			return true
+		}
+		for i := range ex.Arms {
+			if exprUses(ex.Arms[i].Body, x) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func containsName(names []string, x string) bool {
+	for _, n := range names {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}
+
+func patternBinds(p ast.Pattern, x string) bool {
+	switch pt := p.(type) {
+	case ast.BindPat:
+		return pt.Name == x
+	case ast.ConstrPat:
+		for _, sp := range pt.Sub {
+			if patternBinds(sp, x) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// admissiblePat reports whether one arm pattern fits the fused
+// Some/None/_ dispatch shape.
+func admissiblePat(p ast.Pattern) bool {
+	switch pt := p.(type) {
+	case ast.WildPat:
+		return true
+	case ast.ConstrPat:
+		if pt.Name == "Some" && len(pt.Sub) == 1 {
+			switch pt.Sub[0].(type) {
+			case ast.BindPat, ast.WildPat:
+				return true
+			}
+			return false
+		}
+		return pt.Name == "None" && len(pt.Sub) == 0
+	}
+	return false
+}
+
+func admissibleStmtArms(arms []ast.StmtMatchArm) bool {
+	for i := range arms {
+		if !admissiblePat(arms[i].Pat) {
+			return false
+		}
+	}
+	return true
+}
+
+func admissibleExprArms(arms []ast.MatchArm) bool {
+	for i := range arms {
+		if !admissiblePat(arms[i].Pat) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package compile
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/big"
+
+	"cosplit/internal/scilla/eval"
+	"cosplit/internal/scilla/value"
+)
+
+// intBox is one slab cell for a boxed arithmetic result. The embedded
+// word array gives the big.Int a preallocated backing for values up to
+// 128 bits, which covers every Uint128 balance; wider results simply
+// let big.Int grow its own backing.
+type intBox struct {
+	bi big.Int
+	w  [2]big.Word
+}
+
+const slabSize = 32
+
+// ikeysResetThreshold bounds the per-machine canonical-key intern
+// table; past it the table is dropped and rebuilt, so a workload
+// touching unbounded key sets cannot grow a machine without limit.
+const ikeysResetThreshold = 1 << 16
+
+// mach is the pooled per-execution machine state. A mach is checked
+// out of its Program's pool for the duration of one Run and returned
+// cleared, so no transaction can observe another's values. Slots are
+// the compiled replacement for the interpreter's environment chain:
+// every binding site is resolved to a fixed slot index at compile
+// time.
+type mach struct {
+	ctx   *eval.Context
+	slots []value.Value
+	// ffound holds the found-flag for fused Option bindings (map reads
+	// whose Some/None wrapper is elided); indexed by slot.
+	ffound []bool
+	res    eval.Result
+
+	// keyed is the per-run canonical-key fast path into state, set when
+	// ctx.State implements eval.KeyedState.
+	keyed     eval.KeyedState
+	haveKeyed bool
+
+	// scratch buffers for canonical key construction and map-op key
+	// vectors; capacity is retained across runs.
+	scratch []byte
+	cks     []string
+	keyBuf  []value.Value
+	argBuf  [3]value.Value
+	// ikeys interns canonical keys so repeated map accesses to the same
+	// key do not re-allocate the key string.
+	ikeys map[string]string
+
+	// slab is the arena for boxed arithmetic results. It advances
+	// monotonically and cells are never reused: a result big.Int may
+	// escape into contract state, so reuse would corrupt it. A fresh
+	// slab replaces an exhausted one, amortising the per-result
+	// allocation to 1/slabSize.
+	slab  []intBox
+	slabN int
+
+	// Boxed-interface caches for the implicit transition parameters.
+	// Re-boxing an interface costs an allocation, so the previous box
+	// is reused when the incoming value is unchanged.
+	senderRaw value.ByStr
+	senderBox value.Value
+	originRaw value.ByStr
+	originBox value.Value
+	amountRaw value.Int
+	amountBox value.Value
+}
+
+func (m *mach) burn(g uint64) error {
+	c := m.ctx
+	c.GasUsed += g
+	if c.GasLimit > 0 && c.GasUsed > c.GasLimit {
+		return &eval.OutOfGasError{Limit: c.GasLimit}
+	}
+	return nil
+}
+
+// nextBox returns a never-before-used slab cell.
+func (m *mach) nextBox() *intBox {
+	if m.slabN == len(m.slab) {
+		m.slab = make([]intBox, slabSize)
+		m.slabN = 0
+	}
+	b := &m.slab[m.slabN]
+	m.slabN++
+	return b
+}
+
+func boxByStr(raw *value.ByStr, box *value.Value, b value.ByStr) value.Value {
+	if *box != nil && raw.Ty == b.Ty && bytes.Equal(raw.B, b.B) {
+		return *box
+	}
+	*raw = b
+	*box = b
+	return *box
+}
+
+func (m *mach) boxAmount(a value.Int) value.Value {
+	if m.amountBox != nil && m.amountRaw.Ty == a.Ty && m.amountRaw.V == a.V {
+		return m.amountBox
+	}
+	m.amountRaw = a
+	m.amountBox = a
+	return m.amountBox
+}
+
+// canonKey renders v's canonical map key, interning the result so the
+// steady-state hot path performs no string allocation. The encoding is
+// byte-identical to value.CanonicalKey.
+func (m *mach) canonKey(v value.Value) string {
+	buf := m.scratch[:0]
+	switch k := v.(type) {
+	case value.ByStr:
+		need := 4 + 2*len(k.B)
+		if cap(buf) < need {
+			buf = make([]byte, 0, need*2)
+		}
+		buf = buf[:need]
+		copy(buf, "b:0x")
+		hex.Encode(buf[4:], k.B)
+	case value.Int:
+		buf = append(buf, k.Ty.String()...)
+		buf = append(buf, ':')
+		buf = k.V.Append(buf, 10)
+	case value.Str:
+		buf = append(buf, 's', ':')
+		buf = append(buf, k.S...)
+	case value.BNum:
+		buf = append(buf, 'n', ':')
+		buf = k.V.Append(buf, 10)
+	default:
+		return value.CanonicalKey(v)
+	}
+	m.scratch = buf[:0]
+	if s, ok := m.ikeys[string(buf)]; ok {
+		return s
+	}
+	if len(m.ikeys) >= ikeysResetThreshold {
+		m.ikeys = make(map[string]string)
+	}
+	s := string(buf)
+	m.ikeys[s] = s
+	return s
+}
+
+// mapGet dispatches a map read through the canonical-key fast path
+// when the state backend supports it.
+func (m *mach) mapGet(field string, cks []string, keys []value.Value) (value.Value, bool, error) {
+	if m.haveKeyed {
+		return m.keyed.MapGetCK(field, cks, keys)
+	}
+	return m.ctx.State.MapGet(field, keys)
+}
+
+func (m *mach) mapSet(field string, cks []string, keys []value.Value, v value.Value) error {
+	if m.haveKeyed {
+		return m.keyed.MapSetCK(field, cks, keys, v)
+	}
+	return m.ctx.State.MapSet(field, keys, v)
+}
+
+func (m *mach) mapDelete(field string, cks []string, keys []value.Value) error {
+	if m.haveKeyed {
+		return m.keyed.MapDeleteCK(field, cks, keys)
+	}
+	return m.ctx.State.MapDelete(field, keys)
+}
+
+// clearForPool strips everything transaction-specific before the mach
+// returns to the pool, so pooled machines can never leak values (or
+// partially-written results after a mid-transition abort) into the
+// next transaction.
+func (m *mach) clearForPool() {
+	clear(m.slots)
+	clear(m.ffound)
+	m.res = eval.Result{}
+	m.ctx = nil
+	m.keyed = nil
+	m.haveKeyed = false
+	m.keyBuf = m.keyBuf[:0]
+	m.cks = m.cks[:0]
+	m.argBuf = [3]value.Value{}
+}
+
+func runOps(m *mach, ops []stmtOp) error {
+	for _, op := range ops {
+		if err := op(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

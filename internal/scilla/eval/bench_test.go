@@ -56,10 +56,13 @@ func BenchmarkTransferExec(b *testing.B) {
 }
 
 // transferExecAllocCeiling guards the interpreter hot path against
-// allocation regressions. The interned keypaths and the reused
-// per-call args environment hold a Transfer around 55 allocations;
-// the ceiling leaves slack for Go-version variance, not for regrowth.
-const transferExecAllocCeiling = 80
+// allocation regressions. The interned keypaths, the reused per-call
+// args environment, and the cached integer range bounds hold a
+// Transfer around 49 allocations; the ceiling leaves slack for
+// Go-version variance, not for regrowth. The compiled closure-chain
+// executor has its own, far tighter budget (≤5 allocs/op), enforced by
+// TestCompiledAllocCeiling in internal/scilla/compile.
+const transferExecAllocCeiling = 60
 
 func TestTransferExecAllocs(t *testing.T) {
 	owner, bob := addr(1), addr(2)

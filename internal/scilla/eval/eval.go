@@ -101,6 +101,32 @@ const (
 	gasBuiltin = 2
 )
 
+// Exported gas schedule, for execution engines (internal/scilla/compile)
+// that must charge bit-for-bit the same gas as the interpreter.
+const (
+	GasStmt    uint64 = gasStmt
+	GasExpr    uint64 = gasExpr
+	GasMapOp   uint64 = gasMapOp
+	GasLoad    uint64 = gasLoad
+	GasStore   uint64 = gasStore
+	GasSend    uint64 = gasSend
+	GasEvent   uint64 = gasEvent
+	GasBuiltin uint64 = gasBuiltin
+)
+
+// KeyedState is an optional extension of StateAccess for backends that
+// can address (possibly nested) map entries by precomputed canonical
+// keys, skipping per-access value.CanonicalKey recomputation. cks is
+// the per-level canonical key slice parallel to keys (cks[i] ==
+// value.CanonicalKey(keys[i])). Implementations must not retain either
+// slice.
+type KeyedState interface {
+	StateAccess
+	MapGetCK(field string, cks []string, keys []value.Value) (v value.Value, ok bool, err error)
+	MapSetCK(field string, cks []string, keys []value.Value, v value.Value) error
+	MapDeleteCK(field string, cks []string, keys []value.Value) error
+}
+
 // New builds an interpreter for a checked module with the given values
 // for the contract's immutable parameters. Library definitions are
 // evaluated eagerly, once.
@@ -137,6 +163,45 @@ func New(checked *typecheck.Checked, contractParams map[string]value.Value) (*In
 
 // Checked returns the typechecked module the interpreter runs.
 func (in *Interpreter) Checked() *typecheck.Checked { return in.checked }
+
+// LibEnv exposes the immutable library environment (natives, contract
+// parameters, library definitions) for execution engines layered on
+// top of the interpreter. Callers must treat it as read-only.
+func (in *Interpreter) LibEnv() *value.Env { return in.libEnv }
+
+// LibValue resolves a name in the library environment.
+func (in *Interpreter) LibValue(name string) (value.Value, bool) {
+	return in.libEnv.Lookup(name)
+}
+
+// Apply applies a function value to an argument under the Context's
+// gas accounting, exactly as the interpreter's application rule does.
+func (in *Interpreter) Apply(ctx *Context, fn, arg value.Value) (value.Value, error) {
+	return in.applyCtx(ctx, fn, arg)
+}
+
+// TApply instantiates a type-polymorphic value with the given type
+// arguments, charging gas exactly as the interpreter's TApp rule does.
+// name is used only for the error message on non-polymorphic values.
+func (in *Interpreter) TApply(ctx *Context, name string, fv value.Value, targs []ast.Type) (value.Value, error) {
+	cur := fv
+	for _, ta := range targs {
+		switch f := cur.(type) {
+		case *value.TClosure:
+			inner := value.NewEnv(f.Env)
+			v, err := in.evalExprCtx(ctx, inner, f.Body)
+			if err != nil {
+				return nil, err
+			}
+			cur = v
+		case *value.Native:
+			cur = f.WithTypeArgs([]ast.Type{ta})
+		default:
+			return nil, fmt.Errorf("%s is not type-polymorphic", name)
+		}
+	}
+	return cur, nil
+}
 
 // InitField evaluates a field initialiser in the library environment.
 func (in *Interpreter) InitField(f *ast.Field) (value.Value, error) {

@@ -126,6 +126,75 @@ func (m *MemState) MapDelete(field string, keys []value.Value) error {
 	return nil
 }
 
+// mapAtCK is mapAt with precomputed per-level canonical keys.
+func (m *MemState) mapAtCK(field string, cks []string, keys []value.Value, create bool) (*value.Map, error) {
+	root, ok := m.Fields[field]
+	if !ok {
+		return nil, fmt.Errorf("unknown field %s", field)
+	}
+	cur, ok := root.(*value.Map)
+	if !ok {
+		return nil, fmt.Errorf("field %s is not a map", field)
+	}
+	for i := 0; i < len(cks)-1; i++ {
+		next, found := cur.GetCK(cks[i])
+		if !found {
+			if !create {
+				return nil, nil
+			}
+			inner, ok := cur.ValType.(ast.MapType)
+			if !ok {
+				return nil, fmt.Errorf("field %s is not nested at depth %d", field, i)
+			}
+			nm := value.NewMap(inner.Key, inner.Val)
+			cur.SetCK(cks[i], keys[i], nm)
+			next = nm
+		}
+		nm, ok := next.(*value.Map)
+		if !ok {
+			return nil, fmt.Errorf("field %s has non-map value at depth %d", field, i)
+		}
+		cur = nm
+	}
+	return cur, nil
+}
+
+// MapGetCK implements KeyedState.
+func (m *MemState) MapGetCK(field string, cks []string, keys []value.Value) (value.Value, bool, error) {
+	inner, err := m.mapAtCK(field, cks, keys, false)
+	if err != nil {
+		return nil, false, err
+	}
+	if inner == nil {
+		return nil, false, nil
+	}
+	v, ok := inner.GetCK(cks[len(cks)-1])
+	return v, ok, nil
+}
+
+// MapSetCK implements KeyedState.
+func (m *MemState) MapSetCK(field string, cks []string, keys []value.Value, v value.Value) error {
+	inner, err := m.mapAtCK(field, cks, keys, true)
+	if err != nil {
+		return err
+	}
+	inner.SetCK(cks[len(cks)-1], keys[len(keys)-1], v)
+	return nil
+}
+
+// MapDeleteCK implements KeyedState.
+func (m *MemState) MapDeleteCK(field string, cks []string, keys []value.Value) error {
+	inner, err := m.mapAtCK(field, cks, keys, false)
+	if err != nil {
+		return err
+	}
+	if inner == nil {
+		return nil
+	}
+	inner.DeleteCK(cks[len(cks)-1])
+	return nil
+}
+
 // Copy deep-copies the state.
 func (m *MemState) Copy() *MemState {
 	out := NewMemState(m.Types)

@@ -166,6 +166,25 @@ func (m *Map) Delete(k Value) {
 	delete(m.KeyVals, ck)
 }
 
+// GetCK returns the value at precomputed canonical key ck, if present.
+// Callers must ensure ck == CanonicalKey(k) for the key in question.
+func (m *Map) GetCK(ck string) (Value, bool) {
+	v, ok := m.Entries[ck]
+	return v, ok
+}
+
+// SetCK stores v at key k whose canonical encoding ck was precomputed.
+func (m *Map) SetCK(ck string, k, v Value) {
+	m.Entries[ck] = v
+	m.KeyVals[ck] = k
+}
+
+// DeleteCK removes the entry at precomputed canonical key ck.
+func (m *Map) DeleteCK(ck string) {
+	delete(m.Entries, ck)
+	delete(m.KeyVals, ck)
+}
+
 // Len returns the number of entries.
 func (m *Map) Len() int { return len(m.Entries) }
 

@@ -1,0 +1,75 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cosplit/internal/obs"
+	"cosplit/internal/shard"
+)
+
+// The compiled closure-chain executor must be observationally
+// indistinguishable from the AST interpreter in every execution mode:
+// identical receipts (success flag, gas, error string, shard, epoch),
+// state roots, and per-shard gas totals. The interpreter-driven
+// sequential pipeline is the reference; every other (mode × engine)
+// combination is compared against it.
+
+// TestCompiledVsInterpretedNetwork drives the five evaluation
+// workloads under three stream seeds. For each, the reference run
+// forces the interpreter (WithCompiledExecution(false), sequential
+// pipeline); the compiled engine is then exercised in all four
+// pipeline modes.
+func TestCompiledVsInterpretedNetwork(t *testing.T) {
+	workloads := []string{
+		"FT transfer",        // FungibleToken
+		"NFT mint",           // NonfungibleToken
+		"CF donate",          // Crowdfunding
+		"ProofIPFS register", // ProofIPFS
+		"UD bestow",          // UDRegistry
+	}
+	for _, name := range workloads {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{1, 7, 42} {
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					interp := runPipeline(t, namedWorkload(t, name, seed), false, 0,
+						shard.WithCompiledExecution(false))
+					compiledSeq := runPipeline(t, namedWorkload(t, name, seed), false, 0)
+					diffResults(t, "compiled-sequential", interp, compiledSeq)
+					for _, m := range execModes {
+						got := runPipeline(t, namedWorkload(t, name, seed), m.parallel, m.intra)
+						diffResults(t, "compiled-"+m.name, interp, got)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCompiledEngineActuallyRuns guards against the differential test
+// passing vacuously: the compiled run must be served by the fused fast
+// path, and the interpreter run must never touch the compiled
+// dispatch counters.
+func TestCompiledEngineActuallyRuns(t *testing.T) {
+	reg := obs.NewRegistry()
+	runPipeline(t, namedWorkload(t, "FT transfer", 1), false, 0,
+		shard.WithRegistry(reg))
+	snap := reg.Snapshot()
+	if n := snap.Counters["compile.programs"]; n == 0 {
+		t.Error("no programs compiled at deployment")
+	}
+	if n := snap.Counters["compile.fast_runs"]; n == 0 {
+		t.Error("compiled pipeline executed no fused fast-path transitions")
+	}
+	if n := snap.Counters["compile.fallback_runs"]; n != 0 {
+		t.Errorf("compiled pipeline fell back to the interpreter %d times", n)
+	}
+
+	regOff := obs.NewRegistry()
+	runPipeline(t, namedWorkload(t, "FT transfer", 1), false, 0,
+		shard.WithRegistry(regOff), shard.WithCompiledExecution(false))
+	snapOff := regOff.Snapshot()
+	if n := snapOff.Counters["compile.fast_runs"] + snapOff.Counters["compile.generic_runs"]; n != 0 {
+		t.Errorf("interpreter-only pipeline recorded %d compiled dispatches", n)
+	}
+}

@@ -204,7 +204,7 @@ func (n *Network) dsCall(origin, sender, to chain.Address, transition string,
 		GasLimit:        gasLimit,
 		ContractBalance: bal,
 	}
-	res, err := c.Interp.Run(ctx, transition, args)
+	res, err := runTransition(&n.cfg, c, ctx, transition, args)
 	if err != nil {
 		return nil, ctx.GasUsed, err
 	}

@@ -47,6 +47,18 @@ type netMetrics struct {
 	groupFallbacks *obs.Counter
 	foldTime       *obs.Histogram // deterministic group-fold duration
 
+	// Compiled execution: programs compiled at deploy, transitions
+	// lowered vs falling back to the interpreter, runtime dispatches by
+	// engine (fused fast path / generic compiled / interpreter
+	// fallback), and pooled execution machines served by reuse.
+	compilePrograms     *obs.Counter
+	compileTransitions  *obs.Counter
+	compileFallbacks    *obs.Counter
+	compileFastRuns     *obs.Counter
+	compileGenericRuns  *obs.Counter
+	compileFallbackRuns *obs.Counter
+	compilePoolRecycles *obs.Counter
+
 	dispatchTime  *obs.Histogram
 	shardExecTime *obs.Histogram // per shard per epoch
 	mergeTime     *obs.Histogram
@@ -58,38 +70,46 @@ type netMetrics struct {
 
 func newNetMetrics(reg *obs.Registry) netMetrics {
 	return netMetrics{
-		epochs:           reg.Counter("net.epochs"),
-		committed:        reg.Counter("tx.committed"),
-		failed:           reg.Counter("tx.failed"),
-		rejected:         reg.Counter("tx.rejected"),
-		deferred:         reg.Counter("tx.deferred"),
-		dsCommitted:      reg.Counter("tx.ds_committed"),
-		mergeContracts:   reg.Counter("merge.contracts"),
-		mergeConflicts:   reg.Counter("merge.conflicts"),
-		overflowTrips:    reg.Counter("shard.overflow_guard_trips"),
-		faultCrashes:     reg.Counter("fault.crashes"),
-		faultDrops:       reg.Counter("fault.drops"),
-		faultCorruptions: reg.Counter("fault.corruptions"),
-		faultStraggles:   reg.Counter("fault.straggles"),
-		faultLostTxs:     reg.Counter("fault.lost_txs"),
-		viewChanges:      reg.Counter("fault.view_changes"),
-		escalations:      reg.Counter("fault.escalations"),
-		escalatedTxs:     reg.Counter("fault.escalated_txs"),
-		mempool:          reg.Gauge("net.mempool"),
-		queueDepth:       reg.SizeHistogram("shard.queue_depth"),
-		shardGas:         reg.SizeHistogram("shard.gas_used"),
-		deltaEntries:     reg.SizeHistogram("merge.delta_entries"),
-		groups:           reg.SizeHistogram("shard.groups"),
-		groupSize:        reg.SizeHistogram("shard.group_size"),
-		groupResidue:     reg.SizeHistogram("shard.group_residue"),
-		groupFallbacks:   reg.Counter("shard.group_fallbacks"),
-		foldTime:         reg.TimeHistogram("shard.fold_time"),
-		dispatchTime:     reg.TimeHistogram("epoch.dispatch_time"),
-		shardExecTime:    reg.TimeHistogram("shard.exec_time"),
-		mergeTime:        reg.TimeHistogram("epoch.merge_time"),
-		dsExecTime:       reg.TimeHistogram("epoch.ds_exec_time"),
-		consensusTime:    reg.TimeHistogram("epoch.consensus_time"),
-		wallTime:         reg.TimeHistogram("epoch.wall_time"),
-		measuredTime:     reg.TimeHistogram("epoch.measured_time"),
+		epochs:              reg.Counter("net.epochs"),
+		committed:           reg.Counter("tx.committed"),
+		failed:              reg.Counter("tx.failed"),
+		rejected:            reg.Counter("tx.rejected"),
+		deferred:            reg.Counter("tx.deferred"),
+		dsCommitted:         reg.Counter("tx.ds_committed"),
+		mergeContracts:      reg.Counter("merge.contracts"),
+		mergeConflicts:      reg.Counter("merge.conflicts"),
+		overflowTrips:       reg.Counter("shard.overflow_guard_trips"),
+		faultCrashes:        reg.Counter("fault.crashes"),
+		faultDrops:          reg.Counter("fault.drops"),
+		faultCorruptions:    reg.Counter("fault.corruptions"),
+		faultStraggles:      reg.Counter("fault.straggles"),
+		faultLostTxs:        reg.Counter("fault.lost_txs"),
+		viewChanges:         reg.Counter("fault.view_changes"),
+		escalations:         reg.Counter("fault.escalations"),
+		escalatedTxs:        reg.Counter("fault.escalated_txs"),
+		mempool:             reg.Gauge("net.mempool"),
+		queueDepth:          reg.SizeHistogram("shard.queue_depth"),
+		shardGas:            reg.SizeHistogram("shard.gas_used"),
+		deltaEntries:        reg.SizeHistogram("merge.delta_entries"),
+		groups:              reg.SizeHistogram("shard.groups"),
+		groupSize:           reg.SizeHistogram("shard.group_size"),
+		groupResidue:        reg.SizeHistogram("shard.group_residue"),
+		groupFallbacks:      reg.Counter("shard.group_fallbacks"),
+		foldTime:            reg.TimeHistogram("shard.fold_time"),
+		compilePrograms:     reg.Counter("compile.programs"),
+		compileTransitions:  reg.Counter("compile.transitions"),
+		compileFallbacks:    reg.Counter("compile.fallbacks"),
+		compileFastRuns:     reg.Counter("compile.fast_runs"),
+		compileGenericRuns:  reg.Counter("compile.generic_runs"),
+		compileFallbackRuns: reg.Counter("compile.fallback_runs"),
+		compilePoolRecycles: reg.Counter("compile.pool_recycles"),
+
+		dispatchTime:  reg.TimeHistogram("epoch.dispatch_time"),
+		shardExecTime: reg.TimeHistogram("shard.exec_time"),
+		mergeTime:     reg.TimeHistogram("epoch.merge_time"),
+		dsExecTime:    reg.TimeHistogram("epoch.ds_exec_time"),
+		consensusTime: reg.TimeHistogram("epoch.consensus_time"),
+		wallTime:      reg.TimeHistogram("epoch.wall_time"),
+		measuredTime:  reg.TimeHistogram("epoch.measured_time"),
 	}
 }

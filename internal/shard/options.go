@@ -54,6 +54,13 @@ type Config struct {
 	// symmetric bound below zero), guaranteeing the joined deltas of N
 	// shards cannot overflow at merge time.
 	OverflowGuard bool
+	// CompiledExecution serves transition calls from the contract's
+	// closure-chain compiled program (built once at deployment) instead
+	// of the AST-walking interpreter. Results are bit-identical — gas,
+	// receipts, deltas, state roots — in every execution mode;
+	// transitions the compiler cannot lower transparently fall back to
+	// the interpreter per call. On by default.
+	CompiledExecution bool
 	// FaultEscalation is the unavailability-backoff bound: after this
 	// many consecutive epochs of losing a shard's MicroBlock (crash,
 	// drop, corrupt), the dispatcher stops routing to the shard and its
@@ -73,6 +80,7 @@ func DefaultConfig(numShards int) Config {
 		DSGasLimit:         2_000_000,
 		SplitGasAccounting: true,
 		ModelConsensus:     true,
+		CompiledExecution:  true,
 		FaultEscalation:    3,
 	}
 }
@@ -130,6 +138,13 @@ func WithConsensusModel(on bool) Option {
 // sequential mode — see Config.ParallelShards).
 func WithParallelism(on bool) Option {
 	return func(s *settings) { s.cfg.ParallelShards = on }
+}
+
+// WithCompiledExecution toggles the closure-chain compiled execution
+// engine (see Config.CompiledExecution); passing false forces every
+// transition call through the AST-walking interpreter.
+func WithCompiledExecution(on bool) Option {
+	return func(s *settings) { s.cfg.CompiledExecution = on }
 }
 
 // WithOverflowGuard toggles the Sec. 6 conservative integer-overflow

@@ -127,6 +127,13 @@ type Network struct {
 	queueBuf    [][]*chain.Tx
 	dsQueueBuf  []*chain.Tx
 	perShardBuf []int
+	// ovPool recycles each shard's per-contract overlays across epochs
+	// (indexed by shard, so concurrent shard runners never share an
+	// entry). Reset keeps the write-table buckets, so steady-state
+	// epochs stop paying map growth for the shard-level overlays. Only
+	// the one-run-per-shard paths use it; the grouped intra-shard path
+	// creates one run per worker and allocates fresh overlays.
+	ovPool []map[chain.Address]*chain.Overlay
 
 	shardModel consensus.PBFTModel
 	dsModel    consensus.PBFTModel
@@ -154,6 +161,10 @@ func NewNetwork(opts ...Option) *Network {
 		pool = mempool.New(*s.poolCfg, accounts,
 			mempool.WithRecorder(rec), mempool.WithRegistry(s.reg))
 	}
+	ovPool := make([]map[chain.Address]*chain.Overlay, s.cfg.NumShards)
+	for i := range ovPool {
+		ovPool[i] = make(map[chain.Address]*chain.Overlay)
+	}
 	return &Network{
 		Accounts:   accounts,
 		Contracts:  contracts,
@@ -165,6 +176,7 @@ func NewNetwork(opts ...Option) *Network {
 		reg:        s.reg,
 		m:          newNetMetrics(s.reg),
 		receipts:   make(map[uint64]*chain.Receipt),
+		ovPool:     ovPool,
 		shardModel: consensus.DefaultModel(s.cfg.NodesPerShard),
 		dsModel:    consensus.DefaultModel(s.cfg.NodesPerShard * 2),
 		nextTxID:   1,
@@ -200,6 +212,17 @@ func (n *Network) DeployContract(deployer chain.Address, source string,
 	}
 	n.Accounts.Create(addr, 0, true)
 	n.Contracts.Add(c)
+	if c.Compiled != nil {
+		compiled, fallbacks, _ := c.Compiled.CompileCounts()
+		n.m.compilePrograms.Inc()
+		n.m.compileTransitions.Add(int64(compiled))
+		n.m.compileFallbacks.Add(int64(fallbacks))
+		for i := range c.Checked.Module.Contract.Transitions {
+			trName := c.Checked.Module.Contract.Transitions[i].Name
+			ok, fast := c.Compiled.CompiledTransition(trName)
+			n.rec.TransitionCompiled(n.Epoch, c.Checked.Module.Contract.Name, trName, ok, fast)
+		}
+	}
 	// Bump the deployer's nonce.
 	d := chain.NewAccountDelta()
 	d.BumpNonce(deployer, acc.Nonce+1)
@@ -589,6 +612,19 @@ func (n *Network) finishEpochMetrics(sum obs.EpochSummary) {
 	n.m.consensusTime.ObserveDuration(sum.Consensus)
 	n.m.wallTime.ObserveDuration(sum.Wall)
 	n.m.measuredTime.ObserveDuration(sum.Measured)
+	// Fold the epoch's compiled-execution dispatch counters out of each
+	// contract's program (the counters there are cumulative-since-drain,
+	// so per-epoch drains sum correctly in the registry).
+	for _, c := range n.Contracts.All() {
+		if c.Compiled == nil {
+			continue
+		}
+		st := c.Compiled.DrainStats()
+		n.m.compileFastRuns.Add(int64(st.FastRuns))
+		n.m.compileGenericRuns.Add(int64(st.GenericRuns))
+		n.m.compileFallbackRuns.Add(int64(st.FallbackRuns))
+		n.m.compilePoolRecycles.Add(int64(st.PoolRecycles))
+	}
 }
 
 // StateRoot hashes the full observable network state: every contract's
@@ -644,6 +680,9 @@ type shardRun struct {
 	net      *Network
 	shard    int
 	overlays map[chain.Address]*chain.Overlay
+	// ovCache, when non-nil, recycles shard overlays across epochs (see
+	// Network.ovPool). Grouped-path worker runs leave it nil.
+	ovCache  map[chain.Address]*chain.Overlay
 	accDelta *chain.AccountDelta
 	// localBal tracks each account's balance view inside the shard
 	// (base balance + local deltas) for overdraft checks.
@@ -653,6 +692,15 @@ type shardRun struct {
 	// evalCtx is reused across the run's transactions so the
 	// interpreter's per-call environment and key scratch persist.
 	evalCtx eval.Context
+	// txOv is the pooled per-transaction rollback overlay: Reset onto
+	// the contract's shard overlay before each call, committed or
+	// discarded after. One pooled overlay suffices because a shardRun
+	// executes its queue on a single goroutine.
+	txOv *chain.Overlay
+	// Scratch big.Ints for per-transaction gas arithmetic. Safe to
+	// reuse because every consumer (balance views, account deltas,
+	// allowance comparisons) copies or folds the value immediately.
+	scrCost, scrPrice, scrNeg, scrSum, scrBudget, scrTotal, scrBlk, scrCB, scrAllow big.Int
 }
 
 func (n *Network) newShardRun(s int) *shardRun {
@@ -669,7 +717,16 @@ func (n *Network) newShardRun(s int) *shardRun {
 func (r *shardRun) overlayFor(c *chain.Contract) *chain.Overlay {
 	ov, ok := r.overlays[c.Addr]
 	if !ok {
-		ov = chain.NewOverlay(c.Snapshot(), c.Checked.FieldTypes)
+		if ov, ok = r.ovCache[c.Addr]; ok {
+			// Recycled from a previous epoch: rewind onto the current
+			// canonical snapshot, keeping the write-table buckets.
+			ov.Reset(c.Snapshot(), c.Checked.FieldTypes)
+		} else {
+			ov = chain.NewOverlay(c.Snapshot(), c.Checked.FieldTypes)
+			if r.ovCache != nil {
+				r.ovCache[c.Addr] = ov
+			}
+		}
 		r.overlays[c.Addr] = ov
 	}
 	return ov
@@ -690,12 +747,13 @@ func (r *shardRun) balanceView(a chain.Address) *big.Int {
 }
 
 func (r *shardRun) credit(a chain.Address, v *big.Int) {
-	r.balanceView(a).Add(r.balanceView(a), v)
+	b := r.balanceView(a)
+	b.Add(b, v)
 	r.accDelta.AddBalance(a, v)
 }
 
 func (r *shardRun) debit(a chain.Address, v *big.Int) {
-	neg := new(big.Int).Neg(v)
+	neg := r.scrNeg.Neg(v)
 	r.credit(a, neg)
 }
 
@@ -704,18 +762,18 @@ func (r *shardRun) debit(a chain.Address, v *big.Int) {
 func (r *shardRun) gasAllowance(sender chain.Address) *big.Int {
 	acc := r.net.Accounts.Get(sender)
 	if acc == nil {
-		return new(big.Int)
+		return r.scrAllow.SetUint64(0)
 	}
 	if !r.net.cfg.SplitGasAccounting || r.net.cfg.NumShards <= 1 {
-		return new(big.Int).Set(acc.Balance)
+		return r.scrAllow.Set(acc.Balance)
 	}
 	// Half the balance to the sender's home shard, the rest split
 	// across the other shards.
-	half := new(big.Int).Rsh(acc.Balance, 1)
+	half := r.scrAllow.Rsh(acc.Balance, 1)
 	if chain.ShardOf(sender, r.net.cfg.NumShards) == r.shard {
 		return half
 	}
-	return half.Div(half, big.NewInt(int64(r.net.cfg.NumShards-1)))
+	return half.Div(half, r.scrPrice.SetInt64(int64(r.net.cfg.NumShards-1)))
 }
 
 // runShard executes a shard's transaction queue within the shard gas
@@ -762,6 +820,7 @@ func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
 // runShardSequential executes a shard's transaction queue sequentially.
 func (n *Network) runShardSequential(s int, queue []*chain.Tx) (*MicroBlock, error) {
 	run := n.newShardRun(s)
+	run.ovCache = n.ovPool[s]
 	mb := &MicroBlock{Shard: s, Epoch: n.Epoch, Accounts: run.accDelta}
 	start := time.Now()
 	for i, tx := range queue {
@@ -848,8 +907,10 @@ func (r *shardRun) execute(tx *chain.Tx, remaining uint64) (_ *chain.Receipt, wa
 		rec.Error = rec.Err.Error()
 		return rec, false
 	}
+	// gasCost computes used*price into a per-run scratch; consumers
+	// (debit, spent accumulation) fold the value before the next call.
 	gasCost := func(used uint64) *big.Int {
-		return new(big.Int).Mul(new(big.Int).SetUint64(used), new(big.Int).SetUint64(tx.GasPrice))
+		return r.scrCost.Mul(r.scrCost.SetUint64(used), r.scrPrice.SetUint64(tx.GasPrice))
 	}
 
 	// Split gas accounting: refuse when the sender's shard budget is
@@ -859,14 +920,14 @@ func (r *shardRun) execute(tx *chain.Tx, remaining uint64) (_ *chain.Receipt, wa
 		spent = new(big.Int)
 		r.gasSpent[tx.From] = spent
 	}
-	budget := tx.GasBudget()
-	if new(big.Int).Add(spent, budget).Cmp(r.gasAllowance(tx.From)) > 0 {
+	budget := r.scrBudget.Mul(r.scrBudget.SetUint64(tx.GasLimit), r.scrPrice.SetUint64(tx.GasPrice))
+	if r.scrSum.Add(spent, budget).Cmp(r.gasAllowance(tx.From)) > 0 {
 		return fail(ErrGasExhausted)
 	}
 
 	switch tx.Kind {
 	case chain.TxTransfer:
-		total := new(big.Int).Add(tx.Amount, budget)
+		total := r.scrTotal.Add(tx.Amount, budget)
 		if r.balanceView(tx.From).Cmp(total) < 0 {
 			return fail(ErrInsufficientBalance)
 		}
@@ -884,16 +945,22 @@ func (r *shardRun) execute(tx *chain.Tx, remaining uint64) (_ *chain.Receipt, wa
 			return fail(ErrUnknownContract)
 		}
 		shardOv := r.overlayFor(c)
-		txOv := chain.NewOverlay(shardOv, c.Checked.FieldTypes)
+		txOv := r.txOv
+		if txOv == nil {
+			txOv = chain.NewOverlay(shardOv, c.Checked.FieldTypes)
+			r.txOv = txOv
+		} else {
+			txOv.Reset(shardOv, c.Checked.FieldTypes)
+		}
 		ctx := &r.evalCtx
 		ctx.Sender = tx.From.Value()
-		ctx.Origin = tx.From.Value()
+		ctx.Origin = ctx.Sender
 		ctx.Amount = value.Int{Ty: ast.TyUint128, V: tx.Amount}
-		ctx.BlockNumber = new(big.Int).SetUint64(r.net.BlockNumber)
+		ctx.BlockNumber = r.scrBlk.SetUint64(r.net.BlockNumber)
 		ctx.State = txOv
 		ctx.GasLimit = effLimit
-		ctx.ContractBalance = new(big.Int).Set(r.balanceView(tx.To))
-		res, err := c.Interp.Run(ctx, tx.Transition, tx.Args)
+		ctx.ContractBalance = r.scrCB.Set(r.balanceView(tx.To))
+		res, err := runTransition(&r.net.cfg, c, ctx, tx.Transition, tx.Args)
 		if effLimit > 0 && ctx.GasUsed > effLimit {
 			// The interpreter's gas check runs after each charge, so a
 			// failing run can overshoot the limit by one operation; the

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# benchdiff.sh OLD.json NEW.json [threshold_pct]
+#
+# Compares two BENCH_epoch.json reports and fails (exit 1) when the
+# new report's 1-shard sequential execute_max regressed by more than
+# threshold_pct percent (default 10) over the old one. Run after
+# regenerating BENCH_epoch.json to catch execution-engine slowdowns:
+#
+#   cp BENCH_epoch.json /tmp/prev.json
+#   go run ./cmd/shardsim -epoch-bench -bench-out BENCH_epoch.json
+#   scripts/benchdiff.sh /tmp/prev.json BENCH_epoch.json
+set -eu
+
+OLD=${1:?usage: benchdiff.sh OLD.json NEW.json [threshold_pct]}
+NEW=${2:?usage: benchdiff.sh OLD.json NEW.json [threshold_pct]}
+THRESHOLD=${3:-10}
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+
+# extract_exec_max FILE: the execute_max of the 1-shard sequential row
+# (shards=1, parallel=false, intra_workers=0) — the reference cost of
+# pure transition execution, insensitive to host core count.
+extract_exec_max() {
+    go run "$SCRIPT_DIR/benchdiff_extract.go" "$1"
+}
+
+OLD_MS=$(extract_exec_max "$OLD")
+NEW_MS=$(extract_exec_max "$NEW")
+
+echo "benchdiff: 1-shard sequential execute_max: old=${OLD_MS}ms new=${NEW_MS}ms (threshold +${THRESHOLD}%)"
+
+# Fail when NEW > OLD * (1 + THRESHOLD/100).
+awk -v old="$OLD_MS" -v new="$NEW_MS" -v thr="$THRESHOLD" 'BEGIN {
+    limit = old * (1 + thr / 100)
+    if (new > limit) {
+        printf "benchdiff: REGRESSION: execute_max %.3fms exceeds %.3fms (+%s%% over %.3fms)\n", new, limit, thr, old
+        exit 1
+    }
+    printf "benchdiff: OK (limit %.3fms)\n", limit
+}'

@@ -1,0 +1,48 @@
+//go:build ignore
+
+// benchdiff_extract prints the execute_max (in ms) of the 1-shard
+// sequential row of a BENCH_epoch.json report. Helper for
+// scripts/benchdiff.sh; kept in Go so the comparison needs no jq.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Rows []struct {
+		Shards       int  `json:"shards"`
+		Parallel     bool `json:"parallel"`
+		IntraWorkers int  `json:"intra_workers"`
+		Stages       struct {
+			ExecuteMax float64 `json:"execute_max"`
+		} `json:"stages_ms"`
+	} `json:"rows"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff_extract FILE.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, row := range r.Rows {
+		if row.Shards == 1 && !row.Parallel && row.IntraWorkers == 0 {
+			fmt.Println(row.Stages.ExecuteMax)
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "no 1-shard sequential row found")
+	os.Exit(2)
+}

@@ -34,3 +34,13 @@ go run ./cmd/shardsim -intra-parallel 4 -epochs 3 -workloads "FT transfer disjoi
 # the parallel executors on.
 go run -race ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 4 -parallel -intra-parallel 4 \
     -workloads "FT transfer" -faults "7:crash=0.1,drop=0.05,corrupt=0.02,straggle=0.25x4"
+# Compiled-execution coverage: the closure-chain executor is the
+# default engine (exercised by every run above, including the race
+# runs); this pair smoke-tests the interpreter escape hatch and pins
+# both engines on the same workload. Compiled-vs-interpreted
+# equivalence itself is enforced by the differential suites in
+# internal/scilla/compile and internal/shard.
+go run -race ./cmd/shardsim -parallel -epochs 3 -workloads "FT transfer"
+go run ./cmd/shardsim -no-compile -epochs 3 -workloads "FT transfer"
+# After regenerating BENCH_epoch.json, scripts/benchdiff.sh OLD NEW
+# fails on a >10% execute_max regression of the 1-shard sequential row.
