@@ -19,6 +19,15 @@
 // -faults "7:crash=0.05,drop=0.02,straggle=0.2x4". The same seed and
 // spec reproduce the same fault schedule bit-for-bit in every
 // execution mode.
+//
+// Node mode: -serve addr boots a message-passing node cluster (DS
+// committee, shard nodes, lookup) with a block producer and a
+// JSON-RPC front door; -serve-tcp additionally runs the cluster's
+// internal traffic over real TCP sockets. -hammer url runs the
+// closed-loop load generator against a serving instance and reports
+// submit-to-commit latency percentiles. Both sides provision the
+// -rpc-workload genesis deterministically, so the hammer's stream is
+// valid against the server's chain.
 package main
 
 import (
@@ -29,11 +38,14 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"cosplit/internal/bench"
 	"cosplit/internal/fault"
 	"cosplit/internal/mempool"
+	"cosplit/internal/node"
 	"cosplit/internal/obs"
+	"cosplit/internal/rpc"
 	"cosplit/internal/shard"
 	"cosplit/internal/workload"
 )
@@ -61,6 +73,15 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		noCompile  = flag.Bool("no-compile", false, "disable the closure-chain compiled executor and run every transition on the AST interpreter (results are bit-identical, only slower)")
+
+		serveAddr = flag.String("serve", "", "serve the JSON-RPC front door on this address (e.g. 127.0.0.1:8545) over a message-passing node cluster")
+		serveTCP  = flag.String("serve-tcp", "", "with -serve: run the cluster's internal traffic over a TCP hub on this address instead of in-process channels")
+		blockIvl  = flag.Duration("block-interval", 250*time.Millisecond, "block production interval for -serve")
+		hammerURL = flag.String("hammer", "", "hammer a serving instance at this URL (e.g. http://127.0.0.1:8545) and report latency percentiles")
+		hammerN   = flag.Int("hammer-n", 1000, "transactions to push through with -hammer")
+		hammerWk  = flag.Int("hammer-workers", 8, "closed-loop workers for -hammer")
+		rpcWorkld = flag.String("rpc-workload", "FT transfer", "workload provisioned as genesis by -serve and used as the -hammer stream (must match on both sides)")
+		rpcShards = flag.Int("rpc-shards", 3, "shard count for -serve/-hammer genesis (must match on both sides)")
 	)
 	flag.Parse()
 
@@ -137,6 +158,23 @@ func main() {
 	}
 
 	switch {
+	case *serveAddr != "":
+		serveRPC(*serveAddr, *serveTCP, *rpcWorkld, *rpcShards, *blockIvl)
+	case *hammerURL != "":
+		w, err := workload.ByName(*rpcWorkld)
+		fail(err)
+		next, err := rpc.WorkloadStream(w, *rpcShards)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "shardsim: hammering %s: %d txs over %d workers (workload %q)\n",
+			*hammerURL, *hammerN, *hammerWk, w.Name)
+		rep, err := rpc.RunHammer(rpc.HammerConfig{
+			URL:     *hammerURL,
+			Workers: *hammerWk,
+			Total:   *hammerN,
+			Next:    next,
+		})
+		fail(err)
+		rpc.PrintHammer(os.Stdout, rep)
 	case *submitRate > 0:
 		pcfg := mempool.DefaultConfig()
 		if *mempoolCap > 0 {
@@ -218,6 +256,42 @@ func main() {
 		fail(err)
 		bench.PrintFig14(os.Stdout, rows)
 	}
+}
+
+// serveRPC boots a node cluster with a block producer and serves the
+// JSON-RPC front door until the process is killed. The genesis stays a
+// pure function of the workload and shard count so a hammer process
+// can provision the identical transaction stream on its side.
+func serveRPC(addr, tcpAddr, workloadName string, shards int, interval time.Duration) {
+	w, err := workload.ByName(workloadName)
+	fail(err)
+	genesis := func() (*shard.Network, error) {
+		env, err := workload.Provision(w, true, shard.WithShards(shards))
+		if err != nil {
+			return nil, err
+		}
+		return env.Net, nil
+	}
+	var opts []node.ClusterOption
+	if tcpAddr != "" {
+		opts = append(opts, node.ClusterTCP(tcpAddr))
+	}
+	cluster, err := node.NewCluster(genesis, opts...)
+	fail(err)
+	defer cluster.Close()
+	stop := cluster.Produce(interval, func(res node.TickResult) {
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "shardsim: block producer:", res.Err)
+		}
+	})
+	defer stop()
+	transport := "in-process channels"
+	if tcpAddr != "" {
+		transport = "TCP via " + tcpAddr
+	}
+	fmt.Fprintf(os.Stderr, "shardsim: JSON-RPC on http://%s/ (workload %q, %d shards, block interval %v, transport %s)\n",
+		addr, w.Name, shards, interval, transport)
+	fail(http.ListenAndServe(addr, rpc.NewServer(cluster.Lookup)))
 }
 
 func split(s string) []string {

@@ -19,9 +19,22 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
+)
+
+// Typed parse failures: callers (flag handling, config loaders) can
+// errors.Is against these instead of matching message text.
+var (
+	// ErrBadSpec marks a syntactically malformed spec string.
+	ErrBadSpec = errors.New("malformed fault spec")
+	// ErrUnknownKind marks a fault kind the plan does not model.
+	ErrUnknownKind = errors.New("unknown fault kind")
+	// ErrProbRange marks a probability outside [0, 1], a straggle
+	// factor below 1, or kind probabilities that sum past 1.
+	ErrProbRange = errors.New("fault probability out of range")
 )
 
 // Kind enumerates the modeled fault directives.
@@ -80,8 +93,9 @@ type Directive struct {
 
 // Spec parameterises a generated plan: independent per-(epoch, shard)
 // probabilities for each fault kind. Probabilities are cumulative in
-// the order crash, drop, corrupt, straggle and their sum is clamped
-// to 1.
+// the order crash, drop, corrupt, straggle; ParseSpec rejects sums
+// past 1 (ErrProbRange), and Generate clamps them as a last resort
+// for hand-built specs.
 type Spec struct {
 	CrashProb    float64
 	DropProb     float64
@@ -210,14 +224,17 @@ func (p *Plan) At(epoch uint64, shard int) Directive {
 //	42:crash=0.05,drop=0.05,corrupt=0.02,straggle=0.25x8
 //
 // An empty spec after the colon yields the empty plan under that seed.
+// Failures wrap ErrBadSpec, ErrUnknownKind or ErrProbRange; kind
+// probabilities summing past 1 are an ErrProbRange error here, not a
+// silent clamp.
 func ParseSpec(s string) (*Plan, error) {
 	seedStr, specStr, ok := strings.Cut(s, ":")
 	if !ok {
-		return nil, fmt.Errorf("fault spec %q: want seed:kind=prob[,...]", s)
+		return nil, fmt.Errorf("%w: %q: want seed:kind=prob[,...]", ErrBadSpec, s)
 	}
 	seed, err := strconv.ParseInt(seedStr, 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("fault spec seed %q: %v", seedStr, err)
+		return nil, fmt.Errorf("%w: seed %q: %v", ErrBadSpec, seedStr, err)
 	}
 	var spec Spec
 	if strings.TrimSpace(specStr) == "" {
@@ -226,13 +243,13 @@ func ParseSpec(s string) (*Plan, error) {
 	for _, part := range strings.Split(specStr, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
-			return nil, fmt.Errorf("fault spec entry %q: want kind=prob", part)
+			return nil, fmt.Errorf("%w: entry %q: want kind=prob", ErrBadSpec, part)
 		}
 		if key == "straggle" {
 			if pv, fv, hasFactor := strings.Cut(val, "x"); hasFactor {
 				f, err := strconv.ParseFloat(fv, 64)
 				if err != nil || f < 1 {
-					return nil, fmt.Errorf("straggle factor %q: want a number >= 1", fv)
+					return nil, fmt.Errorf("%w: straggle factor %q: want a number >= 1", ErrProbRange, fv)
 				}
 				spec.StraggleFactor = f
 				val = pv
@@ -240,7 +257,7 @@ func ParseSpec(s string) (*Plan, error) {
 		}
 		prob, err := strconv.ParseFloat(val, 64)
 		if err != nil || prob < 0 || prob > 1 {
-			return nil, fmt.Errorf("fault probability %q for %s: want a number in [0,1]", val, key)
+			return nil, fmt.Errorf("%w: %q for %s: want a number in [0,1]", ErrProbRange, val, key)
 		}
 		switch key {
 		case "crash":
@@ -252,8 +269,11 @@ func ParseSpec(s string) (*Plan, error) {
 		case "straggle":
 			spec.StraggleProb = prob
 		default:
-			return nil, fmt.Errorf("unknown fault kind %q (want crash, drop, corrupt or straggle)", key)
+			return nil, fmt.Errorf("%w: %q (want crash, drop, corrupt or straggle)", ErrUnknownKind, key)
 		}
+	}
+	if sum := spec.CrashProb + spec.DropProb + spec.CorruptProb + spec.StraggleProb; sum > 1 {
+		return nil, fmt.Errorf("%w: kind probabilities sum to %g, want <= 1", ErrProbRange, sum)
 	}
 	return Generate(seed, spec), nil
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -128,10 +129,34 @@ func TestParseSpec(t *testing.T) {
 	if p2, err := ParseSpec("7:"); err != nil || !p2.Empty() {
 		t.Errorf("empty spec: plan %v err %v", p2, err)
 	}
-	for _, bad := range []string{"", "x:crash=0.1", "1:crash", "1:crash=2", "1:flood=0.1", "1:straggle=0.1x0.5"} {
-		if _, err := ParseSpec(bad); err == nil {
-			t.Errorf("ParseSpec(%q) accepted", bad)
+	for _, tc := range []struct {
+		spec string
+		want error
+	}{
+		{"", ErrBadSpec},                       // no seed separator
+		{"x:crash=0.1", ErrBadSpec},            // non-numeric seed
+		{"1:crash", ErrBadSpec},                // no probability
+		{"1:crash=2", ErrProbRange},            // probability > 1
+		{"1:crash=-0.1", ErrProbRange},         // probability < 0
+		{"1:crash=abc", ErrProbRange},          // non-numeric probability
+		{"1:flood=0.1", ErrUnknownKind},        // unmodeled kind
+		{"1:straggle=0.1x0.5", ErrProbRange},   // factor < 1
+		{"1:straggle=0.1xzz", ErrProbRange},    // non-numeric factor
+		{"1:crash=0.6,drop=0.6", ErrProbRange}, // kinds sum past 1
+	} {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", tc.spec)
+			continue
 		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("ParseSpec(%q) = %v, want %v", tc.spec, err, tc.want)
+		}
+	}
+	// A spec whose kinds sum to exactly 1 is the boundary case and
+	// stays legal.
+	if _, err := ParseSpec("1:crash=0.5,drop=0.5"); err != nil {
+		t.Errorf("ParseSpec at sum == 1: %v", err)
 	}
 }
 

@@ -1,0 +1,188 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cosplit/internal/shard"
+)
+
+// Genesis deterministically provisions one network replica: accounts,
+// contracts, any setup transactions. Every node in a cluster runs it
+// independently, so it must be a pure function of its own inputs — the
+// replicas start bit-identical and FinalBlock replay keeps them so.
+type Genesis func() (*shard.Network, error)
+
+// Cluster wires a full node topology over one transport: a DS
+// committee, one shard node per shard of the genesis configuration,
+// and a lookup node.
+type Cluster struct {
+	DS     *DS
+	Shards []*ShardNode
+	Lookup *Lookup
+
+	chanNet *ChanNetwork
+	hub     *TCPHub
+}
+
+// ClusterOption configures a cluster.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	tcpAddr    string
+	dsOpts     []DSOption
+	shardOpts  []ShardOption
+	lookupOpts []LookupOption
+}
+
+// ClusterTCP runs the cluster over TCP sockets through a hub listening
+// on addr ("127.0.0.1:0" for an ephemeral port) instead of the default
+// in-process channel transport.
+func ClusterTCP(addr string) ClusterOption {
+	return func(c *clusterConfig) { c.tcpAddr = addr }
+}
+
+// ClusterDS forwards role options to the DS committee.
+func ClusterDS(opts ...DSOption) ClusterOption {
+	return func(c *clusterConfig) { c.dsOpts = append(c.dsOpts, opts...) }
+}
+
+// ClusterShardNodes forwards role options to every shard node.
+func ClusterShardNodes(opts ...ShardOption) ClusterOption {
+	return func(c *clusterConfig) { c.shardOpts = append(c.shardOpts, opts...) }
+}
+
+// ClusterLookup forwards role options to the lookup node.
+func ClusterLookup(opts ...LookupOption) ClusterOption {
+	return func(c *clusterConfig) { c.lookupOpts = append(c.lookupOpts, opts...) }
+}
+
+// NewCluster provisions and starts a cluster: the DS committee gets
+// the canonical network, each shard node its own genesis replica.
+// Node names are "ds", "shard-<i>", and "lookup".
+func NewCluster(genesis Genesis, opts ...ClusterOption) (*Cluster, error) {
+	var cfg clusterConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	canonical, err := genesis()
+	if err != nil {
+		return nil, fmt.Errorf("node: genesis: %w", err)
+	}
+	numShards := canonical.Config().NumShards
+	shardNames := make([]string, numShards)
+	for i := range shardNames {
+		shardNames[i] = fmt.Sprintf("shard-%d", i)
+	}
+
+	c := &Cluster{}
+	endpoint := func(name string) (Endpoint, error) {
+		if c.hub != nil {
+			return DialTCP(c.hub.Addr(), name)
+		}
+		return c.chanNet.Endpoint(name), nil
+	}
+	if cfg.tcpAddr != "" {
+		if c.hub, err = ListenTCP(cfg.tcpAddr); err != nil {
+			return nil, err
+		}
+	} else {
+		c.chanNet = NewChanNetwork()
+	}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+
+	dsEp, err := endpoint("ds")
+	if err != nil {
+		return fail(err)
+	}
+	ds, err := NewDS("ds", canonical, dsEp, shardNames, append([]DSOption{DSLookups("lookup")}, cfg.dsOpts...)...)
+	if err != nil {
+		return fail(err)
+	}
+	c.DS = ds
+
+	for i, name := range shardNames {
+		replica, err := genesis()
+		if err != nil {
+			return fail(fmt.Errorf("node: genesis for %s: %w", name, err))
+		}
+		ep, err := endpoint(name)
+		if err != nil {
+			return fail(err)
+		}
+		c.Shards = append(c.Shards, NewShard(name, i, replica, ep, "ds", cfg.shardOpts...))
+	}
+
+	lookupEp, err := endpoint("lookup")
+	if err != nil {
+		return fail(err)
+	}
+	c.Lookup = NewLookup("lookup", lookupEp, "ds", cfg.lookupOpts...)
+
+	c.DS.Run()
+	for _, s := range c.Shards {
+		s.Run()
+	}
+	c.Lookup.Run()
+	return c, nil
+}
+
+// Tick drives one epoch through the committee.
+func (c *Cluster) Tick() TickResult { return c.DS.Tick() }
+
+// Produce starts a block producer that ticks the committee every
+// interval (empty epochs produce empty blocks, like a real chain).
+// onTick, if non-nil, observes every result — including transient
+// errors. The returned stop function blocks until the producer exits;
+// call it before Close.
+func (c *Cluster) Produce(interval time.Duration, onTick func(TickResult)) (stop func()) {
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				res := c.Tick()
+				if onTick != nil {
+					onTick(res)
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			wg.Wait()
+		})
+	}
+}
+
+// Close stops every node and the transport.
+func (c *Cluster) Close() {
+	if c.Lookup != nil {
+		c.Lookup.Close()
+	}
+	for _, s := range c.Shards {
+		s.Close()
+	}
+	if c.DS != nil {
+		c.DS.Close()
+	}
+	if c.chanNet != nil {
+		c.chanNet.Close()
+	}
+	if c.hub != nil {
+		c.hub.Close()
+	}
+}

@@ -1,0 +1,370 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cosplit/internal/obs"
+	"cosplit/internal/scilla/value"
+	"cosplit/internal/shard"
+	"cosplit/internal/wire"
+)
+
+// DS is the DS-committee actor: it owns the canonical shard.Network,
+// drives epochs over the wire, and answers lookup-node submissions and
+// state queries. One goroutine processes all inbound frames, so the
+// actor needs no locking around its network.
+//
+// Per epoch the DS dispatches (BeginEpoch), ships each shard its
+// TxBatch, collects MicroBlocks until all shards answered or the
+// collect timeout fires, finalizes (merge + DS execution + consensus),
+// and broadcasts the sealed FinalBlock to every shard node and lookup.
+// A shard whose MicroBlock never arrives — dropped, corrupted, or late
+// — is treated as transport-lost: its batch is requeued and its
+// committee charged a view change, exactly like the modeled
+// DropMicroBlock fault.
+type DS struct {
+	name    string
+	ep      Endpoint
+	net     *shard.Network
+	shards  []string
+	timeout time.Duration
+	m       *linkMetrics
+
+	inbox chan inbound
+	ticks chan tickReq
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	lookups map[string]bool
+}
+
+type inbound struct {
+	from  string
+	frame []byte
+}
+
+type tickReq struct {
+	resp chan TickResult
+}
+
+// TickResult reports one driven epoch.
+type TickResult struct {
+	Stats *shard.EpochStats
+	Root  string
+	Err   error
+}
+
+// DSOption configures a DS actor.
+type DSOption func(*dsConfig)
+
+type dsConfig struct {
+	timeout time.Duration
+	reg     *obs.Registry
+	rec     obs.Recorder
+	faults  *LinkFaults
+	lookups []string
+}
+
+// DSCollectTimeout bounds how long the committee waits for MicroBlocks
+// each epoch before declaring the stragglers transport-lost (default
+// 2s; fault tests shorten it).
+func DSCollectTimeout(d time.Duration) DSOption {
+	return func(c *dsConfig) { c.timeout = d }
+}
+
+// DSObs attaches transport observability: frame trace events on rec
+// and wire.* metrics on reg.
+func DSObs(reg *obs.Registry, rec obs.Recorder) DSOption {
+	return func(c *dsConfig) { c.reg, c.rec = reg, rec }
+}
+
+// DSFaults injects faults into the committee's outbound frames
+// (TxBatches and FinalBlocks).
+func DSFaults(f LinkFaults) DSOption {
+	return func(c *dsConfig) { c.faults = &f }
+}
+
+// DSLookups pre-registers lookup nodes for FinalBlock broadcasts.
+// Lookups are also learned dynamically: any peer that submits or
+// queries gets future broadcasts.
+func DSLookups(names ...string) DSOption {
+	return func(c *dsConfig) { c.lookups = names }
+}
+
+// NewDS builds the committee actor around an existing canonical
+// network (compose shard.NewNetwork(opts...) for its configuration —
+// mempool admission, gas limits, parallelism, recorders). shardNames
+// maps shard index to the peer name executing that shard's queues.
+// Call Run to start it.
+func NewDS(name string, net *shard.Network, ep Endpoint, shardNames []string, opts ...DSOption) (*DS, error) {
+	if len(shardNames) != net.Config().NumShards {
+		return nil, fmt.Errorf("node: %d shard names for %d shards", len(shardNames), net.Config().NumShards)
+	}
+	c := dsConfig{timeout: 2 * time.Second}
+	for _, o := range opts {
+		o(&c)
+	}
+	lep := Instrument(ep, c.rec, c.reg, c.faults).(*link)
+	d := &DS{
+		name:    name,
+		ep:      lep,
+		net:     net,
+		shards:  append([]string(nil), shardNames...),
+		timeout: c.timeout,
+		m:       lep.m,
+		inbox:   make(chan inbound, 4096),
+		ticks:   make(chan tickReq),
+		quit:    make(chan struct{}),
+		lookups: make(map[string]bool),
+	}
+	for _, l := range c.lookups {
+		d.lookups[l] = true
+	}
+	return d, nil
+}
+
+// Net exposes the canonical network (read-only use: state roots,
+// snapshots; the actor goroutine owns all mutation).
+func (d *DS) Net() *shard.Network { return d.net }
+
+// Run starts the actor's receive and processing loops.
+func (d *DS) Run() {
+	d.wg.Add(2)
+	go d.recvLoop()
+	go d.loop()
+}
+
+// Close stops the actor and detaches its endpoint.
+func (d *DS) Close() {
+	select {
+	case <-d.quit:
+	default:
+		close(d.quit)
+	}
+	d.ep.Close()
+	d.wg.Wait()
+}
+
+// Tick drives one epoch and reports its outcome. Safe to call from
+// any goroutine; epochs are serialized by the actor loop.
+func (d *DS) Tick() TickResult {
+	req := tickReq{resp: make(chan TickResult, 1)}
+	select {
+	case d.ticks <- req:
+	case <-d.quit:
+		return TickResult{Err: ErrTransportClosed}
+	}
+	select {
+	case r := <-req.resp:
+		return r
+	case <-d.quit:
+		return TickResult{Err: ErrTransportClosed}
+	}
+}
+
+func (d *DS) recvLoop() {
+	defer d.wg.Done()
+	for {
+		from, frame, err := d.ep.Recv()
+		if err != nil {
+			close(d.inbox)
+			return
+		}
+		select {
+		case d.inbox <- inbound{from, frame}:
+		case <-d.quit:
+			return
+		}
+	}
+}
+
+func (d *DS) loop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case in, ok := <-d.inbox:
+			if !ok {
+				return
+			}
+			d.handleFrame(in, nil, nil)
+		case req := <-d.ticks:
+			d.runEpoch(req)
+		case <-d.quit:
+			return
+		}
+	}
+}
+
+// handleFrame decodes and dispatches one inbound frame. During epoch
+// collection the caller passes blocks/missing so MicroBlocks land in
+// the right slot; outside an epoch stray MicroBlocks are stale
+// (post-timeout arrivals) and are dropped.
+func (d *DS) handleFrame(in inbound, blocks []*shard.MicroBlock, missing *int) {
+	typ, payload, _, err := wire.DecodeFrame(in.frame)
+	if err != nil {
+		d.m.recvErrors.Inc()
+		return
+	}
+	switch typ {
+	case wire.MsgSubmit:
+		s, err := wire.DecodeSubmit(payload)
+		if err != nil {
+			d.m.recvErrors.Inc()
+			return
+		}
+		d.registerLookup(in.from)
+		resp := &wire.SubmitResp{Corr: s.Corr}
+		if id, err := d.net.SubmitTx(s.Tx); err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.ID = id
+		}
+		d.send(in.from, wire.MsgSubmitResp, wire.EncodeSubmitResp(resp))
+	case wire.MsgStateQuery:
+		q, err := wire.DecodeStateQuery(payload)
+		if err != nil {
+			d.m.recvErrors.Inc()
+			return
+		}
+		d.registerLookup(in.from)
+		payload, err := wire.EncodeStateResp(d.stateResp(q))
+		if err != nil {
+			payload, _ = wire.EncodeStateResp(&wire.StateResp{Corr: q.Corr, Err: err.Error()})
+		}
+		d.send(in.from, wire.MsgStateResp, payload)
+	case wire.MsgMicroBlock:
+		if blocks == nil {
+			return // stale: arrived after the collect timeout
+		}
+		mb, err := wire.DecodeMicroBlock(payload)
+		if err != nil {
+			d.m.recvErrors.Inc()
+			return
+		}
+		if mb.Epoch != d.net.Epoch || mb.Shard < 0 || mb.Shard >= len(blocks) || blocks[mb.Shard] != nil {
+			return
+		}
+		blocks[mb.Shard] = mb
+		*missing--
+	default:
+		d.m.recvErrors.Inc()
+	}
+}
+
+func (d *DS) registerLookup(name string) {
+	d.mu.Lock()
+	d.lookups[name] = true
+	d.mu.Unlock()
+}
+
+func (d *DS) lookupNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.lookups))
+	for l := range d.lookups {
+		out = append(out, l)
+	}
+	return out
+}
+
+func (d *DS) send(to string, t wire.MsgType, payload []byte) {
+	_ = d.ep.Send(to, wire.EncodeFrame(t, payload))
+}
+
+// runEpoch drives one epoch over the wire.
+func (d *DS) runEpoch(req tickReq) {
+	run := d.net.BeginEpoch()
+	run.CollectFinalBlock()
+	queues := run.Queues()
+	epoch := run.Epoch()
+	for s, q := range queues {
+		payload, err := wire.EncodeTxBatch(&wire.TxBatch{Epoch: epoch, Shard: s, Txs: q})
+		if err != nil {
+			req.resp <- TickResult{Err: fmt.Errorf("encode tx batch for shard %d: %w", s, err)}
+			return
+		}
+		d.send(d.shards[s], wire.MsgTxBatch, payload)
+	}
+
+	// Collect MicroBlocks; keep serving submissions and queries that
+	// arrive mid-epoch.
+	blocks := make([]*shard.MicroBlock, len(queues))
+	missing := len(queues)
+	timer := time.NewTimer(d.timeout)
+	defer timer.Stop()
+	for missing > 0 {
+		select {
+		case in, ok := <-d.inbox:
+			if !ok {
+				missing = 0
+			} else {
+				d.handleFrame(in, blocks, &missing)
+			}
+		case <-timer.C:
+			missing = 0 // stragglers are transport-lost; FinalizeEpoch requeues them
+		case <-d.quit:
+			req.resp <- TickResult{Err: ErrTransportClosed}
+			return
+		}
+	}
+
+	stats, fb, err := d.net.FinalizeEpoch(run, blocks)
+	if err != nil {
+		req.resp <- TickResult{Err: err}
+		return
+	}
+	if fb != nil {
+		payload, err := wire.EncodeFinalBlock(fb)
+		if err != nil {
+			req.resp <- TickResult{Err: fmt.Errorf("encode final block: %w", err)}
+			return
+		}
+		for _, s := range d.shards {
+			d.send(s, wire.MsgFinalBlock, payload)
+		}
+		for _, l := range d.lookupNames() {
+			d.send(l, wire.MsgFinalBlock, payload)
+		}
+	}
+	req.resp <- TickResult{Stats: stats, Root: d.net.StateRoot()}
+}
+
+// stateResp answers a state query from canonical state.
+func (d *DS) stateResp(q *wire.StateQuery) *wire.StateResp {
+	resp := &wire.StateResp{Corr: q.Corr}
+	if q.Field == "" {
+		acc := d.net.Accounts.Get(q.Addr)
+		if acc == nil {
+			return resp
+		}
+		resp.Found = true
+		resp.Balance = acc.Balance
+		resp.Nonce = acc.Nonce
+		return resp
+	}
+	c := d.net.Contracts.Get(q.Addr)
+	if c == nil {
+		return resp
+	}
+	v, err := c.Snapshot().LoadField(q.Field)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	if q.Key != "" {
+		m, ok := v.(*value.Map)
+		if !ok {
+			resp.Err = fmt.Sprintf("field %s is not a map", q.Field)
+			return resp
+		}
+		if v, ok = m.GetCK(q.Key); !ok {
+			return resp
+		}
+	}
+	resp.Found = true
+	resp.Value = v
+	return resp
+}

@@ -1,0 +1,296 @@
+package node
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/obs"
+	"cosplit/internal/wire"
+)
+
+// Lookup is the client-facing actor: it forwards submissions and state
+// queries to the DS committee over the wire, correlates the responses,
+// and caches receipts from FinalBlock broadcasts so clients can poll
+// commit status without touching the committee. It holds no state
+// replica — it is a light client.
+type Lookup struct {
+	name    string
+	ep      Endpoint
+	ds      string
+	timeout time.Duration
+	m       *linkMetrics
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	corr     uint64
+	submits  map[uint64]chan *wire.SubmitResp
+	queries  map[uint64]chan *wire.StateResp
+	receipts map[uint64]*chain.Receipt
+	epoch    uint64
+	root     string
+	commitCh chan struct{}
+}
+
+// LookupOption configures a Lookup.
+type LookupOption func(*lookupConfig)
+
+type lookupConfig struct {
+	timeout time.Duration
+	reg     *obs.Registry
+	rec     obs.Recorder
+	faults  *LinkFaults
+}
+
+// LookupTimeout bounds how long SubmitTx and GetState wait for the
+// committee's response (default 5s).
+func LookupTimeout(d time.Duration) LookupOption {
+	return func(c *lookupConfig) { c.timeout = d }
+}
+
+// LookupObs attaches transport observability to the node's endpoint.
+func LookupObs(reg *obs.Registry, rec obs.Recorder) LookupOption {
+	return func(c *lookupConfig) { c.reg, c.rec = reg, rec }
+}
+
+// LookupFaults injects faults into the node's outbound frames.
+func LookupFaults(f LinkFaults) LookupOption {
+	return func(c *lookupConfig) { c.faults = &f }
+}
+
+// NewLookup builds a lookup actor talking to the DS peer named ds.
+// Call Run to start it.
+func NewLookup(name string, ep Endpoint, ds string, opts ...LookupOption) *Lookup {
+	c := lookupConfig{timeout: 5 * time.Second}
+	for _, o := range opts {
+		o(&c)
+	}
+	lep := Instrument(ep, c.rec, c.reg, c.faults).(*link)
+	return &Lookup{
+		name:     name,
+		ep:       lep,
+		ds:       ds,
+		timeout:  c.timeout,
+		m:        lep.m,
+		quit:     make(chan struct{}),
+		submits:  make(map[uint64]chan *wire.SubmitResp),
+		queries:  make(map[uint64]chan *wire.StateResp),
+		receipts: make(map[uint64]*chain.Receipt),
+		commitCh: make(chan struct{}),
+	}
+}
+
+// Run starts the actor loop.
+func (l *Lookup) Run() {
+	l.wg.Add(1)
+	go l.loop()
+}
+
+// Close stops the actor and detaches its endpoint.
+func (l *Lookup) Close() {
+	select {
+	case <-l.quit:
+	default:
+		close(l.quit)
+	}
+	l.ep.Close()
+	l.wg.Wait()
+}
+
+func (l *Lookup) loop() {
+	defer l.wg.Done()
+	for {
+		_, frame, err := l.ep.Recv()
+		if err != nil {
+			return
+		}
+		typ, payload, _, err := wire.DecodeFrame(frame)
+		if err != nil {
+			l.m.recvErrors.Inc()
+			continue
+		}
+		switch typ {
+		case wire.MsgSubmitResp:
+			resp, err := wire.DecodeSubmitResp(payload)
+			if err != nil {
+				l.m.recvErrors.Inc()
+				continue
+			}
+			l.mu.Lock()
+			ch := l.submits[resp.Corr]
+			delete(l.submits, resp.Corr)
+			l.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
+		case wire.MsgStateResp:
+			resp, err := wire.DecodeStateResp(payload)
+			if err != nil {
+				l.m.recvErrors.Inc()
+				continue
+			}
+			l.mu.Lock()
+			ch := l.queries[resp.Corr]
+			delete(l.queries, resp.Corr)
+			l.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
+		case wire.MsgFinalBlock:
+			fb, err := wire.DecodeFinalBlock(payload)
+			if err != nil {
+				l.m.recvErrors.Inc()
+				continue
+			}
+			l.mu.Lock()
+			for _, r := range fb.Receipts {
+				l.receipts[r.TxID] = r
+			}
+			if fb.Epoch >= l.epoch {
+				l.epoch = fb.Epoch
+				l.root = fb.StateRoot
+			}
+			close(l.commitCh)
+			l.commitCh = make(chan struct{})
+			l.mu.Unlock()
+		default:
+			l.m.recvErrors.Inc()
+		}
+	}
+}
+
+// SubmitTx submits a transaction through the committee's admission
+// control and returns its assigned id. A committee-side rejection
+// comes back as an error with the admission reason; a lost frame or
+// response surfaces as ErrTimeout.
+func (l *Lookup) SubmitTx(tx *chain.Tx) (uint64, error) {
+	ch := make(chan *wire.SubmitResp, 1)
+	l.mu.Lock()
+	l.corr++
+	corr := l.corr
+	l.submits[corr] = ch
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.submits, corr)
+		l.mu.Unlock()
+	}()
+	payload, err := wire.EncodeSubmit(&wire.Submit{Corr: corr, Tx: tx})
+	if err != nil {
+		return 0, err
+	}
+	if err := l.ep.Send(l.ds, wire.EncodeFrame(wire.MsgSubmit, payload)); err != nil {
+		return 0, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return 0, fmt.Errorf("submit rejected: %s", resp.Err)
+		}
+		return resp.ID, nil
+	case <-time.After(l.timeout):
+		return 0, fmt.Errorf("submit: %w", ErrTimeout)
+	case <-l.quit:
+		return 0, ErrTransportClosed
+	}
+}
+
+// AccountState is a queried account.
+type AccountState struct {
+	Balance *big.Int
+	Nonce   uint64
+}
+
+// GetAccount queries the committee for an account's balance and nonce
+// (found == false when the account does not exist).
+func (l *Lookup) GetAccount(addr chain.Address) (st AccountState, found bool, err error) {
+	resp, err := l.query(&wire.StateQuery{Addr: addr})
+	if err != nil {
+		return AccountState{}, false, err
+	}
+	if !resp.Found {
+		return AccountState{}, false, nil
+	}
+	return AccountState{Balance: resp.Balance, Nonce: resp.Nonce}, true, nil
+}
+
+// GetState queries a contract field, optionally narrowed to one map
+// entry by canonical key. The response's Value is nil when not found.
+func (l *Lookup) GetState(addr chain.Address, field, key string) (*wire.StateResp, error) {
+	return l.query(&wire.StateQuery{Addr: addr, Field: field, Key: key})
+}
+
+func (l *Lookup) query(q *wire.StateQuery) (*wire.StateResp, error) {
+	ch := make(chan *wire.StateResp, 1)
+	l.mu.Lock()
+	l.corr++
+	q.Corr = l.corr
+	l.queries[q.Corr] = ch
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.queries, q.Corr)
+		l.mu.Unlock()
+	}()
+	if err := l.ep.Send(l.ds, wire.EncodeFrame(wire.MsgStateQuery, wire.EncodeStateQuery(q))); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return nil, fmt.Errorf("state query: %s", resp.Err)
+		}
+		return resp, nil
+	case <-time.After(l.timeout):
+		return nil, fmt.Errorf("state query: %w", ErrTimeout)
+	case <-l.quit:
+		return nil, ErrTransportClosed
+	}
+}
+
+// Receipt returns the cached receipt for a transaction id, or nil if
+// it has not committed (or was lost).
+func (l *Lookup) Receipt(id uint64) *chain.Receipt {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.receipts[id]
+}
+
+// WaitReceipt blocks until the transaction's receipt arrives in a
+// FinalBlock broadcast or the deadline passes (returning nil).
+func (l *Lookup) WaitReceipt(id uint64, timeout time.Duration) *chain.Receipt {
+	deadline := time.Now().Add(timeout)
+	for {
+		l.mu.Lock()
+		r := l.receipts[id]
+		ch := l.commitCh
+		l.mu.Unlock()
+		if r != nil {
+			return r
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		case <-l.quit:
+			timer.Stop()
+			return nil
+		}
+	}
+}
+
+// Chain reports the latest finalized epoch and state root seen.
+func (l *Lookup) Chain() (epoch uint64, root string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch, l.root
+}

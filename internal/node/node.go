@@ -1,0 +1,35 @@
+// Package node runs the sharded pipeline as a set of communicating
+// nodes with a real wire boundary between them. Each role — shard
+// node, DS committee, lookup node — is a goroutine-isolated actor that
+// holds its own deterministically provisioned shard.Network replica
+// and talks to its peers exclusively through encoded wire frames over
+// an abstract Transport: an in-process channel switch for tests and
+// benchmarks, or TCP sockets behind the same interface.
+//
+// The epoch protocol mirrors the monolithic pipeline stage for stage:
+//
+//	lookup ──Submit──▶ DS ──TxBatch──▶ shard nodes
+//	shard nodes ──MicroBlock──▶ DS (merge, DS exec, consensus)
+//	DS ──FinalBlock──▶ shard nodes + lookups (replay & verify)
+//
+// Because every hop is encoded bytes, fault injection can drop,
+// corrupt, or delay actual frames (LinkFaults); a missing or
+// undecodable MicroBlock surfaces at the DS as a transport loss and
+// triggers the same requeue-and-view-change recovery as the modeled
+// fault plans. A byte-shipped epoch commits bit-identical state roots
+// to the monolithic shard.Network path (see TestCrossModeStateRoots).
+package node
+
+import "errors"
+
+// Sentinel errors. Wrapped failures are matched with errors.Is.
+var (
+	// ErrTransportClosed reports a send or receive on a closed endpoint.
+	ErrTransportClosed = errors.New("node: transport closed")
+	// ErrUnknownPeer reports a send to a name the transport has no route
+	// for.
+	ErrUnknownPeer = errors.New("node: unknown peer")
+	// ErrTimeout reports a request that received no response in time
+	// (the frame or its reply may have been dropped in transit).
+	ErrTimeout = errors.New("node: request timed out")
+)

@@ -1,0 +1,277 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"cosplit/internal/obs"
+	"cosplit/internal/shard"
+	"cosplit/internal/workload"
+)
+
+// testWorkload is a small FT-transfer population: every node replica
+// provisions it identically (deterministic genesis).
+func testWorkload() *workload.Workload {
+	w := workload.FTTransfer()
+	w.Users = 40
+	return w
+}
+
+func testGenesis(w *workload.Workload) Genesis {
+	return func() (*shard.Network, error) {
+		env, err := workload.Provision(w, true, shard.WithShards(3))
+		if err != nil {
+			return nil, err
+		}
+		return env.Net, nil
+	}
+}
+
+// TestCrossModeStateRoots is the tentpole's acceptance test: the same
+// transaction stream driven through the monolithic shard.Network and
+// through byte-shipped epochs over the channel transport commits
+// bit-identical state roots every epoch.
+func TestCrossModeStateRoots(t *testing.T) {
+	w := testWorkload()
+	envMono, err := workload.Provision(w, true, shard.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second provisioned environment generates the identical stream
+	// for the cluster (same seed, same client-side nonce tracking).
+	envSrc, err := workload.Provision(w, true, shard.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(testGenesis(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const epochs, perEpoch = 5, 25
+	var lastID uint64
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < perEpoch; i++ {
+			idM := envMono.Net.Submit(w.Next(envMono))
+			idC, err := cluster.Lookup.SubmitTx(w.Next(envSrc))
+			if err != nil {
+				t.Fatalf("epoch %d: submit over wire: %v", e, err)
+			}
+			if idM != idC {
+				t.Fatalf("epoch %d: tx id skew: monolithic %d, cluster %d", e, idM, idC)
+			}
+			lastID = idC
+		}
+		if _, err := envMono.Net.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		res := cluster.Tick()
+		if res.Err != nil {
+			t.Fatalf("epoch %d: tick: %v", e, res.Err)
+		}
+		if res.Stats.ViewChanges != 0 {
+			t.Fatalf("epoch %d: unexpected transport losses: %+v", e, res.Stats)
+		}
+		if want := envMono.Net.StateRoot(); res.Root != want {
+			t.Fatalf("epoch %d: state root diverged:\n  cluster    %s\n  monolithic %s", e, res.Root, want)
+		}
+	}
+
+	// Receipts flow back to the lookup via FinalBlock broadcasts and
+	// match the monolithic run's.
+	rc := cluster.Lookup.WaitReceipt(lastID, 5*time.Second)
+	if rc == nil {
+		t.Fatalf("receipt for tx %d never reached the lookup", lastID)
+	}
+	rm := envMono.Net.Receipt(lastID)
+	if rm == nil || rc.Success != rm.Success || rc.Shard != rm.Shard || rc.Epoch != rm.Epoch {
+		t.Fatalf("receipt skew: cluster %+v, monolithic %+v", rc, rm)
+	}
+	if epoch, root := cluster.Lookup.Chain(); epoch == 0 || root == "" {
+		t.Fatalf("lookup chain view empty: epoch %d, root %q", epoch, root)
+	}
+
+	// State queries over the wire agree with canonical state.
+	st, found, err := cluster.Lookup.GetAccount(envSrc.Users[0])
+	if err != nil || !found {
+		t.Fatalf("GetAccount: %v (found=%v)", err, found)
+	}
+	acc := envMono.Net.Accounts.Get(envSrc.Users[0])
+	if st.Balance.Cmp(acc.Balance) != 0 || st.Nonce != acc.Nonce {
+		t.Fatalf("account skew: wire %+v, monolithic %+v", st, acc)
+	}
+	resp, err := cluster.Lookup.GetState(envSrc.Contract, "balances", "")
+	if err != nil || !resp.Found || resp.Value == nil {
+		t.Fatalf("GetState(balances): %+v, %v", resp, err)
+	}
+
+	// After shutdown (which drains in-flight FinalBlocks) every shard
+	// replica converged on the same root, with no skew or divergence.
+	want := cluster.DS.Net().StateRoot()
+	cluster.Close()
+	for _, s := range cluster.Shards {
+		if err := s.Err(); err != nil {
+			t.Errorf("%s: replica error: %v", s.name, err)
+		}
+		if got := s.Net().StateRoot(); got != want {
+			t.Errorf("%s: replica root %s, want %s", s.name, got, want)
+		}
+	}
+}
+
+// TestTransportFaultRecovery drops a third of the shard nodes'
+// outbound frames (their MicroBlocks): the DS committee must requeue
+// the lost batches and eventually commit everything, and the replicas
+// must stay bit-identical to the canonical state.
+func TestTransportFaultRecovery(t *testing.T) {
+	w := testWorkload()
+	envSrc, err := workload.Provision(w, true, shard.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cluster, err := NewCluster(testGenesis(w),
+		ClusterDS(DSCollectTimeout(250*time.Millisecond)),
+		ClusterShardNodes(
+			ShardObs(reg, nil),
+			ShardFaults(LinkFaults{Seed: 42, Drop: 0.35}),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Pace submissions over several epochs: with 3 shards sending one
+	// MicroBlock each per epoch at 35% drop, ten epochs make a dropped
+	// frame (and its recovery) a statistical certainty.
+	const epochs, perEpoch = 10, 4
+	const total = epochs * perEpoch
+	submitted, committed, viewChanges := 0, 0, 0
+	for e := 0; e < 60 && committed < total; e++ {
+		for i := 0; i < perEpoch && submitted < total; i++ {
+			if _, err := cluster.Lookup.SubmitTx(w.Next(envSrc)); err != nil {
+				t.Fatal(err)
+			}
+			submitted++
+		}
+		res := cluster.Tick()
+		if res.Err != nil {
+			t.Fatalf("tick %d: %v", e, res.Err)
+		}
+		committed += res.Stats.Committed
+		viewChanges += res.Stats.ViewChanges
+	}
+	if committed != total {
+		t.Fatalf("committed %d of %d after recovery", committed, total)
+	}
+	if viewChanges == 0 {
+		t.Error("no view changes despite 35% frame drop — faults not injected?")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["wire.frames_dropped"] == 0 {
+		t.Error("wire.frames_dropped = 0")
+	}
+	if snap.Counters["wire.frames_sent"] == 0 {
+		t.Error("wire.frames_sent = 0")
+	}
+
+	want := cluster.DS.Net().StateRoot()
+	cluster.Close()
+	for _, s := range cluster.Shards {
+		if err := s.Err(); err != nil {
+			t.Errorf("%s: replica error: %v", s.name, err)
+		}
+		if got := s.Net().StateRoot(); got != want {
+			t.Errorf("%s: replica root %s, want %s", s.name, got, want)
+		}
+	}
+}
+
+// TestCorruptedFramesRejected corrupts shard MicroBlock payloads in
+// transit: the DS decoder must reject them (transport loss recovery),
+// never misparse them.
+func TestCorruptedFramesRejected(t *testing.T) {
+	w := testWorkload()
+	envSrc, err := workload.Provision(w, true, shard.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(testGenesis(w),
+		ClusterDS(DSCollectTimeout(250*time.Millisecond)),
+		ClusterShardNodes(ShardFaults(LinkFaults{Seed: 7, Corrupt: 0.5})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const epochs, perEpoch = 6, 5
+	const total = epochs * perEpoch
+	submitted, committed := 0, 0
+	for e := 0; e < 60 && committed < total; e++ {
+		for i := 0; i < perEpoch && submitted < total; i++ {
+			if _, err := cluster.Lookup.SubmitTx(w.Next(envSrc)); err != nil {
+				t.Fatal(err)
+			}
+			submitted++
+		}
+		res := cluster.Tick()
+		if res.Err != nil {
+			t.Fatalf("tick %d: %v", e, res.Err)
+		}
+		committed += res.Stats.Committed
+	}
+	if committed != total {
+		t.Fatalf("committed %d of %d under corruption", committed, total)
+	}
+	want := cluster.DS.Net().StateRoot()
+	cluster.Close()
+	for _, s := range cluster.Shards {
+		if err := s.Err(); err != nil {
+			t.Errorf("%s: replica error: %v", s.name, err)
+		}
+		if got := s.Net().StateRoot(); got != want {
+			t.Errorf("%s: replica root %s, want %s", s.name, got, want)
+		}
+	}
+}
+
+// TestTCPClusterSmoke runs a short cluster over real TCP sockets and
+// cross-checks its roots against the monolithic pipeline.
+func TestTCPClusterSmoke(t *testing.T) {
+	w := testWorkload()
+	envMono, err := workload.Provision(w, true, shard.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	envSrc, err := workload.Provision(w, true, shard.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(testGenesis(w), ClusterTCP("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	for e := 0; e < 2; e++ {
+		for i := 0; i < 15; i++ {
+			envMono.Net.Submit(w.Next(envMono))
+			if _, err := cluster.Lookup.SubmitTx(w.Next(envSrc)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := envMono.Net.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		res := cluster.Tick()
+		if res.Err != nil {
+			t.Fatalf("tick %d: %v", e, res.Err)
+		}
+		if want := envMono.Net.StateRoot(); res.Root != want {
+			t.Fatalf("epoch %d: TCP root %s, monolithic %s", e, res.Root, want)
+		}
+	}
+}

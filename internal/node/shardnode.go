@@ -1,0 +1,179 @@
+package node
+
+import (
+	"errors"
+	"sync"
+
+	"cosplit/internal/obs"
+	"cosplit/internal/shard"
+	"cosplit/internal/wire"
+)
+
+// ShardNode executes one shard's queues against a full replica of the
+// network state. The replica is provisioned from the same
+// deterministic genesis as the DS committee's canonical network, so
+// after every applied FinalBlock the two agree bit-for-bit (the
+// replica verifies the block's state root and reports
+// shard.ErrStateDivergence if not).
+//
+// Executing a TxBatch does not mutate the replica: ExecuteShard
+// produces a MicroBlock of deltas, and state only advances when the
+// DS's FinalBlock comes back. A node that misses a FinalBlock (dropped
+// frame) therefore lags an epoch behind and refuses later batches —
+// the DS sees no MicroBlock and requeues, charging the usual
+// transport-loss recovery. Resynchronizing a lagging replica is out of
+// scope; Err reports the first skew or divergence.
+type ShardNode struct {
+	name  string
+	shard int
+	ep    Endpoint
+	net   *shard.Network
+	ds    string
+	m     *linkMetrics
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// ShardOption configures a ShardNode.
+type ShardOption func(*shardConfig)
+
+type shardConfig struct {
+	reg    *obs.Registry
+	rec    obs.Recorder
+	faults *LinkFaults
+}
+
+// ShardObs attaches transport observability to the node's endpoint.
+func ShardObs(reg *obs.Registry, rec obs.Recorder) ShardOption {
+	return func(c *shardConfig) { c.reg, c.rec = reg, rec }
+}
+
+// ShardFaults injects faults into the node's outbound frames (its
+// MicroBlocks to the DS committee).
+func ShardFaults(f LinkFaults) ShardOption {
+	return func(c *shardConfig) { c.faults = &f }
+}
+
+// NewShard builds a shard-node actor executing shard index s on the
+// given replica network, reporting to the DS peer named ds. Call Run
+// to start it.
+func NewShard(name string, s int, replica *shard.Network, ep Endpoint, ds string, opts ...ShardOption) *ShardNode {
+	var c shardConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	lep := Instrument(ep, c.rec, c.reg, c.faults).(*link)
+	return &ShardNode{
+		name:  name,
+		shard: s,
+		ep:    lep,
+		net:   replica,
+		ds:    ds,
+		m:     lep.m,
+		quit:  make(chan struct{}),
+	}
+}
+
+// Net exposes the replica network (for state-root assertions in
+// tests).
+func (s *ShardNode) Net() *shard.Network { return s.net }
+
+// Err returns the first replica error: epoch skew after a missed
+// FinalBlock, or state divergence from the committee.
+func (s *ShardNode) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+func (s *ShardNode) setErr(err error) {
+	s.mu.Lock()
+	if s.lastErr == nil {
+		s.lastErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Run starts the actor loop.
+func (s *ShardNode) Run() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Close stops the actor and detaches its endpoint.
+func (s *ShardNode) Close() {
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	s.ep.Close()
+	s.wg.Wait()
+}
+
+func (s *ShardNode) loop() {
+	defer s.wg.Done()
+	for {
+		from, frame, err := s.ep.Recv()
+		if err != nil {
+			return
+		}
+		typ, payload, _, err := wire.DecodeFrame(frame)
+		if err != nil {
+			s.m.recvErrors.Inc()
+			continue
+		}
+		switch typ {
+		case wire.MsgTxBatch:
+			s.handleBatch(from, payload)
+		case wire.MsgFinalBlock:
+			s.handleFinalBlock(payload)
+		default:
+			s.m.recvErrors.Inc()
+		}
+	}
+}
+
+func (s *ShardNode) handleBatch(from string, payload []byte) {
+	batch, err := wire.DecodeTxBatch(payload)
+	if err != nil {
+		s.m.recvErrors.Inc()
+		return
+	}
+	if batch.Shard != s.shard || batch.Epoch != s.net.Epoch {
+		// Wrong shard, or the replica lags after a missed FinalBlock: a
+		// stale replica must not execute — staying silent makes the DS
+		// treat this shard as transport-lost and requeue the batch.
+		return
+	}
+	mb, err := s.net.ExecuteShard(s.shard, batch.Txs)
+	if err != nil {
+		s.setErr(err)
+		return
+	}
+	enc, err := wire.EncodeMicroBlock(mb)
+	if err != nil {
+		s.setErr(err)
+		return
+	}
+	_ = s.ep.Send(from, wire.EncodeFrame(wire.MsgMicroBlock, enc))
+}
+
+func (s *ShardNode) handleFinalBlock(payload []byte) {
+	fb, err := wire.DecodeFinalBlock(payload)
+	if err != nil {
+		s.m.recvErrors.Inc()
+		return
+	}
+	if err := s.net.ApplyFinalBlock(fb); err != nil {
+		if !errors.Is(err, shard.ErrEpochSkew) || fb.Epoch > s.net.Epoch {
+			// Re-delivered old blocks are harmless; lagging behind or
+			// diverging is not.
+			s.setErr(err)
+		}
+	}
+}

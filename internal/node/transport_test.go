@@ -1,0 +1,243 @@
+package node
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cosplit/internal/obs"
+	"cosplit/internal/wire"
+)
+
+func TestChanNetworkDelivers(t *testing.T) {
+	n := NewChanNetwork()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	frame := wire.EncodeFrame(wire.MsgSubmitResp, []byte{1, 2, 3})
+	if err := a.Send("b", frame); err != nil {
+		t.Fatal(err)
+	}
+	from, got, err := b.Recv()
+	if err != nil || from != "a" || !bytes.Equal(got, frame) {
+		t.Fatalf("Recv = %q, %x, %v", from, got, err)
+	}
+	if err := a.Send("nobody", frame); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("send to unknown peer: %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestChanNetworkCloseDrainsQueued(t *testing.T) {
+	n := NewChanNetwork()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	f1 := wire.EncodeFrame(wire.MsgTx, []byte{1})
+	f2 := wire.EncodeFrame(wire.MsgTx, []byte{2})
+	if err := a.Send("b", f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", f2); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	// Frames queued before the close still drain, then the endpoint
+	// reports closure.
+	for _, want := range [][]byte{f1, f2} {
+		if _, got, err := b.Recv(); err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("drain after close: %x, %v", got, err)
+		}
+	}
+	if _, _, err := b.Recv(); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("recv after drain: %v, want ErrTransportClosed", err)
+	}
+	if err := a.Send("b", f1); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("send to closed: %v, want ErrTransportClosed", err)
+	}
+}
+
+func TestChanNetworkCloseUnblocksRecv(t *testing.T) {
+	n := NewChanNetwork()
+	a := n.Endpoint("a")
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTransportClosed) {
+			t.Fatalf("recv unblocked with %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+// sinkEndpoint records sends for the link tests.
+type sinkEndpoint struct {
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (s *sinkEndpoint) Name() string { return "sink" }
+func (s *sinkEndpoint) Send(to string, frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames = append(s.frames, append([]byte(nil), frame...))
+	return nil
+}
+func (s *sinkEndpoint) Recv() (string, []byte, error) { return "", nil, ErrTransportClosed }
+func (s *sinkEndpoint) Close() error                  { return nil }
+
+func (s *sinkEndpoint) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frames)
+}
+
+func TestLinkFaultsDeterministic(t *testing.T) {
+	frame := wire.EncodeFrame(wire.MsgTx, bytes.Repeat([]byte{7}, 32))
+	run := func() (delivered int, dropped, corrupted int64) {
+		sink := &sinkEndpoint{}
+		reg := obs.NewRegistry()
+		ep := Instrument(sink, nil, reg, &LinkFaults{Seed: 99, Drop: 0.3, Corrupt: 0.2})
+		for i := 0; i < 200; i++ {
+			if err := ep.Send("x", frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := reg.Snapshot()
+		return sink.count(), snap.Counters["wire.frames_dropped"], snap.Counters["wire.frames_corrupted"]
+	}
+	d1, drop1, cor1 := run()
+	d2, drop2, cor2 := run()
+	if d1 != d2 || drop1 != drop2 || cor1 != cor2 {
+		t.Fatalf("same seed, different schedules: (%d,%d,%d) vs (%d,%d,%d)", d1, drop1, cor1, d2, drop2, cor2)
+	}
+	if drop1 == 0 || cor1 == 0 {
+		t.Fatalf("expected both fault kinds over 200 frames: drops=%d corruptions=%d", drop1, cor1)
+	}
+	if d1+int(drop1) != 200 {
+		t.Fatalf("delivered %d + dropped %d != 200", d1, drop1)
+	}
+}
+
+func TestLinkCorruptionKeepsHeaderIntact(t *testing.T) {
+	sink := &sinkEndpoint{}
+	// Corrupt every frame.
+	ep := Instrument(sink, nil, nil, &LinkFaults{Seed: 1, Corrupt: 1})
+	payload := bytes.Repeat([]byte{0xAA}, 16)
+	frame := wire.EncodeFrame(wire.MsgTx, payload)
+	if err := ep.Send("x", frame); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.frames[0]
+	if bytes.Equal(got, frame) {
+		t.Fatal("frame not corrupted")
+	}
+	// Framing survives (stream transports can still relay it) ...
+	if wire.FrameMsgType(got) != wire.MsgTx {
+		t.Fatal("corrupted frame lost its type byte")
+	}
+	if raw, err := wire.ReadRawFrame(bytes.NewReader(got)); err != nil || !bytes.Equal(raw, got) {
+		t.Fatalf("corrupted frame lost its framing: %v", err)
+	}
+	// ... but the consumer's checksum rejects the payload.
+	if _, _, _, err := wire.DecodeFrame(got); !errors.Is(err, wire.ErrDecode) {
+		t.Fatalf("corrupted frame decoded: %v", err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != frame[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestLinkEmitsFrameEvents(t *testing.T) {
+	var buf bytes.Buffer
+	j := obs.NewJournal(&buf)
+	sink := &sinkEndpoint{}
+	ep := Instrument(sink, j, nil, &LinkFaults{Seed: 3, Drop: 1})
+	ep.Send("peer", wire.EncodeFrame(wire.MsgMicroBlock, []byte{1}))
+	j.Close()
+	if !bytes.Contains(buf.Bytes(), []byte(`"event":"frame_dropped"`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"msg":"micro_block"`)) {
+		t.Fatalf("journal missing frame_dropped event:\n%s", buf.String())
+	}
+}
+
+func TestTCPHubSwitchesFrames(t *testing.T) {
+	hub, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, err := DialTCP(hub.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := DialTCP(hub.Addr(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	frame := wire.EncodeFrame(wire.MsgStateQuery, bytes.Repeat([]byte{9}, 64))
+	if err := a.Send("b", frame); err != nil {
+		t.Fatal(err)
+	}
+	from, got, err := b.Recv()
+	if err != nil || from != "a" || !bytes.Equal(got, frame) {
+		t.Fatalf("Recv = %q, %d bytes, %v", from, len(got), err)
+	}
+	// Reply path.
+	if err := b.Send("a", frame); err != nil {
+		t.Fatal(err)
+	}
+	if from, _, err = a.Recv(); err != nil || from != "b" {
+		t.Fatalf("reply Recv = %q, %v", from, err)
+	}
+	// A corrupted payload still crosses the hub: only headers are
+	// validated in transit.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0xff
+	if err := a.Send("b", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err = b.Recv(); err != nil || !bytes.Equal(got, bad) {
+		t.Fatalf("corrupted frame did not pass through: %v", err)
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	hub, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, err := DialTCP(hub.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTransportClosed) {
+			t.Fatalf("recv unblocked with %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}

@@ -210,10 +210,50 @@ func TestNopRecorderZeroAllocs(t *testing.T) {
 		rec.TxPoolRejected(1, 9, "pool full")
 		rec.TxEvicted(1, 10, "age")
 		rec.MempoolDrained(1, 100, 5, 1, time.Millisecond)
+		rec.FrameSent("shard-0", "ds", "micro_block", 512)
+		rec.FrameDropped("shard-0", "ds", "micro_block", 512)
+		rec.FrameCorrupted("ds", "shard-1", "tx_batch", 128)
 		rec.EpochFinalized(summary)
 	})
 	if allocs != 0 {
 		t.Errorf("Nop recorder allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestJournalFrameEvents covers the transport-layer events: they carry
+// node names and frame sizes instead of an epoch.
+func TestJournalFrameEvents(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.FrameSent("ds", "shard-0", "tx_batch", 128)
+	j.FrameDropped("shard-0", "ds", "micro_block", 512)
+	j.FrameCorrupted("ds", "lookup", "final_block", 2048)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	wantEvents := []string{"frame_sent", "frame_dropped", "frame_corrupted"}
+	wantBytes := []float64{128, 512, 2048}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if m["event"] != wantEvents[i] {
+			t.Errorf("line %d event = %v, want %s", i, m["event"], wantEvents[i])
+		}
+		if m["bytes"] != wantBytes[i] {
+			t.Errorf("line %d bytes = %v, want %v", i, m["bytes"], wantBytes[i])
+		}
+		if _, hasEpoch := m["epoch"]; hasEpoch {
+			t.Errorf("line %d carries an epoch field; frame events must not", i)
+		}
+		if m["from"] == "" || m["to"] == "" || m["msg"] == "" {
+			t.Errorf("line %d missing from/to/msg: %s", i, line)
+		}
 	}
 }
 

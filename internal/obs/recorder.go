@@ -136,6 +136,19 @@ type Recorder interface {
 	// (compiled=false means it will run on the interpreter fallback)
 	// and whether the compiled form engaged the fused Option fast path.
 	TransitionCompiled(epoch uint64, contract, transition string, compiled, fastPath bool)
+	// FrameSent reports one encoded frame leaving a node over a
+	// transport link. msg is the wire message type label and bytes the
+	// full frame size. Transport events carry node names, not epochs —
+	// links outlive epochs and the transport layer does not parse
+	// payloads.
+	FrameSent(from, to, msg string, bytes int)
+	// FrameDropped reports a frame discarded in flight by the
+	// fault-injecting link layer; the receiver never sees it.
+	FrameDropped(from, to, msg string, bytes int)
+	// FrameCorrupted reports a frame whose payload bytes were flipped in
+	// flight; the receiver sees the damaged frame and its decoder is
+	// expected to reject it.
+	FrameCorrupted(from, to, msg string, bytes int)
 	// EpochFinalized is the last event of an epoch and carries the full
 	// per-stage summary.
 	EpochFinalized(s EpochSummary)
@@ -196,6 +209,15 @@ func (Nop) MempoolDrained(epoch uint64, batch, remaining, parked int, took time.
 
 // TransitionCompiled implements Recorder.
 func (Nop) TransitionCompiled(epoch uint64, contract, transition string, compiled, fastPath bool) {}
+
+// FrameSent implements Recorder.
+func (Nop) FrameSent(from, to, msg string, bytes int) {}
+
+// FrameDropped implements Recorder.
+func (Nop) FrameDropped(from, to, msg string, bytes int) {}
+
+// FrameCorrupted implements Recorder.
+func (Nop) FrameCorrupted(from, to, msg string, bytes int) {}
 
 // EpochFinalized implements Recorder.
 func (Nop) EpochFinalized(s EpochSummary) {}
@@ -341,6 +363,27 @@ func (m multi) MempoolDrained(epoch uint64, batch, remaining, parked int, took t
 func (m multi) TransitionCompiled(epoch uint64, contract, transition string, compiled, fastPath bool) {
 	for _, r := range m {
 		r.TransitionCompiled(epoch, contract, transition, compiled, fastPath)
+	}
+}
+
+// FrameSent implements Recorder.
+func (m multi) FrameSent(from, to, msg string, bytes int) {
+	for _, r := range m {
+		r.FrameSent(from, to, msg, bytes)
+	}
+}
+
+// FrameDropped implements Recorder.
+func (m multi) FrameDropped(from, to, msg string, bytes int) {
+	for _, r := range m {
+		r.FrameDropped(from, to, msg, bytes)
+	}
+}
+
+// FrameCorrupted implements Recorder.
+func (m multi) FrameCorrupted(from, to, msg string, bytes int) {
+	for _, r := range m {
+		r.FrameCorrupted(from, to, msg, bytes)
 	}
 }
 

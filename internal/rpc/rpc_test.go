@@ -1,0 +1,188 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cosplit/internal/node"
+	"cosplit/internal/shard"
+	"cosplit/internal/workload"
+)
+
+// startCluster brings up a channel-transport cluster with a block
+// producer and a JSON-RPC server in front of its lookup node.
+func startCluster(t *testing.T, w *workload.Workload) (*node.Cluster, *httptest.Server) {
+	t.Helper()
+	genesis := func() (*shard.Network, error) {
+		env, err := workload.Provision(w, true, shard.WithShards(3))
+		if err != nil {
+			return nil, err
+		}
+		return env.Net, nil
+	}
+	cluster, err := node.NewCluster(genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := cluster.Produce(10*time.Millisecond, func(res node.TickResult) {
+		if res.Err != nil {
+			t.Errorf("produce: %v", res.Err)
+		}
+	})
+	srv := httptest.NewServer(NewServer(cluster.Lookup))
+	t.Cleanup(func() {
+		srv.Close()
+		stop()
+		cluster.Close()
+	})
+	return cluster, srv
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	w := workload.FTTransfer()
+	w.Users = 40
+	envSrc, err := workload.Provision(w, true, shard.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startCluster(t, w)
+	c := NewClient(srv.URL)
+
+	// Submit through the front door and wait for the receipt.
+	tx := w.Next(envSrc)
+	id, err := c.SendTx(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rc *ReceiptResult
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if rc, err = c.GetReceipt(id); err != nil {
+			t.Fatal(err)
+		}
+		if rc != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rc == nil {
+		t.Fatalf("tx %d: no receipt", id)
+	}
+	if !rc.Success || rc.TxID != id {
+		t.Fatalf("receipt: %+v", rc)
+	}
+
+	// Reads agree with the canonical chain.
+	info, err := c.ChainInfo()
+	if err != nil || info.Epoch == 0 || info.StateRoot == "" {
+		t.Fatalf("chainInfo: %+v, %v", info, err)
+	}
+	bal, err := c.GetBalance(envSrc.Users[0])
+	if err != nil || !bal.Found || bal.Balance == "" {
+		t.Fatalf("getBalance: %+v, %v", bal, err)
+	}
+	st, err := c.GetState(envSrc.Contract, "balances", "")
+	if err != nil || !st.Found || st.Value == "" {
+		t.Fatalf("getState: %+v, %v", st, err)
+	}
+	if _, err := c.GetBalance(envSrc.Contract); err != nil {
+		t.Fatalf("getBalance(contract): %v", err)
+	}
+}
+
+func TestRPCErrors(t *testing.T) {
+	w := workload.FTTransfer()
+	w.Users = 10
+	_, srv := startCluster(t, w)
+
+	post := func(body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(srv.URL, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	rpcCode := func(out map[string]any) float64 {
+		t.Helper()
+		e, ok := out["error"].(map[string]any)
+		if !ok {
+			t.Fatalf("no error in %v", out)
+		}
+		return e["code"].(float64)
+	}
+
+	if c := rpcCode(post(`{`)); c != codeParse {
+		t.Errorf("parse error code %v", c)
+	}
+	if c := rpcCode(post(`{"jsonrpc":"1.0","id":1,"method":"cosplit_chainInfo","params":[]}`)); c != codeInvalidRequest {
+		t.Errorf("bad version code %v", c)
+	}
+	if c := rpcCode(post(`{"jsonrpc":"2.0","id":1,"method":"cosplit_nope","params":[]}`)); c != codeMethodNotFound {
+		t.Errorf("unknown method code %v", c)
+	}
+	if c := rpcCode(post(`{"jsonrpc":"2.0","id":1,"method":"cosplit_sendRawTransaction","params":["0xzz"]}`)); c != codeInvalidParams {
+		t.Errorf("bad hex code %v", c)
+	}
+	if c := rpcCode(post(`{"jsonrpc":"2.0","id":1,"method":"cosplit_getBalance","params":["0x1234"]}`)); c != codeInvalidParams {
+		t.Errorf("short address code %v", c)
+	}
+
+	// GET is rejected outright.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", resp.StatusCode)
+	}
+}
+
+func TestHammerClosedLoop(t *testing.T) {
+	w := workload.FTTransfer()
+	w.Users = 40
+	_, srv := startCluster(t, w)
+
+	next, err := WorkloadStream(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunHammer(HammerConfig{
+		URL:     srv.URL,
+		Workers: 8,
+		Total:   120,
+		Next:    next,
+		Poll:    2 * time.Millisecond,
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers submit concurrently, so same-sender transfers can commit
+	// out of stream order and a few may fail on transiently overdrawn
+	// balances — but every submission must come back with a receipt.
+	if rep.Committed+rep.Failed != 120 || rep.Lost != 0 || rep.Rejected != 0 {
+		t.Fatalf("hammer report: %+v", rep)
+	}
+	if rep.Committed < 110 {
+		t.Fatalf("only %d of 120 committed successfully: %+v", rep.Committed, rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Fatalf("latency percentiles inconsistent: %+v", rep)
+	}
+	var buf bytes.Buffer
+	PrintHammer(&buf, rep)
+	if !strings.Contains(buf.String(), "p99") {
+		t.Fatalf("PrintHammer output: %q", buf.String())
+	}
+}

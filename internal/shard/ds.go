@@ -21,8 +21,10 @@ const maxCallDepth = 8
 // inter-contract calls. As in the shard path, the FinalBlock never
 // commits past its gas limit: a transaction that cannot fit in the
 // remaining epoch gas is deferred (with the rest of the queue) rather
-// than allowed to overshoot the cap.
-func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*chain.Tx) {
+// than allowed to overshoot the cap. The receipts it recorded are also
+// returned in execution order so FinalizeEpoch can ship them in a
+// FinalBlock.
+func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*chain.Tx, receipts []*chain.Receipt) {
 	var gasUsed uint64
 	// The DS committee owns the canonical state during this phase; it
 	// works on per-contract mutable copies taken once per epoch and
@@ -43,6 +45,7 @@ func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*c
 		rec.Epoch = n.Epoch
 		gasUsed += rec.GasUsed
 		n.record(rec)
+		receipts = append(receipts, rec)
 		if rec.Success {
 			committed++
 		} else {
@@ -52,7 +55,7 @@ func (n *Network) runDS(queue []*chain.Tx) (committed, failed int, deferred []*c
 	for addr, st := range working {
 		n.Contracts.Get(addr).ReplaceState(st)
 	}
-	return committed, failed, deferred
+	return committed, failed, deferred, receipts
 }
 
 // workingState returns the DS committee's mutable copy of a contract's

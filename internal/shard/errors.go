@@ -33,4 +33,10 @@ var (
 	// ErrCallDepthExceeded aborts a DS-committee message chain nested
 	// deeper than maxCallDepth.
 	ErrCallDepthExceeded = errors.New("call depth exceeded")
+	// ErrEpochSkew rejects a FinalBlock applied to a replica that is
+	// not at the block's epoch.
+	ErrEpochSkew = errors.New("final block epoch skew")
+	// ErrStateDivergence rejects a FinalBlock whose state root
+	// disagrees with the replica's after replay.
+	ErrStateDivergence = errors.New("replica state root diverged from final block")
 )

@@ -300,9 +300,70 @@ func (n *Network) epochQueues() ([][]*chain.Tx, []*chain.Tx) {
 	return n.queueBuf, n.dsQueueBuf[:0]
 }
 
-// RunEpoch processes the current mempool through one full epoch and
-// returns its statistics.
-func (n *Network) RunEpoch() (*EpochStats, error) {
+// EpochRun carries one epoch's in-flight pipeline state between the
+// public stages BeginEpoch, ExecuteShard and FinalizeEpoch. The
+// monolithic RunEpoch drives all three in-process; the node runtime
+// (internal/node) runs BeginEpoch and FinalizeEpoch on the DS
+// committee's replica and ships the queues to shard nodes as encoded
+// frames, collecting their MicroBlocks the same way.
+//
+// The queues exposed by Queues and DSQueue alias per-network scratch
+// buffers: they are valid until the network's next BeginEpoch.
+type EpochRun struct {
+	net        *Network
+	stats      *EpochStats
+	sum        obs.EpochSummary
+	queues     [][]*chain.Tx
+	dsQueue    []*chain.Tx
+	anyDown    bool
+	epochStart time.Time
+	workers    int
+	collectFB  bool
+	// rejects are the dispatch-rejection receipts, kept so a collected
+	// FinalBlock carries every receipt of the epoch.
+	rejects []*chain.Receipt
+}
+
+// Epoch returns the epoch this run processes.
+func (r *EpochRun) Epoch() uint64 { return r.stats.Epoch }
+
+// Queues returns the dispatched per-shard queues (valid until the next
+// BeginEpoch).
+func (r *EpochRun) Queues() [][]*chain.Tx { return r.queues }
+
+// DSQueue returns the transactions dispatched to the DS committee
+// (valid until the next BeginEpoch).
+func (r *EpochRun) DSQueue() []*chain.Tx { return r.dsQueue }
+
+// CollectFinalBlock makes FinalizeEpoch assemble and return a
+// FinalBlock for this run. Off by default: the monolithic pipeline
+// commits state in place and has no use for the (state-root hashing)
+// block, so RunEpoch stays as fast as before the node runtime existed.
+func (r *EpochRun) CollectFinalBlock() { r.collectFB = true }
+
+// FinalBlock is the DS committee's per-epoch commitment, broadcast to
+// every node so replicas converge: the raw shard StateDeltas that
+// survived the merge (in shard order), the merged account delta, every
+// receipt of the epoch, the DS committee's own sequential batch
+// (replicas re-execute it — DS execution is deterministic), and the
+// resulting state root for end-to-end verification.
+type FinalBlock struct {
+	Epoch    uint64
+	Deltas   []*chain.StateDelta
+	Accounts *chain.AccountDelta
+	Receipts []*chain.Receipt
+	DSBatch  []*chain.Tx
+	// StateRoot is Network.StateRoot after the epoch fully committed;
+	// replicas reject a block whose replayed root disagrees.
+	StateRoot string
+}
+
+// BeginEpoch starts an epoch: it drains the mempool, dispatches the
+// packet (Sec. 4.3) and returns the run with the per-shard and DS
+// queues routed. Callers execute the queues — ExecuteShard in-process,
+// or remote shard nodes in the node runtime — and hand the MicroBlocks
+// to FinalizeEpoch.
+func (n *Network) BeginEpoch() *EpochRun {
 	n.mu.Lock()
 	pending := n.mempool
 	n.mempool = nil
@@ -315,35 +376,41 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		pending = append(pending, n.pool.DrainEpoch(n.Epoch)...)
 	}
 
-	epochStart := time.Now()
-	stats := &EpochStats{Epoch: n.Epoch, PerShard: make([]int, n.cfg.NumShards)}
-	sum := obs.EpochSummary{Epoch: n.Epoch}
+	run := &EpochRun{
+		net:        n,
+		epochStart: time.Now(),
+		stats:      &EpochStats{Epoch: n.Epoch, PerShard: make([]int, n.cfg.NumShards)},
+		sum:        obs.EpochSummary{Epoch: n.Epoch},
+	}
+	stats := run.stats
 	n.Disp.ResetEpoch()
-	anyDown := n.applyAvailability()
+	run.anyDown = n.applyAvailability()
 
 	// Worker budget for the parallel pipeline: bounded by the host's
 	// GOMAXPROCS so the pool never oversubscribes the machine.
-	workers := 1
+	run.workers = 1
 	if n.cfg.ParallelShards {
-		workers = runtime.GOMAXPROCS(0)
+		run.workers = runtime.GOMAXPROCS(0)
 	}
 
 	// Phase 1: lookup nodes dispatch the packet (Sec. 4.3). Constraint
 	// evaluation fans out over the worker pool; placement is committed
 	// in submission order, so the routing is deterministic.
 	t0 := time.Now()
-	decisions := n.Disp.DispatchAll(pending, workers)
+	decisions := n.Disp.DispatchAll(pending, run.workers)
 	queues, dsQueue := n.epochQueues()
 	for i, tx := range pending {
 		dec := decisions[i]
 		if dec.Rejected {
 			stats.Rejected++
 			n.rec.TxDispatched(n.Epoch, tx.ID, rejectedShard, dec.Reason)
-			n.record(&chain.Receipt{TxID: tx.ID, Success: false, Error: dec.Reason, Shard: rejectedShard, Epoch: n.Epoch})
+			rec := &chain.Receipt{TxID: tx.ID, Success: false, Error: dec.Reason, Shard: rejectedShard, Epoch: n.Epoch}
+			n.record(rec)
+			run.rejects = append(run.rejects, rec)
 			continue
 		}
 		n.rec.TxDispatched(n.Epoch, tx.ID, dec.Shard, dec.Reason)
-		if anyDown && dec.Reason == dispatch.ReasonShardUnavailable {
+		if run.anyDown && dec.Reason == dispatch.ReasonShardUnavailable {
 			stats.Escalated++
 		}
 		if dec.Shard == dispatch.DS {
@@ -353,8 +420,10 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		}
 	}
 	n.dsQueueBuf = dsQueue
-	sum.Dispatch = time.Since(t0)
-	if anyDown {
+	run.queues = queues
+	run.dsQueue = dsQueue
+	run.sum.Dispatch = time.Since(t0)
+	if run.anyDown {
 		n.m.escalatedTxs.Add(int64(stats.Escalated))
 		for s, down := range n.downBuf {
 			if down {
@@ -363,6 +432,15 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 			}
 		}
 	}
+	return run
+}
+
+// RunEpoch processes the current mempool through one full epoch and
+// returns its statistics. It is the monolithic composition of the
+// stage API: BeginEpoch, ExecuteShard over every queue (concurrently
+// when ParallelShards is set), FinalizeEpoch.
+func (n *Network) RunEpoch() (*EpochStats, error) {
+	run := n.BeginEpoch()
 
 	// Phase 2: shards execute their queues — concurrently on a worker
 	// pool bounded by GOMAXPROCS when ParallelShards is set, else
@@ -372,8 +450,8 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	// are distinct machines in the real network).
 	blocks := make([]*MicroBlock, n.cfg.NumShards)
 	errs := make([]error, n.cfg.NumShards)
-	if workers > 1 && n.cfg.NumShards > 1 {
-		poolWorkers := workers
+	if run.workers > 1 && n.cfg.NumShards > 1 {
+		poolWorkers := run.workers
 		if poolWorkers > n.cfg.NumShards {
 			poolWorkers = n.cfg.NumShards
 		}
@@ -388,20 +466,46 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 					if s >= n.cfg.NumShards {
 						return
 					}
-					blocks[s], errs[s] = n.runShard(s, queues[s])
+					blocks[s], errs[s] = n.ExecuteShard(s, run.queues[s])
 				}
 			}()
 		}
 		wg.Wait()
 	} else {
 		for s := 0; s < n.cfg.NumShards; s++ {
-			blocks[s], errs[s] = n.runShard(s, queues[s])
+			blocks[s], errs[s] = n.ExecuteShard(s, run.queues[s])
 		}
 	}
 	for s, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
+	}
+
+	stats, _, err := n.FinalizeEpoch(run, blocks)
+	return stats, err
+}
+
+// FinalizeEpoch completes an epoch begun with BeginEpoch: the DS
+// committee's three-way merge of the surviving MicroBlocks, sequential
+// DS execution of the unsharded queue, the modelled consensus charge,
+// and the epoch counters. blocks is indexed by shard; a nil entry
+// means the shard's MicroBlock never arrived (in the node runtime: its
+// frame was dropped, corrupted, or timed out at the transport layer)
+// and is handled like an injected loss — nothing from the shard
+// commits, its whole batch is requeued, and its committee is charged a
+// view change.
+//
+// The returned FinalBlock is nil unless run.CollectFinalBlock was
+// called.
+func (n *Network) FinalizeEpoch(run *EpochRun, blocks []*MicroBlock) (*EpochStats, *FinalBlock, error) {
+	stats := run.stats
+	sum := run.sum
+	queues, dsQueue := run.queues, run.dsQueue
+
+	var fb *FinalBlock
+	if run.collectFB {
+		fb = &FinalBlock{Epoch: stats.Epoch, Receipts: run.rejects}
 	}
 
 	var allDeltas []*chain.StateDelta
@@ -412,11 +516,31 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	perShardCounts := n.perShardBuf[:n.cfg.NumShards]
 	var faulted []int
 	for s, mb := range blocks {
+		if mb == nil {
+			// The MicroBlock never arrived: in the node runtime its frame
+			// was dropped, corrupted, or timed out at the transport layer.
+			// Handled exactly like an injected loss — nothing from the
+			// shard commits, its whole batch is requeued — except no
+			// execution time is charged (the DS committee cannot observe
+			// how long a vanished shard ran, as with a crash).
+			lost := len(queues[s])
+			n.m.faultDrops.Inc()
+			n.m.faultLostTxs.Add(int64(lost))
+			n.rec.ShardFault(n.Epoch, s, "transport", lost)
+			stats.Lost += lost
+			if n.faultStreak != nil {
+				n.faultStreak[s]++
+			}
+			faulted = append(faulted, s)
+			perShardCounts[s] = 0
+			n.requeue(s, queues[s])
+			continue
+		}
 		d := n.faults.At(n.Epoch, s)
 		switch {
 		case d.Kind == fault.Straggle:
 			// The block seals late but intact: record the injection and
-			// process it like a healthy one (runShard already scaled the
+			// process it like a healthy one (ExecuteShard already scaled the
 			// modeled execution time).
 			n.m.faultStraggles.Inc()
 			n.rec.ShardFault(n.Epoch, s, d.Kind.String(), 0)
@@ -468,6 +592,9 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 				stats.Failed++
 			}
 		}
+		if fb != nil {
+			fb.Receipts = append(fb.Receipts, mb.Receipts...)
+		}
 		perShardCounts[s] = len(mb.Receipts)
 		allDeltas = append(allDeltas, mb.Deltas...)
 		accDelta.Merge(mb.Accounts)
@@ -512,12 +639,12 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		merged := c.Snapshot().Copy()
 		if err := chain.MergeDeltas(merged, byContract[addr]); err != nil {
 			n.m.mergeConflicts.Inc()
-			return nil, fmt.Errorf("epoch %d: %w", n.Epoch, err)
+			return nil, nil, fmt.Errorf("epoch %d: %w", n.Epoch, err)
 		}
 		c.ReplaceState(merged)
 	}
 	if err := n.Accounts.Apply(accDelta); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sum.Merge = time.Since(t1)
 	n.m.mergeContracts.Add(int64(len(addrs)))
@@ -529,7 +656,13 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	// conflicting transactions sequentially on the merged state.
 	t2 := time.Now()
 	n.rec.ShardExecStart(n.Epoch, dispatch.DS, len(dsQueue))
-	dsCommitted, dsFailed, dsDeferred := n.runDS(dsQueue)
+	if fb != nil {
+		// Snapshot the DS batch before execution: dsQueue aliases a
+		// per-network scratch buffer reused next epoch, and replicas
+		// need the exact pre-execution sequence to replay.
+		fb.DSBatch = append([]*chain.Tx(nil), dsQueue...)
+	}
+	dsCommitted, dsFailed, dsDeferred, dsReceipts := n.runDS(dsQueue)
 	sum.DSExec = time.Since(t2)
 	n.rec.ShardExecEnd(n.Epoch, dispatch.DS, sum.DSExec)
 	stats.Committed += dsCommitted
@@ -546,7 +679,7 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 		sum.Consensus = shardRound + dsRound + viewChange
 	}
 	sum.Wall = sum.Dispatch + sum.ExecMax + sum.Merge + sum.DSExec + sum.Consensus
-	sum.Measured = time.Since(epochStart)
+	sum.Measured = time.Since(run.epochStart)
 	stats.WallTime = sum.Wall
 	stats.MeasuredTime = sum.Measured
 
@@ -559,9 +692,77 @@ func (n *Network) RunEpoch() (*EpochStats, error) {
 	n.finishEpochMetrics(sum)
 	n.rec.EpochFinalized(sum)
 
+	if fb != nil {
+		fb.Deltas = allDeltas
+		fb.Accounts = accDelta
+		fb.Receipts = append(fb.Receipts, dsReceipts...)
+		fb.StateRoot = n.StateRoot()
+	}
+
 	n.Epoch++
 	n.BlockNumber++
-	return stats, nil
+	return stats, fb, nil
+}
+
+// ApplyFinalBlock replays a DS-committed epoch on a replica: the
+// three-way delta merge (contracts visited in address order, exactly
+// as FinalizeEpoch merges), the account delta, the shipped receipts,
+// and a deterministic re-execution of the DS batch. The replica's
+// resulting state root must match the block's; a mismatch (a corrupted
+// frame that survived decoding, or replica divergence) fails with
+// ErrStateDivergence and commits nothing further.
+//
+// The replica must be at the block's epoch: it is built from the same
+// deterministic genesis as the DS committee's network and advances
+// only through this method.
+func (n *Network) ApplyFinalBlock(fb *FinalBlock) error {
+	if fb.Epoch != n.Epoch {
+		return fmt.Errorf("apply final block: %w: block epoch %d, replica epoch %d", ErrEpochSkew, fb.Epoch, n.Epoch)
+	}
+	byContract := make(map[chain.Address][]*chain.StateDelta)
+	for _, d := range fb.Deltas {
+		byContract[d.Contract] = append(byContract[d.Contract], d)
+	}
+	addrs := make([]chain.Address, 0, len(byContract))
+	for addr := range byContract {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return bytes.Compare(addrs[i][:], addrs[j][:]) < 0
+	})
+	for _, addr := range addrs {
+		c := n.Contracts.Get(addr)
+		if c == nil {
+			return fmt.Errorf("apply final block epoch %d: %w: contract %s", fb.Epoch, ErrUnknownContract, addr)
+		}
+		merged := c.Snapshot().Copy()
+		if err := chain.MergeDeltas(merged, byContract[addr]); err != nil {
+			return fmt.Errorf("apply final block epoch %d: %w", fb.Epoch, err)
+		}
+		c.ReplaceState(merged)
+	}
+	if fb.Accounts != nil {
+		if err := n.Accounts.Apply(fb.Accounts); err != nil {
+			return fmt.Errorf("apply final block epoch %d: %w", fb.Epoch, err)
+		}
+	}
+	for _, r := range fb.Receipts {
+		n.record(r)
+	}
+	// DS execution produced no deltas on the committee (it commits
+	// directly to canonical state), so replicas re-run the batch; runDS
+	// is deterministic, and the deferred tail is dropped here — the DS
+	// committee requeued it and will ship it in a later block.
+	n.runDS(fb.DSBatch)
+	if fb.StateRoot != "" {
+		if root := n.StateRoot(); root != fb.StateRoot {
+			return fmt.Errorf("apply final block epoch %d: %w: replica root %s, block root %s",
+				fb.Epoch, ErrStateDivergence, root, fb.StateRoot)
+		}
+	}
+	n.Epoch++
+	n.BlockNumber++
+	return nil
 }
 
 // rejectedShard labels receipts and trace events for transactions the
@@ -776,13 +977,16 @@ func (r *shardRun) gasAllowance(sender chain.Address) *big.Int {
 	return half.Div(half, r.scrPrice.SetInt64(int64(r.net.cfg.NumShards-1)))
 }
 
-// runShard executes a shard's transaction queue within the shard gas
-// limit and produces its MicroBlock. With IntraShardWorkers > 1 the
-// batch first attempts the grouped parallel path (groups.go); any
+// ExecuteShard executes one shard's transaction queue within the shard
+// gas limit and produces its MicroBlock. It is the phase-2 stage of
+// the epoch pipeline: RunEpoch calls it for every shard in-process,
+// while the node runtime runs it on each shard node's own replica
+// against a queue received over the wire. With IntraShardWorkers > 1
+// the batch first attempts the grouped parallel path (groups.go); any
 // fallback condition reruns the batch on the sequential path below —
 // both produce bit-identical MicroBlocks when the grouped path
 // completes.
-func (n *Network) runShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
+func (n *Network) ExecuteShard(s int, queue []*chain.Tx) (*MicroBlock, error) {
 	n.rec.ShardExecStart(n.Epoch, s, len(queue))
 	n.m.queueDepth.Observe(int64(len(queue)))
 	directive := n.faults.At(n.Epoch, s)

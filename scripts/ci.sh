@@ -23,6 +23,14 @@ go test ./...
 # parallel-shards vs intra-parallel vs both) alongside the concurrent
 # packages.
 go test -race ./internal/shard/... ./internal/dispatch/... ./internal/mempool/... ./internal/obs/... ./internal/fault/...
+# The node/wire/rpc race run covers the actor cluster end to end,
+# including the TCP-transport smoke (TestTCPClusterSmoke) and the
+# fault-injection recovery tests over real frames.
+go test -race ./internal/wire/... ./internal/node/... ./internal/rpc/...
+# Short fuzz run of the wire decoders beyond the committed corpus: no
+# decoder may panic on hostile bytes, and decode∘encode must stay a
+# fixed point.
+go test -fuzz=FuzzDecoders -fuzztime=10s ./internal/wire/
 # Smoke-test the closed-loop admission path end to end through the CLI.
 go run ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 3 -workloads "FT transfer"
 # Smoke-test the intra-shard parallel executor on the commuting
@@ -42,5 +50,16 @@ go run -race ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 4 -parall
 # internal/scilla/compile and internal/shard.
 go run -race ./cmd/shardsim -parallel -epochs 3 -workloads "FT transfer"
 go run ./cmd/shardsim -no-compile -epochs 3 -workloads "FT transfer"
+# Node-mode smoke: boot the JSON-RPC front door over a cluster whose
+# internal traffic runs on real TCP sockets, hammer it closed-loop,
+# and require every transaction to come back with a receipt (the
+# hammer exits non-zero when nothing commits).
+go build -o /tmp/cosplit-shardsim ./cmd/shardsim
+/tmp/cosplit-shardsim -serve 127.0.0.1:18545 -serve-tcp 127.0.0.1:0 -block-interval 50ms &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+sleep 2
+/tmp/cosplit-shardsim -hammer http://127.0.0.1:18545 -hammer-n 300 -hammer-workers 8
+kill $SERVE_PID
 # After regenerating BENCH_epoch.json, scripts/benchdiff.sh OLD NEW
 # fails on a >10% execute_max regression of the 1-shard sequential row.
