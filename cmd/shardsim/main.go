@@ -20,6 +20,13 @@
 // spec reproduce the same fault schedule bit-for-bit in every
 // execution mode.
 //
+// Persistence: -state-dir attaches the append-only state store.
+// Closed-loop runs (-submit-rate) journal every committed epoch and
+// recover from the directory on restart (-epochs 0 recovers and prints
+// the chain head without driving load); -serve persists every stateful
+// node under per-role subdirectories. -snapshot-every sets the
+// snapshot/compaction cadence.
+//
 // Node mode: -serve addr boots a message-passing node cluster (DS
 // committee, shard nodes, lookup) with a block producer and a
 // JSON-RPC front door; -serve-tcp additionally runs the cluster's
@@ -47,6 +54,7 @@ import (
 	"cosplit/internal/obs"
 	"cosplit/internal/rpc"
 	"cosplit/internal/shard"
+	"cosplit/internal/store"
 	"cosplit/internal/workload"
 )
 
@@ -72,6 +80,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a JSONL epoch-trace journal of every simulated network to this file")
 		metricsOut = flag.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		stateDir   = flag.String("state-dir", "", "persistent state directory: closed-loop runs (-submit-rate, one -workloads entry) journal every epoch and recover on restart; -epochs 0 recovers and prints the chain head without driving load; with -serve every stateful node persists under per-role subdirectories")
+		snapEvery  = flag.Int("snapshot-every", 8, "with -state-dir: full-state snapshot and journal compaction every N committed epochs (0 = journal only, replayed from genesis)")
 		noCompile  = flag.Bool("no-compile", false, "disable the closure-chain compiled executor and run every transition on the AST interpreter (results are bit-identical, only slower)")
 
 		serveAddr = flag.String("serve", "", "serve the JSON-RPC front door on this address (e.g. 127.0.0.1:8545) over a message-passing node cluster")
@@ -159,7 +169,7 @@ func main() {
 
 	switch {
 	case *serveAddr != "":
-		serveRPC(*serveAddr, *serveTCP, *rpcWorkld, *rpcShards, *blockIvl)
+		serveRPC(*serveAddr, *serveTCP, *rpcWorkld, *rpcShards, *blockIvl, *stateDir, *snapEvery)
 	case *hammerURL != "":
 		w, err := workload.ByName(*rpcWorkld)
 		fail(err)
@@ -175,6 +185,51 @@ func main() {
 		})
 		fail(err)
 		rpc.PrintHammer(os.Stdout, rep)
+	case *stateDir != "":
+		// Persistent chain: provision the deterministic genesis, recover
+		// whatever a previous run journaled on top of it, then either
+		// stop (-epochs 0: inspect the recovered head) or resume driving
+		// the closed loop with every committed epoch journaled.
+		names := split(*workloads)
+		if len(names) != 1 {
+			fail(fmt.Errorf("-state-dir persists one workload's chain: pass exactly one -workloads entry, got %d", len(names)))
+		}
+		if *submitRate <= 0 && *epochs != 0 {
+			fail(fmt.Errorf("-state-dir needs -submit-rate (closed-loop run) or -epochs 0 (recover only)"))
+		}
+		w, err := workload.ByName(names[0])
+		fail(err)
+		pcfg := mempool.DefaultConfig()
+		if *mempoolCap > 0 {
+			pcfg.Capacity = *mempoolCap
+		}
+		provOpts := append([]shard.Option{
+			shard.WithShards(4),
+			shard.WithNodesPerShard(*nodes),
+			shard.WithGasLimits(*shardGas, *dsGas),
+			shard.WithParallelism(*parallel),
+			shard.WithMempool(pcfg),
+		}, runOpts...)
+		env, err := workload.Provision(w, true, provOpts...)
+		fail(err)
+		st, err := store.Open(*stateDir, store.WithSnapshotEvery(*snapEvery), store.WithRegistry(reg))
+		fail(err)
+		fail(st.Recover(env.Net))
+		cp := env.Net.Checkpoint()
+		fmt.Printf("state: recovered epoch=%d root=%s\n", cp.Epoch, env.Net.StateRoot())
+		if *epochs == 0 {
+			fail(st.Close())
+			return
+		}
+		env.ResyncNonces()
+		env.Net.AttachStateStore(st)
+		res, err := workload.RunClosedLoopEnv(env, w, *submitRate, *epochs)
+		fail(err)
+		fmt.Printf("closed loop: offered %d admitted %d backpressured %d rejected %d committed %d failed %d depth %d\n",
+			res.Offered, res.Admitted, res.Backpressured, res.Rejected, res.Committed, res.Failed, res.FinalDepth)
+		cp = env.Net.Checkpoint()
+		fmt.Printf("state: final epoch=%d root=%s\n", cp.Epoch, env.Net.StateRoot())
+		fail(st.Close())
 	case *submitRate > 0:
 		pcfg := mempool.DefaultConfig()
 		if *mempoolCap > 0 {
@@ -262,7 +317,7 @@ func main() {
 // JSON-RPC front door until the process is killed. The genesis stays a
 // pure function of the workload and shard count so a hammer process
 // can provision the identical transaction stream on its side.
-func serveRPC(addr, tcpAddr, workloadName string, shards int, interval time.Duration) {
+func serveRPC(addr, tcpAddr, workloadName string, shards int, interval time.Duration, stateDir string, snapEvery int) {
 	w, err := workload.ByName(workloadName)
 	fail(err)
 	genesis := func() (*shard.Network, error) {
@@ -275,6 +330,10 @@ func serveRPC(addr, tcpAddr, workloadName string, shards int, interval time.Dura
 	var opts []node.ClusterOption
 	if tcpAddr != "" {
 		opts = append(opts, node.ClusterTCP(tcpAddr))
+	}
+	if stateDir != "" {
+		opts = append(opts, node.ClusterStateDir(stateDir, snapEvery))
+		fmt.Fprintf(os.Stderr, "shardsim: persisting node state under %s (snapshot every %d epochs)\n", stateDir, snapEvery)
 	}
 	cluster, err := node.NewCluster(genesis, opts...)
 	fail(err)

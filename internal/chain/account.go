@@ -48,6 +48,39 @@ func (as *Accounts) Create(addr Address, balance uint64, isContract bool) {
 	}
 }
 
+// Put installs an account with explicit balance, nonce, and contract
+// flag, replacing any existing entry. Snapshot restore uses it to
+// reconstruct the exact committed table.
+func (as *Accounts) Put(addr Address, balance *big.Int, nonce uint64, isContract bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.m[addr] = &Account{
+		Balance:    new(big.Int).Set(balance),
+		Nonce:      nonce,
+		IsContract: isContract,
+	}
+}
+
+// Range calls f for every account until f returns false. The iteration
+// order is unspecified and f receives the live account — it must not
+// mutate it or retain it past the call (the table's lock is held).
+func (as *Accounts) Range(f func(Address, *Account) bool) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	for a, acc := range as.m {
+		if !f(a, acc) {
+			return
+		}
+	}
+}
+
+// Len returns the number of accounts.
+func (as *Accounts) Len() int {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	return len(as.m)
+}
+
 // Get returns a copy of the account, or nil if absent.
 func (as *Accounts) Get(addr Address) *Account {
 	as.mu.RLock()

@@ -548,3 +548,24 @@ func (o *Overlay) ApplyTo(st *eval.MemState) error {
 	}
 	return nil
 }
+
+// Components calls f for every state component the overlay writes:
+// whole-field overwrites (empty keypath, nil keys) and per-entry map
+// writes (the entry's keypath and key vector). Callers that folded the
+// overlay with ApplyTo use it to re-commit exactly the touched
+// components of an authenticated root.
+func (o *Overlay) Components(f func(field, keypath string, keys []value.Value) error) error {
+	for field := range o.scalars {
+		if err := f(field, "", nil); err != nil {
+			return err
+		}
+	}
+	for field, writes := range o.mapWrites {
+		for kp, e := range writes {
+			if err := f(field, kp, e.keys); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

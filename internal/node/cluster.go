@@ -2,10 +2,12 @@ package node
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"cosplit/internal/shard"
+	"cosplit/internal/store"
 )
 
 // Genesis deterministically provisions one network replica: accounts,
@@ -24,16 +26,19 @@ type Cluster struct {
 
 	chanNet *ChanNetwork
 	hub     *TCPHub
+	stores  []*store.Store
 }
 
 // ClusterOption configures a cluster.
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	tcpAddr    string
-	dsOpts     []DSOption
-	shardOpts  []ShardOption
-	lookupOpts []LookupOption
+	tcpAddr       string
+	dsOpts        []DSOption
+	shardOpts     []ShardOption
+	lookupOpts    []LookupOption
+	stateDir      string
+	snapshotEvery int
 }
 
 // ClusterTCP runs the cluster over TCP sockets through a hub listening
@@ -56,6 +61,17 @@ func ClusterShardNodes(opts ...ShardOption) ClusterOption {
 // ClusterLookup forwards role options to the lookup node.
 func ClusterLookup(opts ...LookupOption) ClusterOption {
 	return func(c *clusterConfig) { c.lookupOpts = append(c.lookupOpts, opts...) }
+}
+
+// ClusterStateDir makes every stateful node persistent: the DS
+// committee journals to dir/ds and each shard node to dir/shard-<i>,
+// snapshotting every `every` committed epochs. On construction each
+// node recovers its replica from its own directory; a shard replica
+// that fell behind the committee (its journal was torn, or its
+// directory is fresh) catches up from the committee's directory and
+// snapshots immediately, so its own journal resumes gap-free.
+func ClusterStateDir(dir string, every int) ClusterOption {
+	return func(c *clusterConfig) { c.stateDir, c.snapshotEvery = dir, every }
 }
 
 // NewCluster provisions and starts a cluster: the DS committee gets
@@ -95,6 +111,30 @@ func NewCluster(genesis Genesis, opts ...ClusterOption) (*Cluster, error) {
 		return nil, err
 	}
 
+	// With a state directory, every stateful node recovers its replica
+	// from its own subdirectory before joining the cluster. The
+	// committee recovers first: its epoch is the yardstick the shard
+	// replicas must reach.
+	openStore := func(sub string, n *shard.Network) (*store.Store, error) {
+		st, err := store.Open(filepath.Join(cfg.stateDir, sub),
+			store.WithSnapshotEvery(cfg.snapshotEvery))
+		if err != nil {
+			return nil, err
+		}
+		c.stores = append(c.stores, st)
+		if err := st.Recover(n); err != nil {
+			return nil, fmt.Errorf("node: recover %s: %w", sub, err)
+		}
+		return st, nil
+	}
+	if cfg.stateDir != "" {
+		st, err := openStore("ds", canonical)
+		if err != nil {
+			return fail(err)
+		}
+		canonical.AttachStateStore(st)
+	}
+
 	dsEp, err := endpoint("ds")
 	if err != nil {
 		return fail(err)
@@ -109,6 +149,34 @@ func NewCluster(genesis Genesis, opts ...ClusterOption) (*Cluster, error) {
 		replica, err := genesis()
 		if err != nil {
 			return fail(fmt.Errorf("node: genesis for %s: %w", name, err))
+		}
+		if cfg.stateDir != "" {
+			st, err := openStore(name, replica)
+			if err != nil {
+				return fail(err)
+			}
+			if replica.Checkpoint().Epoch < canonical.Checkpoint().Epoch {
+				// The replica's own directory is behind the committee
+				// (fresh directory, or a journal torn further back):
+				// catch up from the committee's directory into a fresh
+				// genesis replica, then snapshot immediately so this
+				// node's own journal resumes without a gap.
+				if replica, err = genesis(); err != nil {
+					return fail(fmt.Errorf("node: genesis for %s: %w", name, err))
+				}
+				if err := store.Restore(filepath.Join(cfg.stateDir, "ds"), replica); err != nil {
+					return fail(fmt.Errorf("node: catch up %s from ds: %w", name, err))
+				}
+				if err := st.Snapshot(replica); err != nil {
+					return fail(fmt.Errorf("node: catch up %s: %w", name, err))
+				}
+			}
+			// NextTxID is excluded: only the committee assigns ids, so a
+			// replica's stays wherever genesis left it.
+			if rc, cc := replica.Checkpoint(), canonical.Checkpoint(); rc.Epoch != cc.Epoch || rc.BlockNumber != cc.BlockNumber {
+				return fail(fmt.Errorf("node: %s recovered to %+v, committee at %+v", name, rc, cc))
+			}
+			replica.AttachStateStore(st)
 		}
 		ep, err := endpoint(name)
 		if err != nil {
@@ -184,5 +252,10 @@ func (c *Cluster) Close() {
 	}
 	if c.hub != nil {
 		c.hub.Close()
+	}
+	// Stores close after the nodes: the last applied FinalBlocks are
+	// journaled by the node goroutines, which have all drained by now.
+	for _, st := range c.stores {
+		st.Close()
 	}
 }

@@ -15,7 +15,10 @@ import (
 // queries to the DS committee over the wire, correlates the responses,
 // and caches receipts from FinalBlock broadcasts so clients can poll
 // commit status without touching the committee. It holds no state
-// replica — it is a light client.
+// replica — it is a light client. The receipt cache is bounded
+// (LookupReceiptCap): oldest receipts are evicted first, so a
+// long-running lookup's memory stays flat no matter how many epochs
+// flow past it.
 type Lookup struct {
 	name    string
 	ep      Endpoint
@@ -26,24 +29,32 @@ type Lookup struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	mu       sync.Mutex
-	corr     uint64
-	submits  map[uint64]chan *wire.SubmitResp
-	queries  map[uint64]chan *wire.StateResp
-	receipts map[uint64]*chain.Receipt
-	epoch    uint64
-	root     string
-	commitCh chan struct{}
+	mu         sync.Mutex
+	corr       uint64
+	submits    map[uint64]chan *wire.SubmitResp
+	queries    map[uint64]chan *wire.StateResp
+	receipts   map[uint64]*chain.Receipt
+	receiptCap int
+	// receiptOrder[receiptHead:] lists cached tx ids oldest-first; the
+	// head index advances on eviction and the backing array is compacted
+	// once the dead prefix passes half, keeping it bounded too.
+	receiptOrder  []uint64
+	receiptHead   int
+	receiptsGauge *obs.Gauge
+	epoch         uint64
+	root          string
+	commitCh      chan struct{}
 }
 
 // LookupOption configures a Lookup.
 type LookupOption func(*lookupConfig)
 
 type lookupConfig struct {
-	timeout time.Duration
-	reg     *obs.Registry
-	rec     obs.Recorder
-	faults  *LinkFaults
+	timeout    time.Duration
+	reg        *obs.Registry
+	rec        obs.Recorder
+	faults     *LinkFaults
+	receiptCap int
 }
 
 // LookupTimeout bounds how long SubmitTx and GetState wait for the
@@ -62,25 +73,42 @@ func LookupFaults(f LinkFaults) LookupOption {
 	return func(c *lookupConfig) { c.faults = &f }
 }
 
+// LookupReceiptCap bounds the receipt cache to the n most recent
+// receipts (default 100000). Older receipts are evicted FIFO; a client
+// that polls too late simply sees nil, exactly as if the receipt's
+// FinalBlock broadcast had been lost.
+func LookupReceiptCap(n int) LookupOption {
+	return func(c *lookupConfig) {
+		if n > 0 {
+			c.receiptCap = n
+		}
+	}
+}
+
 // NewLookup builds a lookup actor talking to the DS peer named ds.
 // Call Run to start it.
 func NewLookup(name string, ep Endpoint, ds string, opts ...LookupOption) *Lookup {
-	c := lookupConfig{timeout: 5 * time.Second}
+	c := lookupConfig{timeout: 5 * time.Second, receiptCap: 100_000}
 	for _, o := range opts {
 		o(&c)
 	}
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
 	lep := Instrument(ep, c.rec, c.reg, c.faults).(*link)
 	return &Lookup{
-		name:     name,
-		ep:       lep,
-		ds:       ds,
-		timeout:  c.timeout,
-		m:        lep.m,
-		quit:     make(chan struct{}),
-		submits:  make(map[uint64]chan *wire.SubmitResp),
-		queries:  make(map[uint64]chan *wire.StateResp),
-		receipts: make(map[uint64]*chain.Receipt),
-		commitCh: make(chan struct{}),
+		name:          name,
+		ep:            lep,
+		ds:            ds,
+		timeout:       c.timeout,
+		m:             lep.m,
+		quit:          make(chan struct{}),
+		submits:       make(map[uint64]chan *wire.SubmitResp),
+		queries:       make(map[uint64]chan *wire.StateResp),
+		receipts:      make(map[uint64]*chain.Receipt),
+		receiptCap:    c.receiptCap,
+		receiptsGauge: c.reg.Gauge("node.lookup_receipts"),
+		commitCh:      make(chan struct{}),
 	}
 }
 
@@ -148,8 +176,21 @@ func (l *Lookup) loop() {
 			}
 			l.mu.Lock()
 			for _, r := range fb.Receipts {
+				if _, known := l.receipts[r.TxID]; !known {
+					l.receiptOrder = append(l.receiptOrder, r.TxID)
+				}
 				l.receipts[r.TxID] = r
 			}
+			for len(l.receipts) > l.receiptCap {
+				delete(l.receipts, l.receiptOrder[l.receiptHead])
+				l.receiptHead++
+			}
+			if l.receiptHead > len(l.receiptOrder)/2 {
+				n := copy(l.receiptOrder, l.receiptOrder[l.receiptHead:])
+				l.receiptOrder = l.receiptOrder[:n]
+				l.receiptHead = 0
+			}
+			l.receiptsGauge.Set(int64(len(l.receipts)))
 			if fb.Epoch >= l.epoch {
 				l.epoch = fb.Epoch
 				l.root = fb.StateRoot

@@ -116,6 +116,7 @@ func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemSta
 			rec.Error = err.Error()
 			return rec, false
 		}
+		n.touchAccountDelta(delta)
 		rec.Success = true
 		return rec, false
 	case chain.TxCall:
@@ -149,6 +150,7 @@ func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemSta
 				rec.Error = aerr.Error()
 				return rec, false
 			}
+			n.touchAccountDelta(d2)
 			rec.Error = err.Error()
 			return rec, false
 		}
@@ -156,15 +158,20 @@ func (n *Network) executeDS(tx *chain.Tx, working map[chain.Address]*eval.MemSta
 			rec.Error = err.Error()
 			return rec, false
 		}
-		// Commit contract state changes into the working copies.
+		n.touchAccountDelta(delta)
+		// Commit contract state changes into the working copies (which
+		// runDS installs as canonical), re-committing each written
+		// component in the root trie.
 		for addr, ov := range overlays {
 			if !ov.Touched() {
 				continue
 			}
-			if err := ov.ApplyTo(n.workingState(working, addr)); err != nil {
+			st := n.workingState(working, addr)
+			if err := ov.ApplyTo(st); err != nil {
 				rec.Error = err.Error()
 				return rec, false
 			}
+			n.touchOverlay(addr, ov, st)
 		}
 		rec.Success = true
 		rec.Events = events

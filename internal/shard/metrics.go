@@ -59,6 +59,12 @@ type netMetrics struct {
 	compileFallbackRuns *obs.Counter
 	compilePoolRecycles *obs.Counter
 
+	// Authenticated state root: leaves committed in the incremental
+	// trie, and the per-epoch cost of sealing the root into a
+	// FinalBlock (rehash of the dirtied paths only).
+	rootLeaves *obs.Gauge
+	rootTime   *obs.Histogram
+
 	dispatchTime  *obs.Histogram
 	shardExecTime *obs.Histogram // per shard per epoch
 	mergeTime     *obs.Histogram
@@ -103,6 +109,9 @@ func newNetMetrics(reg *obs.Registry) netMetrics {
 		compileGenericRuns:  reg.Counter("compile.generic_runs"),
 		compileFallbackRuns: reg.Counter("compile.fallback_runs"),
 		compilePoolRecycles: reg.Counter("compile.pool_recycles"),
+
+		rootLeaves: reg.Gauge("state.root_leaves"),
+		rootTime:   reg.TimeHistogram("epoch.root_time"),
 
 		dispatchTime:  reg.TimeHistogram("epoch.dispatch_time"),
 		shardExecTime: reg.TimeHistogram("shard.exec_time"),

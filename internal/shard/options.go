@@ -92,6 +92,7 @@ type settings struct {
 	reg     *obs.Registry
 	poolCfg *mempool.Config
 	faults  *fault.Plan
+	store   StateStore
 }
 
 // Option configures a Network at construction time. The zero option
@@ -172,6 +173,15 @@ func WithIntraShardParallelism(workers int) Option {
 // is enabled.
 func WithRecorder(rec obs.Recorder) Option {
 	return func(s *settings) { s.recs = append(s.recs, rec) }
+}
+
+// WithStateStore attaches a durability backend: after every committed
+// epoch the network hands it the sealed FinalBlock and post-commit
+// checkpoint (see StateStore). Attaching a store also makes every
+// epoch collect its FinalBlock. Networks built by a shared genesis
+// function can attach one later with AttachStateStore.
+func WithStateStore(st StateStore) Option {
+	return func(s *settings) { s.store = st }
 }
 
 // WithRegistry makes the network count its always-on metrics in reg

@@ -16,8 +16,6 @@ package shard
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/big"
@@ -37,6 +35,7 @@ import (
 	"cosplit/internal/scilla/ast"
 	"cosplit/internal/scilla/eval"
 	"cosplit/internal/scilla/value"
+	"cosplit/internal/trie"
 )
 
 // MicroBlock is a shard's per-epoch output (MB + SD in Fig. 10).
@@ -137,6 +136,16 @@ type Network struct {
 
 	shardModel consensus.PBFTModel
 	dsModel    consensus.PBFTModel
+
+	// roots is the incrementally maintained authenticated state root:
+	// every canonical-state mutation (account create/apply, contract
+	// deploy, delta merge, DS execution) re-commits exactly the touched
+	// components, so StateRoot never re-renders the full state.
+	roots *trie.StateRoots
+	// store is the durability backend (WithStateStore/AttachStateStore;
+	// nil keeps the network memory-only). When attached, every epoch
+	// collects a FinalBlock and hands it to the store after commit.
+	store StateStore
 }
 
 // NewNetwork builds a network. With no options it reproduces the
@@ -181,6 +190,8 @@ func NewNetwork(opts ...Option) *Network {
 		dsModel:    consensus.DefaultModel(s.cfg.NodesPerShard * 2),
 		nextTxID:   1,
 		Epoch:      1,
+		roots:      &trie.StateRoots{},
+		store:      s.store,
 	}
 }
 
@@ -194,6 +205,7 @@ func (n *Network) Snapshot() obs.Snapshot { return n.reg.Snapshot() }
 // CreateUser registers a user account with an initial balance.
 func (n *Network) CreateUser(addr chain.Address, balance uint64) {
 	n.Accounts.Create(addr, balance, false)
+	n.touchAccount(addr)
 }
 
 // DeployContract deploys a contract immediately (deployments are
@@ -212,6 +224,8 @@ func (n *Network) DeployContract(deployer chain.Address, source string,
 	}
 	n.Accounts.Create(addr, 0, true)
 	n.Contracts.Add(c)
+	n.touchAccount(addr)
+	n.roots.PutContractState(addr, c.Snapshot())
 	if c.Compiled != nil {
 		compiled, fallbacks, _ := c.Compiled.CompileCounts()
 		n.m.compilePrograms.Inc()
@@ -229,6 +243,7 @@ func (n *Network) DeployContract(deployer chain.Address, source string,
 	if err := n.Accounts.Apply(d); err != nil {
 		return chain.Address{}, err
 	}
+	n.touchAccount(deployer)
 	return addr, nil
 }
 
@@ -381,6 +396,9 @@ func (n *Network) BeginEpoch() *EpochRun {
 		epochStart: time.Now(),
 		stats:      &EpochStats{Epoch: n.Epoch, PerShard: make([]int, n.cfg.NumShards)},
 		sum:        obs.EpochSummary{Epoch: n.Epoch},
+		// A durable network journals every epoch's FinalBlock, so the
+		// block is always assembled when a store is attached.
+		collectFB: n.store != nil,
 	}
 	stats := run.stats
 	n.Disp.ResetEpoch()
@@ -642,10 +660,12 @@ func (n *Network) FinalizeEpoch(run *EpochRun, blocks []*MicroBlock) (*EpochStat
 			return nil, nil, fmt.Errorf("epoch %d: %w", n.Epoch, err)
 		}
 		c.ReplaceState(merged)
+		n.touchDeltas(addr, byContract[addr], merged)
 	}
 	if err := n.Accounts.Apply(accDelta); err != nil {
 		return nil, nil, err
 	}
+	n.touchAccountDelta(accDelta)
 	sum.Merge = time.Since(t1)
 	n.m.mergeContracts.Add(int64(len(addrs)))
 	n.m.deltaEntries.Observe(int64(stats.DeltaEntries))
@@ -696,11 +716,19 @@ func (n *Network) FinalizeEpoch(run *EpochRun, blocks []*MicroBlock) (*EpochStat
 		fb.Deltas = allDeltas
 		fb.Accounts = accDelta
 		fb.Receipts = append(fb.Receipts, dsReceipts...)
+		t3 := time.Now()
 		fb.StateRoot = n.StateRoot()
+		n.m.rootTime.ObserveDuration(time.Since(t3))
+		n.m.rootLeaves.Set(int64(n.roots.Len()))
 	}
 
 	n.Epoch++
 	n.BlockNumber++
+	if n.store != nil {
+		if err := n.store.EpochCommitted(n, fb, n.Checkpoint()); err != nil {
+			return nil, nil, fmt.Errorf("state store epoch %d: %w", fb.Epoch, err)
+		}
+	}
 	return stats, fb, nil
 }
 
@@ -716,6 +744,21 @@ func (n *Network) FinalizeEpoch(run *EpochRun, blocks []*MicroBlock) (*EpochStat
 // deterministic genesis as the DS committee's network and advances
 // only through this method.
 func (n *Network) ApplyFinalBlock(fb *FinalBlock) error {
+	if err := n.replayFinalBlock(fb); err != nil {
+		return err
+	}
+	if n.store != nil {
+		if err := n.store.EpochCommitted(n, fb, n.Checkpoint()); err != nil {
+			return fmt.Errorf("state store epoch %d: %w", fb.Epoch, err)
+		}
+	}
+	return nil
+}
+
+// replayFinalBlock is the store-agnostic core of ApplyFinalBlock,
+// shared with journal replay during recovery (which must not
+// re-journal the block it is reading).
+func (n *Network) replayFinalBlock(fb *FinalBlock) error {
 	if fb.Epoch != n.Epoch {
 		return fmt.Errorf("apply final block: %w: block epoch %d, replica epoch %d", ErrEpochSkew, fb.Epoch, n.Epoch)
 	}
@@ -740,11 +783,13 @@ func (n *Network) ApplyFinalBlock(fb *FinalBlock) error {
 			return fmt.Errorf("apply final block epoch %d: %w", fb.Epoch, err)
 		}
 		c.ReplaceState(merged)
+		n.touchDeltas(addr, byContract[addr], merged)
 	}
 	if fb.Accounts != nil {
 		if err := n.Accounts.Apply(fb.Accounts); err != nil {
 			return fmt.Errorf("apply final block epoch %d: %w", fb.Epoch, err)
 		}
+		n.touchAccountDelta(fb.Accounts)
 	}
 	for _, r := range fb.Receipts {
 		n.record(r)
@@ -828,27 +873,17 @@ func (n *Network) finishEpochMetrics(sum obs.EpochSummary) {
 	}
 }
 
-// StateRoot hashes the full observable network state: every contract's
-// canonical state (in address order) and every account's balance and
-// nonce (in address order). Two runs of the same workload must agree on
-// it regardless of execution mode — the determinism tests assert this
-// across sequential and parallel epochs.
+// StateRoot returns the authenticated root over the full observable
+// network state: every contract's canonical state and every account's
+// balance and nonce. It reads the incrementally maintained trie — an
+// epoch that changed k components rehashes O(k·depth) trie nodes, not
+// the whole state. Two runs of the same workload must agree on it
+// regardless of execution mode — the determinism tests assert this
+// across sequential and parallel epochs, and the root-equivalence
+// suite checks it against RecomputeStateRoot (a from-scratch render)
+// after every epoch.
 func (n *Network) StateRoot() string {
-	h := sha256.New()
-	cs := n.Contracts.All()
-	sort.Slice(cs, func(i, j int) bool {
-		return bytes.Compare(cs[i].Addr[:], cs[j].Addr[:]) < 0
-	})
-	for _, c := range cs {
-		h.Write(c.Addr[:])
-		h.Write([]byte(chain.StateRoot(c.Snapshot())))
-	}
-	for _, addr := range n.Accounts.Addresses() {
-		acc := n.Accounts.Get(addr)
-		h.Write(addr[:])
-		fmt.Fprintf(h, "%s:%d", acc.Balance, acc.Nonce)
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return n.roots.Root()
 }
 
 func (n *Network) record(r *chain.Receipt) {

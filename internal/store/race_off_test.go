@@ -1,0 +1,8 @@
+//go:build !race
+
+package store
+
+// raceEnabled reports whether the race detector is compiled in; the
+// big-state test skips under it (the detector multiplies memory and
+// runtime far past the test's bounds).
+const raceEnabled = false

@@ -1,0 +1,298 @@
+// Package trie maintains the authenticated state root incrementally: a
+// byte-level path-compressed radix trie whose leaves are 32-byte value
+// hashes and whose root hash commits to the exact key→hash mapping.
+//
+// The structure is canonical: the same key set with the same leaf
+// hashes produces the same root regardless of insertion and deletion
+// order. The invariants that make it so:
+//
+//   - the root node always carries the empty prefix and is never
+//     collapsed or removed;
+//   - every other node with no value has at least two children (a
+//     valueless single-child node is merged into its child on delete);
+//   - child edges are keyed by their first byte, so sibling order is
+//     fixed.
+//
+// Hashes are cached per node and recomputed lazily: mutations mark the
+// touched path dirty, and Root walks only dirty nodes. An epoch that
+// changes k entries therefore rehashes O(k · depth) nodes, not the
+// whole state.
+package trie
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Trie maps byte-string keys to 32-byte leaf hashes. The zero value is
+// an empty trie ready for use. Not safe for concurrent use.
+type Trie struct {
+	root  *node
+	count int
+}
+
+type node struct {
+	prefix   []byte // compressed path below the parent edge
+	val      *[32]byte
+	children map[byte]*node
+	hash     [32]byte
+	dirty    bool
+}
+
+// Len returns the number of keys present.
+func (t *Trie) Len() int { return t.count }
+
+// Get returns the leaf hash stored for key.
+func (t *Trie) Get(key []byte) ([32]byte, bool) {
+	n := t.root
+	for n != nil {
+		if len(key) == 0 {
+			if n.val == nil {
+				return [32]byte{}, false
+			}
+			return *n.val, true
+		}
+		c := n.children[key[0]]
+		if c == nil || commonPrefix(c.prefix, key) != len(c.prefix) {
+			return [32]byte{}, false
+		}
+		key = key[len(c.prefix):]
+		n = c
+	}
+	return [32]byte{}, false
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Put inserts or overwrites the leaf hash for key.
+func (t *Trie) Put(key []byte, h [32]byte) {
+	if t.root == nil {
+		t.root = &node{dirty: true}
+	}
+	t.putAt(t.root, key, h)
+}
+
+// putAt inserts into n's subtree; key is the remainder after n's own
+// prefix has been consumed.
+func (t *Trie) putAt(n *node, key []byte, h [32]byte) {
+	n.dirty = true
+	if len(key) == 0 {
+		if n.val == nil {
+			t.count++
+		}
+		v := h
+		n.val = &v
+		return
+	}
+	c := n.children[key[0]]
+	if c == nil {
+		if n.children == nil {
+			n.children = make(map[byte]*node)
+		}
+		v := h
+		n.children[key[0]] = &node{
+			prefix: append([]byte(nil), key...),
+			val:    &v,
+			dirty:  true,
+		}
+		t.count++
+		return
+	}
+	m := commonPrefix(c.prefix, key)
+	if m == len(c.prefix) {
+		t.putAt(c, key[m:], h)
+		return
+	}
+	// The edge diverges inside c's prefix: split it. c keeps its
+	// subtree (its children's cached hashes stay valid) but its own
+	// hash covers the now-shortened prefix, so it goes dirty.
+	split := &node{
+		prefix:   append([]byte(nil), c.prefix[:m]...),
+		children: make(map[byte]*node, 2),
+		dirty:    true,
+	}
+	c.prefix = append([]byte(nil), c.prefix[m:]...)
+	c.dirty = true
+	split.children[c.prefix[0]] = c
+	n.children[split.prefix[0]] = split
+	t.putAt(split, key[m:], h)
+}
+
+// Delete removes key; it reports whether the key was present.
+func (t *Trie) Delete(key []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	del, _ := t.deleteAt(t.root, key)
+	return del
+}
+
+// deleteAt removes key from n's subtree and reports (deleted,
+// removeSelf); removeSelf asks the caller to unlink n entirely. The
+// root is never unlinked (the top-level caller ignores removeSelf).
+func (t *Trie) deleteAt(n *node, key []byte) (deleted, removeSelf bool) {
+	if len(key) == 0 {
+		if n.val == nil {
+			return false, false
+		}
+		n.val = nil
+		n.dirty = true
+		t.count--
+		return true, len(n.children) == 0
+	}
+	c := n.children[key[0]]
+	if c == nil {
+		return false, false
+	}
+	m := commonPrefix(c.prefix, key)
+	if m != len(c.prefix) {
+		return false, false
+	}
+	del, rm := t.deleteAt(c, key[m:])
+	if !del {
+		return false, false
+	}
+	n.dirty = true
+	if rm {
+		delete(n.children, key[0])
+	} else {
+		collapse(c)
+	}
+	return true, n.val == nil && len(n.children) == 0
+}
+
+// DeletePrefix removes every key that starts with p (p itself
+// included) and returns how many keys were removed. An empty p clears
+// the trie.
+func (t *Trie) DeletePrefix(p []byte) int {
+	if t.root == nil {
+		return 0
+	}
+	if len(p) == 0 {
+		n := t.count
+		t.root = &node{dirty: true}
+		t.count = 0
+		return n
+	}
+	removed, _ := t.deletePrefixAt(t.root, p)
+	return removed
+}
+
+func (t *Trie) deletePrefixAt(n *node, p []byte) (removed int, removeSelf bool) {
+	c := n.children[p[0]]
+	if c == nil {
+		return 0, false
+	}
+	m := commonPrefix(c.prefix, p)
+	switch {
+	case m == len(p):
+		// All of p matched inside c's prefix: c's whole subtree is
+		// under the prefix.
+		sz := subtreeSize(c)
+		delete(n.children, p[0])
+		t.count -= sz
+		removed = sz
+	case m == len(c.prefix):
+		rem, rm := t.deletePrefixAt(c, p[m:])
+		if rem == 0 {
+			return 0, false
+		}
+		if rm {
+			delete(n.children, p[0])
+		} else {
+			collapse(c)
+		}
+		removed = rem
+	default:
+		return 0, false
+	}
+	n.dirty = true
+	return removed, n.val == nil && len(n.children) == 0
+}
+
+// collapse merges a valueless single-child node into its child,
+// restoring the canonical-structure invariant after a delete.
+func collapse(c *node) {
+	if c.val != nil || len(c.children) != 1 {
+		return
+	}
+	var only *node
+	for _, ch := range c.children {
+		only = ch
+	}
+	c.prefix = append(c.prefix, only.prefix...)
+	c.val = only.val
+	c.children = only.children
+	c.dirty = true
+}
+
+func subtreeSize(n *node) int {
+	sz := 0
+	if n.val != nil {
+		sz = 1
+	}
+	for _, c := range n.children {
+		sz += subtreeSize(c)
+	}
+	return sz
+}
+
+// Root returns the trie's root hash, recomputing only nodes dirtied
+// since the last call.
+func (t *Trie) Root() [32]byte {
+	if t.root == nil {
+		t.root = &node{dirty: true}
+	}
+	return t.root.rehash()
+}
+
+// rehash recomputes this node's hash if dirty, recursing only into
+// dirty children (clean subtrees contribute their cached hashes).
+//
+// The preimage is a fixed-shape encoding — marker byte, length-prefixed
+// node prefix, value flag (+hash), child count, then (edge byte, child
+// hash) pairs in ascending edge order — so distinct tries can never
+// collide by concatenation ambiguity.
+func (n *node) rehash() [32]byte {
+	if !n.dirty {
+		return n.hash
+	}
+	var scratch [10]byte
+	h := sha256.New()
+	h.Write([]byte{0x10})
+	h.Write(scratch[:binary.PutUvarint(scratch[:], uint64(len(n.prefix)))])
+	h.Write(n.prefix)
+	if n.val != nil {
+		h.Write([]byte{1})
+		h.Write(n.val[:])
+	} else {
+		h.Write([]byte{0})
+	}
+	h.Write(scratch[:binary.PutUvarint(scratch[:], uint64(len(n.children)))])
+	if len(n.children) > 0 {
+		edges := make([]int, 0, len(n.children))
+		for b := range n.children {
+			edges = append(edges, int(b))
+		}
+		sort.Ints(edges)
+		for _, b := range edges {
+			ch := n.children[byte(b)].rehash()
+			h.Write([]byte{byte(b)})
+			h.Write(ch[:])
+		}
+	}
+	h.Sum(n.hash[:0])
+	n.dirty = false
+	return n.hash
+}

@@ -1,0 +1,230 @@
+package trie
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func leaf(s string) [32]byte { return sha256.Sum256([]byte(s)) }
+
+// rebuild constructs a fresh trie from the model map. Comparing its
+// root with the incrementally maintained trie's proves the structure
+// is canonical: history (insertion order, deletions, splits,
+// collapses) must leave no trace.
+func rebuild(model map[string][32]byte) *Trie {
+	t := &Trie{}
+	for k, v := range model {
+		t.Put([]byte(k), v)
+	}
+	return t
+}
+
+func checkAgainstModel(t *testing.T, tr *Trie, model map[string][32]byte) {
+	t.Helper()
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d keys", tr.Len(), len(model))
+	}
+	for k, want := range model {
+		got, ok := tr.Get([]byte(k))
+		if !ok || got != want {
+			t.Fatalf("Get(%q) = %x ok=%v, want %x", k, got, ok, want)
+		}
+	}
+	if got, want := tr.Root(), rebuild(model).Root(); got != want {
+		t.Fatalf("incremental root %x diverges from fresh rebuild %x", got, want)
+	}
+}
+
+func TestEmptyTrie(t *testing.T) {
+	a, b := &Trie{}, &Trie{}
+	if a.Root() != b.Root() {
+		t.Fatal("empty tries disagree on root")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("empty trie Len = %d", a.Len())
+	}
+	if a.Delete([]byte("x")) {
+		t.Fatal("Delete on empty trie reported a removal")
+	}
+	b.Put([]byte("k"), leaf("v"))
+	if a.Root() == b.Root() {
+		t.Fatal("non-empty trie hashes like the empty trie")
+	}
+	b.Delete([]byte("k"))
+	if a.Root() != b.Root() {
+		t.Fatal("deleting the only key does not restore the empty root")
+	}
+}
+
+func TestPrefixKeysCoexist(t *testing.T) {
+	// "field" a strict prefix of "fieldX", plus an empty key on the
+	// root node itself: all three must hold independent values.
+	tr := &Trie{}
+	model := map[string][32]byte{
+		"":       leaf("root"),
+		"field":  leaf("a"),
+		"fieldX": leaf("b"),
+		"fieldY": leaf("c"),
+	}
+	for k, v := range model {
+		tr.Put([]byte(k), v)
+	}
+	checkAgainstModel(t, tr, model)
+
+	tr.Delete([]byte("field"))
+	delete(model, "field")
+	checkAgainstModel(t, tr, model)
+}
+
+func TestOverwriteChangesRoot(t *testing.T) {
+	tr := &Trie{}
+	tr.Put([]byte("k"), leaf("v1"))
+	r1 := tr.Root()
+	tr.Put([]byte("k"), leaf("v2"))
+	if tr.Root() == r1 {
+		t.Fatal("overwriting a leaf left the root unchanged")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", tr.Len())
+	}
+	tr.Put([]byte("k"), leaf("v1"))
+	if tr.Root() != r1 {
+		t.Fatal("restoring the old leaf does not restore the old root")
+	}
+}
+
+func TestDeletePrefix(t *testing.T) {
+	tr := &Trie{}
+	model := map[string][32]byte{}
+	put := func(k string) { tr.Put([]byte(k), leaf(k)); model[k] = leaf(k) }
+	for _, k := range []string{
+		"c/alpha", "c/alpha\x1fx", "c/alpha\x1fy", "c/alpha\x1fy\x1fz",
+		"c/alphabet", "c/beta", "a1", "a2",
+	} {
+		put(k)
+	}
+	// Cut the "c/alpha\x1f" subtree: the sibling "c/alphabet" (shares
+	// the byte prefix but not the separated path) must survive.
+	n := tr.DeletePrefix([]byte("c/alpha\x1f"))
+	if n != 3 {
+		t.Fatalf("DeletePrefix removed %d keys, want 3", n)
+	}
+	for k := range model {
+		if strings.HasPrefix(k, "c/alpha\x1f") {
+			delete(model, k)
+		}
+	}
+	checkAgainstModel(t, tr, model)
+
+	if n := tr.DeletePrefix([]byte("c/alpha\x1f")); n != 0 {
+		t.Fatalf("second DeletePrefix removed %d keys, want 0", n)
+	}
+	if n := tr.DeletePrefix(nil); n != len(model) {
+		t.Fatalf("DeletePrefix(nil) removed %d, want %d (clear all)", n, len(model))
+	}
+	if tr.Root() != (&Trie{}).Root() {
+		t.Fatal("cleared trie does not hash as empty")
+	}
+}
+
+// TestRandomizedModel drives long random op sequences against a map
+// model under several seeds, checking contents and the
+// canonical-structure property (incremental root == fresh rebuild) at
+// intervals. Keys are drawn from a small alphabet with separators so
+// splits, collapses, and shared prefixes happen constantly.
+func TestRandomizedModel(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			randKey := func() string {
+				var sb strings.Builder
+				for n := rng.Intn(4) + 1; n > 0; n-- {
+					if sb.Len() > 0 {
+						sb.WriteString("\x1f")
+					}
+					sb.WriteByte('a' + byte(rng.Intn(3)))
+					sb.WriteByte('a' + byte(rng.Intn(3)))
+				}
+				return sb.String()
+			}
+			tr := &Trie{}
+			model := map[string][32]byte{}
+			for i := 0; i < 3000; i++ {
+				k := randKey()
+				switch op := rng.Intn(10); {
+				case op < 6: // put
+					v := leaf(fmt.Sprintf("%s#%d", k, rng.Intn(4)))
+					tr.Put([]byte(k), v)
+					model[k] = v
+				case op < 9: // delete
+					got := tr.Delete([]byte(k))
+					_, want := model[k]
+					if got != want {
+						t.Fatalf("op %d: Delete(%q) = %v, model says %v", i, k, got, want)
+					}
+					delete(model, k)
+				default: // delete prefix
+					p := k + "\x1f"
+					want := 0
+					for mk := range model {
+						if strings.HasPrefix(mk, p) {
+							delete(model, mk)
+							want++
+						}
+					}
+					if got := tr.DeletePrefix([]byte(p)); got != want {
+						t.Fatalf("op %d: DeletePrefix(%q) = %d, model says %d", i, p, got, want)
+					}
+				}
+				if i%250 == 0 {
+					checkAgainstModel(t, tr, model)
+				}
+			}
+			checkAgainstModel(t, tr, model)
+		})
+	}
+}
+
+// TestRootIsIncremental pins the performance contract: after a bulk
+// load and one Root call, touching a handful of keys must not rehash
+// the whole trie. We can't count hash invocations directly, so we
+// assert dirtiness stays confined: a untouched subtree's cached hash
+// object identity is observable via the root changing only when it
+// must.
+func TestRootIsIncremental(t *testing.T) {
+	tr := &Trie{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("bucket%d\x1fitem%d", i%10, i)
+		tr.Put([]byte(k), leaf(k))
+	}
+	r0 := tr.Root()
+	if tr.root.dirty {
+		t.Fatal("root still dirty after Root()")
+	}
+	tr.Put([]byte("bucket3\x1fitem33"), leaf("new"))
+	// Only the path to bucket3/item33 may be dirty.
+	dirty := countDirty(tr.root)
+	if dirty == 0 || dirty > 20 {
+		t.Fatalf("touching one key dirtied %d nodes (want a short path)", dirty)
+	}
+	if tr.Root() == r0 {
+		t.Fatal("changed leaf did not change the root")
+	}
+}
+
+func countDirty(n *node) int {
+	if n == nil {
+		return 0
+	}
+	c := 0
+	if n.dirty {
+		c++
+	}
+	for _, ch := range n.children {
+		c += countDirty(ch)
+	}
+	return c
+}

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/scilla/value"
+	"cosplit/internal/shard"
+)
+
+// Store record types (internal/store). These share the frame format —
+// and therefore the CRC, version skew, and bounds checking — with the
+// node-boundary messages: a journal or snapshot file is a sequence of
+// ordinary frames, so a torn or bit-flipped tail is rejected by the
+// same machinery that rejects a corrupt network frame.
+const (
+	// MsgCheckpointBlock is one journal record: a committed FinalBlock
+	// together with the post-commit checkpoint it advanced the network
+	// to.
+	MsgCheckpointBlock MsgType = 10
+	// MsgSnapshotHeader opens a snapshot file: the checkpoint the
+	// snapshot captures and the state root it must restore to.
+	MsgSnapshotHeader MsgType = 11
+	// MsgSnapshotContract carries one contract's full field state.
+	MsgSnapshotContract MsgType = 12
+	// MsgSnapshotAccounts carries a batch of native accounts.
+	MsgSnapshotAccounts MsgType = 13
+	// MsgSnapshotEnd closes a snapshot file with the record counts the
+	// reader must have seen; a snapshot without it is truncated.
+	MsgSnapshotEnd MsgType = 14
+)
+
+// CheckpointBlock is the journal record appended after every committed
+// epoch: the sealed FinalBlock plus the checkpoint the commit advanced
+// the network to (so recovery restores the exact epoch, block number,
+// and next transaction id without re-deriving them).
+type CheckpointBlock struct {
+	Checkpoint shard.Checkpoint
+	Block      *shard.FinalBlock
+}
+
+// EncodeCheckpointBlock encodes a journal record.
+func EncodeCheckpointBlock(cb *CheckpointBlock) ([]byte, error) {
+	b := make([]byte, 0, 512)
+	b = appendUvarint(b, cb.Checkpoint.Epoch)
+	b = appendUvarint(b, cb.Checkpoint.BlockNumber)
+	b = appendUvarint(b, cb.Checkpoint.NextTxID)
+	fb, err := EncodeFinalBlock(cb.Block)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, fb...), nil
+}
+
+// DecodeCheckpointBlock decodes a journal record payload.
+func DecodeCheckpointBlock(b []byte) (*CheckpointBlock, error) {
+	r := &reader{b: b}
+	cb := &CheckpointBlock{}
+	cb.Checkpoint.Epoch = r.uvarint()
+	cb.Checkpoint.BlockNumber = r.uvarint()
+	cb.Checkpoint.NextTxID = r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	// The FinalBlock payload runs to the end of the record;
+	// DecodeFinalBlock enforces exact consumption.
+	fb, err := DecodeFinalBlock(r.b)
+	if err != nil {
+		return nil, err
+	}
+	cb.Block = fb
+	return cb, nil
+}
+
+// SnapshotHeader opens a snapshot file: the checkpoint the full-state
+// dump captures and the authenticated root the restored state must
+// rebuild to (recovery verifies it, so a snapshot that silently lost a
+// record fails loudly instead of resuming from wrong state).
+type SnapshotHeader struct {
+	Checkpoint shard.Checkpoint
+	Root       string
+}
+
+// EncodeSnapshotHeader encodes a snapshot header.
+func EncodeSnapshotHeader(h *SnapshotHeader) []byte {
+	b := make([]byte, 0, 96)
+	b = appendUvarint(b, h.Checkpoint.Epoch)
+	b = appendUvarint(b, h.Checkpoint.BlockNumber)
+	b = appendUvarint(b, h.Checkpoint.NextTxID)
+	return appendString(b, h.Root)
+}
+
+// DecodeSnapshotHeader decodes a snapshot header payload.
+func DecodeSnapshotHeader(b []byte) (*SnapshotHeader, error) {
+	r := &reader{b: b}
+	h := &SnapshotHeader{}
+	h.Checkpoint.Epoch = r.uvarint()
+	h.Checkpoint.BlockNumber = r.uvarint()
+	h.Checkpoint.NextTxID = r.uvarint()
+	h.Root = r.string()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// SnapshotContract carries one contract's complete field state. Fields
+// are encoded in sorted name order, so snapshots of the same state are
+// byte-identical.
+type SnapshotContract struct {
+	Addr   chain.Address
+	Fields map[string]value.Value
+}
+
+// EncodeSnapshotContract encodes one contract's state.
+func EncodeSnapshotContract(c *SnapshotContract) ([]byte, error) {
+	b := make([]byte, 0, 256)
+	b = appendAddr(b, c.Addr)
+	names := make([]string, 0, len(c.Fields))
+	for n := range c.Fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b = appendUvarint(b, uint64(len(names)))
+	var err error
+	for _, n := range names {
+		b = appendString(b, n)
+		if b, err = appendValue(b, c.Fields[n]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeSnapshotContract decodes one contract's state payload.
+func DecodeSnapshotContract(b []byte) (*SnapshotContract, error) {
+	r := &reader{b: b}
+	c := &SnapshotContract{Addr: r.addr()}
+	n := r.count(2)
+	if n > 0 {
+		c.Fields = make(map[string]value.Value, n)
+	}
+	for i := 0; i < n; i++ {
+		name := r.string()
+		v := r.value(0)
+		if r.err != nil {
+			return nil, r.err
+		}
+		c.Fields[name] = v
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SnapshotAccount is one native account's snapshot row.
+type SnapshotAccount struct {
+	Addr       chain.Address
+	Balance    *big.Int
+	Nonce      uint64
+	IsContract bool
+}
+
+// EncodeSnapshotAccounts encodes a batch of accounts. The store writes
+// accounts in sorted address order, batched so a single frame stays
+// small; the encoder accepts any order (the snapshot reader does not
+// depend on it).
+func EncodeSnapshotAccounts(accs []SnapshotAccount) []byte {
+	b := make([]byte, 0, 32+32*len(accs))
+	b = appendUvarint(b, uint64(len(accs)))
+	for i := range accs {
+		b = appendAddr(b, accs[i].Addr)
+		b = appendBig(b, accs[i].Balance)
+		b = appendUvarint(b, accs[i].Nonce)
+		b = appendBool(b, accs[i].IsContract)
+	}
+	return b
+}
+
+// DecodeSnapshotAccounts decodes an account batch payload.
+func DecodeSnapshotAccounts(b []byte) ([]SnapshotAccount, error) {
+	r := &reader{b: b}
+	n := r.count(23)
+	accs := make([]SnapshotAccount, 0, n)
+	for i := 0; i < n; i++ {
+		a := SnapshotAccount{Addr: r.addr(), Balance: r.big()}
+		a.Nonce = r.uvarint()
+		a.IsContract = r.bool()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if a.Balance == nil || a.Balance.Sign() < 0 {
+			return nil, fmt.Errorf("%w: bad snapshot account balance", ErrDecode)
+		}
+		accs = append(accs, a)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return accs, nil
+}
+
+// SnapshotEnd closes a snapshot file with the totals the reader must
+// have accumulated; a mismatch (or a missing end record) marks the
+// snapshot truncated.
+type SnapshotEnd struct {
+	Contracts uint64
+	Accounts  uint64
+}
+
+// EncodeSnapshotEnd encodes a snapshot trailer.
+func EncodeSnapshotEnd(e *SnapshotEnd) []byte {
+	b := appendUvarint(make([]byte, 0, 16), e.Contracts)
+	return appendUvarint(b, e.Accounts)
+}
+
+// DecodeSnapshotEnd decodes a snapshot trailer payload.
+func DecodeSnapshotEnd(b []byte) (*SnapshotEnd, error) {
+	r := &reader{b: b}
+	e := &SnapshotEnd{Contracts: r.uvarint(), Accounts: r.uvarint()}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -109,6 +109,16 @@ func (t MsgType) String() string {
 		return "state_resp"
 	case MsgStateDelta:
 		return "state_delta"
+	case MsgCheckpointBlock:
+		return "checkpoint_block"
+	case MsgSnapshotHeader:
+		return "snapshot_header"
+	case MsgSnapshotContract:
+		return "snapshot_contract"
+	case MsgSnapshotAccounts:
+		return "snapshot_accounts"
+	case MsgSnapshotEnd:
+		return "snapshot_end"
 	}
 	return fmt.Sprintf("msg(%d)", byte(t))
 }

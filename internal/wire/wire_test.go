@@ -157,6 +157,22 @@ func fixtures() []fixture {
 		Corr: 11, Found: true, Balance: big.NewInt(1 << 40), Nonce: 3,
 		Value: value.Uint128(12345),
 	}))
+	cbb := mustEnc(EncodeCheckpointBlock(&CheckpointBlock{
+		Checkpoint: shard.Checkpoint{Epoch: 6, BlockNumber: 6, NextTxID: 45},
+		Block:      fixtureFinalBlock(),
+	}))
+	contractb := mustEnc(EncodeSnapshotContract(&SnapshotContract{
+		Addr: chain.AddrFromUint(7),
+		Fields: map[string]value.Value{
+			"total_supply": value.Uint128(1 << 30),
+			"owner":        value.ByStr{Ty: ast.TyByStr20, B: bytes.Repeat([]byte{0x11}, 20)},
+			"bonus":        fixtureTx().Args["bonus"],
+		},
+	}))
+	accountsb := EncodeSnapshotAccounts([]SnapshotAccount{
+		{Addr: chain.AddrFromUint(7), Balance: big.NewInt(0), IsContract: true},
+		{Addr: chain.AddrFromUint(100), Balance: big.NewInt(1 << 40), Nonce: 3},
+	})
 	return []fixture{
 		{"tx", MsgTx, txb},
 		{"state_delta", MsgStateDelta, deltab},
@@ -167,6 +183,14 @@ func fixtures() []fixture {
 		{"submit_resp", MsgSubmitResp, EncodeSubmitResp(&SubmitResp{Corr: 9, ID: 42})},
 		{"state_query", MsgStateQuery, EncodeStateQuery(&StateQuery{Corr: 11, Addr: chain.AddrFromUint(7), Field: "balances", Key: "b:0x1111111111111111111111111111111111111111"})},
 		{"state_resp", MsgStateResp, respb},
+		{"checkpoint_block", MsgCheckpointBlock, cbb},
+		{"snapshot_header", MsgSnapshotHeader, EncodeSnapshotHeader(&SnapshotHeader{
+			Checkpoint: shard.Checkpoint{Epoch: 6, BlockNumber: 6, NextTxID: 45},
+			Root:       "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08",
+		})},
+		{"snapshot_contract", MsgSnapshotContract, contractb},
+		{"snapshot_accounts", MsgSnapshotAccounts, accountsb},
+		{"snapshot_end", MsgSnapshotEnd, EncodeSnapshotEnd(&SnapshotEnd{Contracts: 1, Accounts: 2})},
 	}
 }
 
@@ -229,6 +253,36 @@ func reencode(t MsgType, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return EncodeStateResp(v)
+	case MsgCheckpointBlock:
+		v, err := DecodeCheckpointBlock(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeCheckpointBlock(v)
+	case MsgSnapshotHeader:
+		v, err := DecodeSnapshotHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeSnapshotHeader(v), nil
+	case MsgSnapshotContract:
+		v, err := DecodeSnapshotContract(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeSnapshotContract(v)
+	case MsgSnapshotAccounts:
+		v, err := DecodeSnapshotAccounts(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeSnapshotAccounts(v), nil
+	case MsgSnapshotEnd:
+		v, err := DecodeSnapshotEnd(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeSnapshotEnd(v), nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrDecode, t)
 	}

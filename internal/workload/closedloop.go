@@ -62,6 +62,15 @@ func RunClosedLoop(w *Workload, sharded bool, rate, epochs int, poolCfg mempool.
 	if err != nil {
 		return nil, err
 	}
+	return RunClosedLoopEnv(env, w, rate, epochs)
+}
+
+// RunClosedLoopEnv is RunClosedLoop on an already provisioned
+// environment, for callers that need to touch the network between
+// provisioning and driving — attaching a state store, recovering from
+// a previous run — before the loop starts. The environment must have
+// been provisioned with a mempool.
+func RunClosedLoopEnv(env *Env, w *Workload, rate, epochs int) (*ClosedLoopResult, error) {
 	res := &ClosedLoopResult{Workload: w.Name, Epochs: epochs}
 	for ep := 0; ep < epochs; ep++ {
 	submit:

@@ -34,6 +34,28 @@ func (e *Env) NextNonce(a chain.Address) uint64 {
 	return e.nonces[a]
 }
 
+// ResyncNonces resets the client-side nonce tracking to the on-chain
+// account nonces. Required after recovering the network from a state
+// store: the chain is ahead of the freshly provisioned client, so
+// genesis-level nonces would all be rejected as stale. Only nonces are
+// resynced — workloads whose streams depend on an internal counter
+// (minted token ids, registered hashes) may still collide with already
+// committed state; pure-transfer workloads resume cleanly.
+func (e *Env) ResyncNonces() {
+	sync := func(a chain.Address) {
+		if acc := e.Net.Accounts.Get(a); acc != nil {
+			e.nonces[a] = acc.Nonce
+		}
+	}
+	sync(e.Owner)
+	for _, a := range e.Users {
+		sync(a)
+	}
+	for a := range e.nonces {
+		sync(a)
+	}
+}
+
 // Workload is one benchmark workload.
 type Workload struct {
 	// Name as it appears in Fig. 14 (e.g. "FT transfer").

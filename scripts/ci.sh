@@ -27,9 +27,13 @@ go test -race ./internal/shard/... ./internal/dispatch/... ./internal/mempool/..
 # including the TCP-transport smoke (TestTCPClusterSmoke) and the
 # fault-injection recovery tests over real frames.
 go test -race ./internal/wire/... ./internal/node/... ./internal/rpc/...
-# Short fuzz run of the wire decoders beyond the committed corpus: no
-# decoder may panic on hostile bytes, and decode∘encode must stay a
-# fixed point.
+# The persistence race run covers the state store (journal append,
+# snapshot rotation, recovery) and the incremental root trie under
+# -short (the million-account test opts out of the race detector).
+go test -race -short ./internal/store/... ./internal/trie/...
+# Short fuzz run of the wire decoders beyond the committed corpus —
+# including the store's snapshot/journal record types — no decoder may
+# panic on hostile bytes, and decode∘encode must stay a fixed point.
 go test -fuzz=FuzzDecoders -fuzztime=10s ./internal/wire/
 # Smoke-test the closed-loop admission path end to end through the CLI.
 go run ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 3 -workloads "FT transfer"
@@ -50,11 +54,30 @@ go run -race ./cmd/shardsim -submit-rate 200 -mempool-cap 1024 -epochs 4 -parall
 # internal/scilla/compile and internal/shard.
 go run -race ./cmd/shardsim -parallel -epochs 3 -workloads "FT transfer"
 go run ./cmd/shardsim -no-compile -epochs 3 -workloads "FT transfer"
+# Restart-recovery smoke through the CLI: a fresh persistent run
+# prints its final chain head; a recover-only restart (-epochs 0) must
+# land on the identical root. Then a run is killed with SIGKILL
+# mid-flight: the journal is fsynced every committed epoch, so
+# recovery must come back cleanly (torn tail truncated at the last
+# good frame) and two consecutive recoveries must agree.
+go build -o /tmp/cosplit-shardsim ./cmd/shardsim
+STATE_DIR=$(mktemp -d)
+FINAL=$(/tmp/cosplit-shardsim -state-dir "$STATE_DIR" -workloads "FT transfer" -submit-rate 200 -epochs 4 | grep '^state: final')
+RECOVERED=$(/tmp/cosplit-shardsim -state-dir "$STATE_DIR" -workloads "FT transfer" -epochs 0 | grep '^state: recovered')
+[ "${FINAL#state: final }" = "${RECOVERED#state: recovered }" ]
+/tmp/cosplit-shardsim -state-dir "$STATE_DIR" -workloads "FT transfer" -submit-rate 200 -epochs 100000 &
+KILL_PID=$!
+sleep 2
+kill -9 $KILL_PID
+wait $KILL_PID || true
+R1=$(/tmp/cosplit-shardsim -state-dir "$STATE_DIR" -workloads "FT transfer" -epochs 0 | grep '^state: recovered')
+R2=$(/tmp/cosplit-shardsim -state-dir "$STATE_DIR" -workloads "FT transfer" -epochs 0 | grep '^state: recovered')
+[ "$R1" = "$R2" ]
+rm -rf "$STATE_DIR"
 # Node-mode smoke: boot the JSON-RPC front door over a cluster whose
 # internal traffic runs on real TCP sockets, hammer it closed-loop,
 # and require every transaction to come back with a receipt (the
 # hammer exits non-zero when nothing commits).
-go build -o /tmp/cosplit-shardsim ./cmd/shardsim
 /tmp/cosplit-shardsim -serve 127.0.0.1:18545 -serve-tcp 127.0.0.1:0 -block-interval 50ms &
 SERVE_PID=$!
 trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
