@@ -52,6 +52,7 @@ import (
 	"cosplit/internal/mempool"
 	"cosplit/internal/node"
 	"cosplit/internal/obs"
+	"cosplit/internal/pager"
 	"cosplit/internal/rpc"
 	"cosplit/internal/shard"
 	"cosplit/internal/store"
@@ -60,29 +61,32 @@ import (
 
 func main() {
 	var (
-		epochs     = flag.Int("epochs", 10, "epochs per configuration (paper: 10)")
-		txs        = flag.Int("txs", 8000, "offered load per epoch")
-		shardGas   = flag.Uint64("shard-gas", 40_000, "per-shard gas limit per epoch")
-		dsGas      = flag.Uint64("ds-gas", 40_000, "DS-committee gas limit per epoch")
-		nodes      = flag.Int("nodes", 5, "nodes per shard (paper: 5)")
-		workloads  = flag.String("workloads", "", "comma-separated workloads (default: all)")
-		overheads  = flag.Bool("overheads", false, "measure Sec. 5.2.2 overheads instead of Fig. 14")
-		strategy   = flag.Bool("strategies", false, "run the Sec. 5.2.3 ownership-vs-commutativity ablation")
-		listFlag   = flag.Bool("list", false, "list workloads")
-		parallel   = flag.Bool("parallel", false, "execute shard queues on the worker pool")
-		intraPar   = flag.Int("intra-parallel", 0, "intra-shard worker-pool size: run commuting tx groups within each shard concurrently (0 = sequential queues)")
-		epochB     = flag.Bool("epoch-bench", false, "run the sequential-vs-parallel epoch pipeline benchmark")
-		benchOut   = flag.String("bench-out", "", "write the -epoch-bench report as JSON to this file")
-		benchWl    = flag.String("bench-workload", "FT transfer disjoint", "workload for -epoch-bench")
-		submitRate = flag.Int("submit-rate", 0, "closed-loop mode: offer up to this many txs/epoch through the mempool (0 = open-loop bench)")
-		mempoolCap = flag.Int("mempool-cap", 0, "mempool capacity for -submit-rate mode (0 = default)")
-		faultSpec  = flag.String("faults", "", `deterministic fault injection, "seed:kind=prob[,...]" with kinds crash, drop, corrupt, straggle (e.g. "7:crash=0.05,straggle=0.2x4")`)
-		traceOut   = flag.String("trace-out", "", "write a JSONL epoch-trace journal of every simulated network to this file")
-		metricsOut = flag.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file on exit")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		stateDir   = flag.String("state-dir", "", "persistent state directory: closed-loop runs (-submit-rate, one -workloads entry) journal every epoch and recover on restart; -epochs 0 recovers and prints the chain head without driving load; with -serve every stateful node persists under per-role subdirectories")
-		snapEvery  = flag.Int("snapshot-every", 8, "with -state-dir: full-state snapshot and journal compaction every N committed epochs (0 = journal only, replayed from genesis)")
-		noCompile  = flag.Bool("no-compile", false, "disable the closure-chain compiled executor and run every transition on the AST interpreter (results are bit-identical, only slower)")
+		epochs      = flag.Int("epochs", 10, "epochs per configuration (paper: 10)")
+		txs         = flag.Int("txs", 8000, "offered load per epoch")
+		shardGas    = flag.Uint64("shard-gas", 40_000, "per-shard gas limit per epoch")
+		dsGas       = flag.Uint64("ds-gas", 40_000, "DS-committee gas limit per epoch")
+		nodes       = flag.Int("nodes", 5, "nodes per shard (paper: 5)")
+		workloads   = flag.String("workloads", "", "comma-separated workloads (default: all)")
+		overheads   = flag.Bool("overheads", false, "measure Sec. 5.2.2 overheads instead of Fig. 14")
+		strategy    = flag.Bool("strategies", false, "run the Sec. 5.2.3 ownership-vs-commutativity ablation")
+		listFlag    = flag.Bool("list", false, "list workloads")
+		parallel    = flag.Bool("parallel", false, "execute shard queues on the worker pool")
+		intraPar    = flag.Int("intra-parallel", 0, "intra-shard worker-pool size: run commuting tx groups within each shard concurrently (0 = sequential queues)")
+		epochB      = flag.Bool("epoch-bench", false, "run the sequential-vs-parallel epoch pipeline benchmark")
+		benchOut    = flag.String("bench-out", "", "write the -epoch-bench report as JSON to this file")
+		benchWl     = flag.String("bench-workload", "FT transfer disjoint", "workload for -epoch-bench")
+		submitRate  = flag.Int("submit-rate", 0, "closed-loop mode: offer up to this many txs/epoch through the mempool (0 = open-loop bench)")
+		mempoolCap  = flag.Int("mempool-cap", 0, "mempool capacity for -submit-rate mode (0 = default)")
+		faultSpec   = flag.String("faults", "", `deterministic fault injection, "seed:kind=prob[,...]" with kinds crash, drop, corrupt, straggle (e.g. "7:crash=0.05,straggle=0.2x4")`)
+		traceOut    = flag.String("trace-out", "", "write a JSONL epoch-trace journal of every simulated network to this file")
+		metricsOut  = flag.String("metrics-out", "", "write the aggregated metrics registry as JSON to this file on exit")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		stateDir    = flag.String("state-dir", "", "persistent state directory: closed-loop runs (-submit-rate, one -workloads entry) journal every epoch and recover on restart; -epochs 0 recovers and prints the chain head without driving load; with -serve every stateful node persists under per-role subdirectories")
+		snapEvery   = flag.Int("snapshot-every", 8, "with -state-dir: full-state snapshot and journal compaction every N committed epochs (0 = journal only, replayed from genesis)")
+		stateBudget = flag.Int64("state-budget", 0, "with -state-dir: put canonical state behind a disk-backed LRU page cache of at most this many bytes (0 = fully resident); pages live under <state-dir>/pages and replace full snapshot files")
+		pageSize    = flag.Int("page-size", 512, "target accounts per page for -state-budget and -state-bench (the page table is sized to population/page-size, rounded up to a power of two)")
+		stateBench  = flag.Bool("state-bench", false, "run the paged-state benchmark (accounts x budget grid: throughput, faults/epoch, p99 fault latency) and write BENCH_state.json via -bench-out")
+		noCompile   = flag.Bool("no-compile", false, "disable the closure-chain compiled executor and run every transition on the AST interpreter (results are bit-identical, only slower)")
 
 		serveAddr = flag.String("serve", "", "serve the JSON-RPC front door on this address (e.g. 127.0.0.1:8545) over a message-passing node cluster")
 		serveTCP  = flag.String("serve-tcp", "", "with -serve: run the cluster's internal traffic over a TCP hub on this address instead of in-process channels")
@@ -212,7 +216,17 @@ func main() {
 		}, runOpts...)
 		env, err := workload.Provision(w, true, provOpts...)
 		fail(err)
-		st, err := store.Open(*stateDir, store.WithSnapshotEvery(*snapEvery), store.WithRegistry(reg))
+		sopts := []store.Option{store.WithSnapshotEvery(*snapEvery), store.WithRegistry(reg)}
+		if *stateBudget > 0 {
+			pages := env.Net.Accounts.Len() / *pageSize
+			if pages < 1 {
+				pages = 1
+			}
+			sopts = append(sopts, store.WithPagedState(*stateBudget, pager.WithPageCount(pages)))
+			fmt.Fprintf(os.Stderr, "shardsim: paged state, budget %d MB, %d-page table\n",
+				*stateBudget>>20, pages)
+		}
+		st, err := store.Open(*stateDir, sopts...)
 		fail(err)
 		fail(st.Recover(env.Net))
 		cp := env.Net.Checkpoint()
@@ -267,6 +281,23 @@ func main() {
 				fmt.Printf(" %6d %7d %6d", res.Lost, res.ViewChanges, res.Escalated)
 			}
 			fmt.Println()
+		}
+	case *stateBench:
+		scfg := bench.DefaultStateBenchConfig()
+		scfg.PageAccounts = *pageSize
+		var out *os.File
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			fail(err)
+			out = f
+		}
+		rep, err := bench.RunStateBench(scfg)
+		fail(err)
+		bench.PrintStateBench(os.Stdout, rep)
+		if out != nil {
+			fail(rep.WriteJSON(out))
+			fail(out.Close())
+			fmt.Printf("\nwrote %s\n", *benchOut)
 		}
 	case *epochB:
 		ecfg := bench.DefaultEpochBenchConfig()

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"cosplit/internal/obs"
+)
+
+// TestStateBenchSmall runs a miniature accounts × budget grid and
+// checks the report's shape: every cell commits the full load, paged
+// cells at a starved budget actually fault and evict, and the paged
+// rows commit exactly what the resident baseline commits (the
+// bit-identical-execution claim, at committed-count granularity).
+func TestStateBenchSmall(t *testing.T) {
+	cfg := StateBenchConfig{
+		Accounts:     []int{2000},
+		Budgets:      []int64{0, 16 << 10},
+		Epochs:       2,
+		TxsPerEpoch:  200,
+		PageAccounts: 64,
+		NumShards:    4,
+	}
+	rep, err := RunStateBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rep.Rows))
+	}
+	resident, paged := rep.Rows[0], rep.Rows[1]
+	if resident.Paged || !paged.Paged {
+		t.Fatalf("row order: resident=%+v paged=%+v", resident.Paged, paged.Paged)
+	}
+	if resident.Committed == 0 {
+		t.Fatal("resident baseline committed nothing")
+	}
+	if paged.Committed != resident.Committed {
+		t.Fatalf("paged committed %d, resident %d — paged execution diverged",
+			paged.Committed, resident.Committed)
+	}
+	if paged.Faults == 0 || paged.Evictions == 0 {
+		t.Fatalf("16 KiB budget over 2000 accounts should fault and evict, got faults=%d evictions=%d",
+			paged.Faults, paged.Evictions)
+	}
+	if resident.Faults != 0 {
+		t.Fatalf("resident baseline reported %d page faults", resident.Faults)
+	}
+	if paged.P99FaultMicros <= 0 {
+		t.Fatalf("p99 fault latency %v, want > 0", paged.P99FaultMicros)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	PrintStateBench(&buf, rep)
+}
+
+// TestHistQuantileMicros pins the quantile estimator against a
+// hand-built histogram.
+func TestHistQuantileMicros(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.TimeHistogram("q")
+	for i := 0; i < 99; i++ {
+		h.Observe(1500) // 1.5µs -> 2µs bucket
+	}
+	h.Observe(4_000_000) // 4ms -> 5ms bucket
+	snap := reg.Snapshot().Histograms["q"]
+	if got := histQuantileMicros(snap, 0.5); got != 2 {
+		t.Errorf("p50 = %v µs, want 2", got)
+	}
+	if got := histQuantileMicros(snap, 0.999); got != 5000 {
+		t.Errorf("p99.9 = %v µs, want 5000", got)
+	}
+	if got := histQuantileMicros(obs.HistogramSnapshot{}, 0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %v, want 0", got)
+	}
+}

@@ -26,15 +26,27 @@ func (a *Account) Copy() *Account {
 	}
 }
 
-// Accounts is the global account table.
+// Accounts is the global account table. Storage lives behind an
+// AccountBackend: the default is a resident map, and internal/pager
+// swaps in a disk-backed paged backend (SetBackend) so the table can
+// exceed RAM.
 type Accounts struct {
 	mu sync.RWMutex
-	m  map[Address]*Account
+	b  AccountBackend
 }
 
-// NewAccounts creates an empty account table.
+// NewAccounts creates an empty account table on the default resident
+// map backend.
 func NewAccounts() *Accounts {
-	return &Accounts{m: make(map[Address]*Account)}
+	return &Accounts{b: make(mapBackend)}
+}
+
+// NewAccountsOn creates an empty account table on an explicit backend.
+func NewAccountsOn(b AccountBackend) *Accounts {
+	if b == nil {
+		return NewAccounts()
+	}
+	return &Accounts{b: b}
 }
 
 // Create adds an account with the given initial balance. It replaces
@@ -42,10 +54,10 @@ func NewAccounts() *Accounts {
 func (as *Accounts) Create(addr Address, balance uint64, isContract bool) {
 	as.mu.Lock()
 	defer as.mu.Unlock()
-	as.m[addr] = &Account{
+	as.b.Store(addr, &Account{
 		Balance:    new(big.Int).SetUint64(balance),
 		IsContract: isContract,
-	}
+	})
 }
 
 // Put installs an account with explicit balance, nonce, and contract
@@ -54,39 +66,37 @@ func (as *Accounts) Create(addr Address, balance uint64, isContract bool) {
 func (as *Accounts) Put(addr Address, balance *big.Int, nonce uint64, isContract bool) {
 	as.mu.Lock()
 	defer as.mu.Unlock()
-	as.m[addr] = &Account{
+	as.b.Store(addr, &Account{
 		Balance:    new(big.Int).Set(balance),
 		Nonce:      nonce,
 		IsContract: isContract,
-	}
+	})
 }
 
 // Range calls f for every account until f returns false. The iteration
 // order is unspecified and f receives the live account — it must not
-// mutate it or retain it past the call (the table's lock is held).
+// mutate it or retain it past the call (the table's lock is held). A
+// paged backend streams pages through the call, so Range never
+// materialises the full set.
 func (as *Accounts) Range(f func(Address, *Account) bool) {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
-	for a, acc := range as.m {
-		if !f(a, acc) {
-			return
-		}
-	}
+	as.b.Range(f)
 }
 
 // Len returns the number of accounts.
 func (as *Accounts) Len() int {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
-	return len(as.m)
+	return as.b.Len()
 }
 
 // Get returns a copy of the account, or nil if absent.
 func (as *Accounts) Get(addr Address) *Account {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
-	a, ok := as.m[addr]
-	if !ok {
+	a := as.b.Load(addr)
+	if a == nil {
 		return nil
 	}
 	return a.Copy()
@@ -98,8 +108,8 @@ func (as *Accounts) Get(addr Address) *Account {
 func (as *Accounts) NonceOf(addr Address) (uint64, bool) {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
-	a, ok := as.m[addr]
-	if !ok {
+	a := as.b.Load(addr)
+	if a == nil {
 		return 0, false
 	}
 	return a.Nonce, true
@@ -109,26 +119,26 @@ func (as *Accounts) NonceOf(addr Address) (uint64, bool) {
 func (as *Accounts) IsContract(addr Address) bool {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
-	a, ok := as.m[addr]
-	return ok && a.IsContract
+	a := as.b.Load(addr)
+	return a != nil && a.IsContract
 }
 
 // Exists reports whether the account exists.
 func (as *Accounts) Exists(addr Address) bool {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
-	_, ok := as.m[addr]
-	return ok
+	return as.b.Load(addr) != nil
 }
 
 // Addresses returns all addresses, sorted.
 func (as *Accounts) Addresses() []Address {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
-	out := make([]Address, 0, len(as.m))
-	for a := range as.m {
+	out := make([]Address, 0, as.b.Len())
+	as.b.Range(func(a Address, _ *Account) bool {
 		out = append(out, a)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		for k := 0; k < 20; k++ {
 			if out[i][k] != out[j][k] {
@@ -146,10 +156,10 @@ func (as *Accounts) Apply(d *AccountDelta) error {
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	for addr, bd := range d.BalanceDeltas {
-		acc, ok := as.m[addr]
-		if !ok {
+		acc := as.b.Mutate(addr)
+		if acc == nil {
 			acc = &Account{Balance: new(big.Int)}
-			as.m[addr] = acc
+			as.b.Store(addr, acc)
 		}
 		acc.Balance.Add(acc.Balance, bd)
 		if acc.Balance.Sign() < 0 {
@@ -157,8 +167,8 @@ func (as *Accounts) Apply(d *AccountDelta) error {
 		}
 	}
 	for addr, n := range d.Nonces {
-		acc, ok := as.m[addr]
-		if !ok {
+		acc := as.b.Mutate(addr)
+		if acc == nil {
 			continue
 		}
 		if n > acc.Nonce {
@@ -168,14 +178,18 @@ func (as *Accounts) Apply(d *AccountDelta) error {
 	return nil
 }
 
-// Copy deep-copies the whole table.
+// Copy deep-copies the whole table onto a fresh resident map backend.
+// This materialises every account — a paged source backend streams all
+// its pages through the copy — so it is strictly a test/debug helper;
+// read-only consumers should take ReadOnly instead.
 func (as *Accounts) Copy() *Accounts {
 	as.mu.RLock()
 	defer as.mu.RUnlock()
 	out := NewAccounts()
-	for a, acc := range as.m {
-		out.m[a] = acc.Copy()
-	}
+	as.b.Range(func(a Address, acc *Account) bool {
+		out.b.Store(a, acc.Copy())
+		return true
+	})
 	return out
 }
 

@@ -1,0 +1,119 @@
+package chain
+
+import (
+	"bytes"
+	"sort"
+)
+
+// AccountBackend is the storage engine behind an Accounts table. The
+// default is an in-memory map; internal/pager provides a disk-backed,
+// page-structured implementation with a bounded cache, so the rest of
+// the system never assumes the account set is resident.
+//
+// All calls arrive under the owning Accounts' lock: Load, Len, and
+// Range under the read lock (so they may run concurrently with each
+// other), Mutate and Store under the write lock (exclusive).
+// Implementations that mutate internal structures on reads — a paging
+// backend faults and evicts on Load — must synchronise those
+// structures themselves.
+type AccountBackend interface {
+	// Load returns the live account at addr, or nil if absent. Callers
+	// own a read-only view: the returned struct is mutated only under
+	// the table's write lock (via Mutate or Store).
+	Load(addr Address) *Account
+	// Mutate returns the live account at addr for in-place update, or
+	// nil if absent. The backend must treat the account as modified
+	// (a paging backend marks its page dirty).
+	Mutate(addr Address) *Account
+	// Store inserts or replaces the account at addr.
+	Store(addr Address, acc *Account)
+	// Len returns the number of accounts.
+	Len() int
+	// Range calls f for every account until f returns false, in
+	// unspecified order. f must not call back into the backend.
+	Range(f func(Address, *Account) bool)
+}
+
+// mapBackend is the default resident backend: a plain map, exactly the
+// representation Accounts used before the backend split.
+type mapBackend map[Address]*Account
+
+func (m mapBackend) Load(addr Address) *Account   { return m[addr] }
+func (m mapBackend) Mutate(addr Address) *Account { return m[addr] }
+func (m mapBackend) Store(addr Address, acc *Account) {
+	m[addr] = acc
+}
+func (m mapBackend) Len() int { return len(m) }
+func (m mapBackend) Range(f func(Address, *Account) bool) {
+	for a, acc := range m {
+		if !f(a, acc) {
+			return
+		}
+	}
+}
+
+// AccountReader is the read-only face of an Accounts table. ReadOnly
+// returns one without copying anything — callers that only inspect
+// state (snapshot writers, RPC queries, invariant checks) should take
+// this instead of Copy, which materialises the whole table.
+type AccountReader interface {
+	Get(addr Address) *Account
+	NonceOf(addr Address) (uint64, bool)
+	IsContract(addr Address) bool
+	Exists(addr Address) bool
+	Len() int
+	Range(f func(Address, *Account) bool)
+}
+
+// accountsView is a read-only view over a live Accounts table. It
+// shares storage with the underlying table: no copy is taken, and
+// writes through the table remain visible. The zero-cost alternative
+// to Accounts.Copy for callers that never mutate.
+type accountsView struct {
+	as *Accounts
+}
+
+func (v accountsView) Get(addr Address) *Account            { return v.as.Get(addr) }
+func (v accountsView) NonceOf(addr Address) (uint64, bool)  { return v.as.NonceOf(addr) }
+func (v accountsView) IsContract(addr Address) bool         { return v.as.IsContract(addr) }
+func (v accountsView) Exists(addr Address) bool             { return v.as.Exists(addr) }
+func (v accountsView) Len() int                             { return v.as.Len() }
+func (v accountsView) Range(f func(Address, *Account) bool) { v.as.Range(f) }
+
+// ReadOnly returns a read-only view sharing this table's storage. Use
+// it where Copy used to be taken defensively: it costs nothing and a
+// paged backend is never forced to materialise the full account set.
+func (as *Accounts) ReadOnly() AccountReader { return accountsView{as: as} }
+
+// SetBackend migrates the table onto a new storage backend: every
+// account in the current backend is stored into b (a paging backend
+// marks them dirty, so the next flush writes them out), then b becomes
+// the table's engine. Accounts migrate in sorted address order — a
+// paging backend partitions by address prefix, so sorted order fills
+// one page at a time instead of thrashing a bounded cache across all
+// of them. Call it during setup or recovery, before the network runs
+// epochs. Setting the backend the table already uses is a no-op.
+func (as *Accounts) SetBackend(b AccountBackend) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if as.b == nil || as.b == b {
+		as.b = b
+		return
+	}
+	type row struct {
+		addr Address
+		acc  *Account
+	}
+	rows := make([]row, 0, as.b.Len())
+	as.b.Range(func(addr Address, acc *Account) bool {
+		rows = append(rows, row{addr, acc})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		return bytes.Compare(rows[i].addr[:], rows[j].addr[:]) < 0
+	})
+	for _, r := range rows {
+		b.Store(r.addr, r.acc)
+	}
+	as.b = b
+}

@@ -28,10 +28,35 @@ type Contract struct {
 	Sig    *signature.Signature
 	Params map[string]value.Value
 	// State is the canonical contract state, advanced only at epoch
-	// boundaries by the DS committee.
+	// boundaries by the DS committee. Under a pager it may be nil while
+	// the state is evicted to disk; access it through Snapshot, which
+	// faults it back in.
 	State *eval.MemState
-	// mu guards State replacement at epoch boundaries.
+	// mu guards State replacement at epoch boundaries. When a pager is
+	// attached it is unused: the pager's own lock is the sole authority
+	// over State residency.
 	mu sync.RWMutex
+	// pager, when non-nil, owns State residency (set by
+	// Contracts.AttachPager before the network runs epochs).
+	pager ContractPager
+}
+
+// ContractPager pages canonical contract state to disk. internal/pager
+// implements it; the interface lives here so chain stays free of
+// on-disk concerns (and because the wire codecs the pager reuses
+// already import packages above chain). All residency bookkeeping —
+// including reads and writes of Contract.State on paged contracts —
+// happens under the pager's internal lock.
+type ContractPager interface {
+	// Acquire returns the contract's canonical state, faulting it from
+	// disk if evicted, and marks it recently used.
+	Acquire(c *Contract) *eval.MemState
+	// Replace installs a new canonical state and marks it dirty (it
+	// will be written back at the next flush or eviction).
+	Replace(c *Contract, st *eval.MemState)
+	// Admit registers a contract whose resident state the pager should
+	// start tracking (deployment, or pager attach).
+	Admit(c *Contract)
 }
 
 // Deploy runs the full contract-deployment pipeline a miner would run:
@@ -90,8 +115,14 @@ func Deploy(addr Address, source string, params map[string]value.Value, dep *Dep
 }
 
 // Snapshot returns the canonical state (callers must not mutate it; use
-// an Overlay for execution).
+// an Overlay for execution). Under a pager the state may have been
+// evicted; Snapshot faults it back in from disk. The returned pointer
+// stays valid even if the pager later evicts the contract again —
+// eviction drops the pager's reference, never the caller's.
 func (c *Contract) Snapshot() *eval.MemState {
+	if p := c.pager; p != nil {
+		return p.Acquire(c)
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.State
@@ -100,6 +131,10 @@ func (c *Contract) Snapshot() *eval.MemState {
 // ReplaceState installs a new canonical state (DS committee, at epoch
 // end).
 func (c *Contract) ReplaceState(st *eval.MemState) {
+	if p := c.pager; p != nil {
+		p.Replace(c, st)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.State = st
@@ -121,8 +156,9 @@ func (c *Contract) TransitionParams(transition string) []string {
 
 // Contracts is the global contract registry.
 type Contracts struct {
-	mu sync.RWMutex
-	m  map[Address]*Contract
+	mu    sync.RWMutex
+	m     map[Address]*Contract
+	pager ContractPager
 }
 
 // NewContracts creates an empty registry.
@@ -130,11 +166,33 @@ func NewContracts() *Contracts {
 	return &Contracts{m: make(map[Address]*Contract)}
 }
 
+// AttachPager puts every current and future contract's canonical state
+// under a pager: resident states are admitted to the pager's budget
+// and may be evicted to disk, Snapshot faults them back on demand.
+// Call during setup or recovery, before the network runs epochs.
+// Attaching the pager already attached is a no-op.
+func (cs *Contracts) AttachPager(p ContractPager) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.pager == p {
+		return
+	}
+	cs.pager = p
+	for _, c := range cs.m {
+		c.pager = p
+		p.Admit(c)
+	}
+}
+
 // Add registers a deployed contract.
 func (cs *Contracts) Add(c *Contract) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	cs.m[c.Addr] = c
+	if cs.pager != nil {
+		c.pager = cs.pager
+		cs.pager.Admit(c)
+	}
 }
 
 // Get returns the contract at addr, or nil.

@@ -1,0 +1,111 @@
+package pager
+
+import (
+	"math/big"
+
+	"cosplit/internal/chain"
+)
+
+// pageBaseBytes is the fixed overhead charged per resident account
+// page (map header, unit bookkeeping).
+const pageBaseBytes = 256
+
+// estAccountBytes approximates one account's resident footprint: the
+// map entry (20-byte key, pointer, bucket share), the Account struct,
+// and the big.Int balance's header plus limbs. An estimate is enough —
+// the budget bounds the cache, it does not meter allocations.
+func estAccountBytes(balance *big.Int) int64 {
+	n := int64(120)
+	if balance != nil {
+		n += int64(len(balance.Bits()) * 8)
+	}
+	return n
+}
+
+// accountBackend implements chain.AccountBackend on a Pager. Calls
+// arrive under the account table's lock, but read-locked callers run
+// concurrently and faulting mutates the cache, so every method takes
+// the pager's own lock.
+type accountBackend struct {
+	p *Pager
+}
+
+func (b *accountBackend) Load(addr chain.Address) *chain.Account {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accountPage(p.pageOf(addr)).m[addr]
+}
+
+func (b *accountBackend) Mutate(addr chain.Address) *chain.Account {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := p.accountPage(p.pageOf(addr))
+	acc := u.m[addr]
+	if acc != nil {
+		u.dirty = true
+	}
+	return acc
+}
+
+func (b *accountBackend) Store(addr chain.Address, acc *chain.Account) {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := p.accountPage(p.pageOf(addr))
+	delta := estAccountBytes(acc.Balance)
+	if old, exists := u.m[addr]; exists {
+		delta -= estAccountBytes(old.Balance)
+	} else {
+		p.accCount++
+	}
+	u.m[addr] = acc
+	u.bytes += delta
+	p.resident += delta
+	u.dirty = true
+	p.lruFront(u)
+	p.evictTo(u)
+	p.updateGauges()
+}
+
+func (b *accountBackend) Len() int {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.accCount)
+}
+
+// Range streams the account set one page at a time in page-id order
+// (globally grouped by address prefix, unordered within a page). Each
+// page's entries are collected under the pager lock, then f runs with
+// the lock released — so f may take as long as it likes, and a fault
+// inside f (it must not call back into the backend, per the
+// AccountBackend contract) cannot deadlock. At most one page beyond
+// the budget is resident at a time, so a full walk of a beyond-RAM
+// table stays bounded.
+func (b *accountBackend) Range(f func(chain.Address, *chain.Account) bool) {
+	p := b.p
+	p.mu.Lock()
+	pids := p.sortedPageIDs()
+	p.mu.Unlock()
+	type ent struct {
+		addr chain.Address
+		acc  *chain.Account
+	}
+	var scratch []ent
+	for _, pid := range pids {
+		p.mu.Lock()
+		u := p.accountPage(pid)
+		scratch = scratch[:0]
+		for addr, acc := range u.m {
+			scratch = append(scratch, ent{addr, acc})
+		}
+		p.mu.Unlock()
+		for _, e := range scratch {
+			if !f(e.addr, e.acc) {
+				return
+			}
+		}
+	}
+}

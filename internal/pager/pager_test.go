@@ -1,0 +1,236 @@
+package pager
+
+import (
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cosplit/internal/chain"
+	"cosplit/internal/obs"
+	"cosplit/internal/shard"
+)
+
+// newPagedAccounts opens a pager over dir and adopts a fresh account
+// table onto it.
+func newPagedAccounts(t *testing.T, dir string, opts ...Option) (*Pager, *chain.Accounts) {
+	t.Helper()
+	p, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	accounts := chain.NewAccounts()
+	p.Adopt(accounts, chain.NewContracts())
+	return p, accounts
+}
+
+func TestAccountsPageRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	// Budget far below the working set so eviction and faulting are
+	// exercised constantly.
+	p, accounts := newPagedAccounts(t, dir,
+		WithBudget(16<<10), WithPageCount(16), WithRegistry(reg))
+
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		accounts.Create(chain.AddrFromUint(i), 1000+i, false)
+	}
+	if got := accounts.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		acc := accounts.Get(chain.AddrFromUint(i))
+		if acc == nil {
+			t.Fatalf("account %d missing after paging", i)
+		}
+		if want := new(big.Int).SetUint64(1000 + i); acc.Balance.Cmp(want) != 0 {
+			t.Fatalf("account %d balance = %v, want %v", i, acc.Balance, want)
+		}
+	}
+	if rb := p.ResidentBytes(); rb > 32<<10 {
+		t.Fatalf("resident bytes %d far above the 16KiB budget", rb)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["pager.evictions"] == 0 {
+		t.Fatalf("no evictions under a 16KiB budget with %d accounts", n)
+	}
+	if snap.Counters["pager.faults"] == 0 {
+		t.Fatalf("no page faults under a 16KiB budget with %d accounts", n)
+	}
+
+	// Range must see every account exactly once, faulting pages as it
+	// streams.
+	seen := make(map[chain.Address]bool, n)
+	accounts.Range(func(a chain.Address, acc *chain.Account) bool {
+		if seen[a] {
+			t.Fatalf("Range visited %s twice", a)
+		}
+		seen[a] = true
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("Range visited %d accounts, want %d", len(seen), n)
+	}
+}
+
+func TestFlushRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, accounts := newPagedAccounts(t, dir, WithBudget(16<<10), WithPageCount(16))
+
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		accounts.Create(chain.AddrFromUint(i), 7*i, false)
+	}
+	cp := shard.Checkpoint{Epoch: 3, BlockNumber: 12, NextTxID: 900}
+	if err := p.Flush(cp, "roothash"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Reopen cold: a fresh pager and a fresh (empty) table, as recovery
+	// does after re-running genesis — here genesis is empty, so
+	// ResetToDisk simply installs the committed state.
+	p2, accounts2 := newPagedAccounts(t, dir, WithBudget(16<<10))
+	gotCP, gotRoot, ok := p2.Checkpoint()
+	if !ok || gotCP != cp || gotRoot != "roothash" {
+		t.Fatalf("Checkpoint = %+v %q %v, want %+v %q true", gotCP, gotRoot, ok, cp, "roothash")
+	}
+	if err := p2.ResetToDisk(); err != nil {
+		t.Fatalf("ResetToDisk: %v", err)
+	}
+	if got := accounts2.Len(); got != n {
+		t.Fatalf("recovered Len = %d, want %d", got, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		acc := accounts2.Get(chain.AddrFromUint(i))
+		if acc == nil {
+			t.Fatalf("account %d missing after recovery", i)
+		}
+		if want := new(big.Int).SetUint64(7 * i); acc.Balance.Cmp(want) != 0 {
+			t.Fatalf("account %d balance = %v, want %v", i, acc.Balance, want)
+		}
+	}
+}
+
+func TestUnflushedWritesDiscardedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	p, accounts := newPagedAccounts(t, dir, WithBudget(8<<10), WithPageCount(8))
+
+	for i := uint64(0); i < 300; i++ {
+		accounts.Create(chain.AddrFromUint(i), i, false)
+	}
+	if err := p.Flush(shard.Checkpoint{Epoch: 1}, "r1"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Dirty the state past the flush; evictions write orphan files.
+	for i := uint64(300); i < 900; i++ {
+		accounts.Create(chain.AddrFromUint(i), i, false)
+	}
+
+	// "Crash": reopen without flushing. The committed index still says
+	// 300 accounts; orphan page files are swept.
+	p2, accounts2 := newPagedAccounts(t, dir, WithBudget(8<<10))
+	if err := p2.ResetToDisk(); err != nil {
+		t.Fatalf("ResetToDisk: %v", err)
+	}
+	if got := accounts2.Len(); got != 300 {
+		t.Fatalf("Len after crash-reopen = %d, want 300", got)
+	}
+	if acc := accounts2.Get(chain.AddrFromUint(450)); acc != nil {
+		t.Fatalf("unflushed account survived crash-reopen")
+	}
+
+	// Every remaining page file must be referenced by the index.
+	ix, err := p2.readIndex()
+	if err != nil {
+		t.Fatalf("readIndex: %v", err)
+	}
+	indexed := make(map[string]bool)
+	for _, e := range ix.Accounts {
+		indexed[accPageName(e.PageID, e.Version)] = true
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".pg") && !indexed[e.Name()] {
+			t.Fatalf("orphan page file %s survived sweep", e.Name())
+		}
+	}
+}
+
+func TestPageFileCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	p, accounts := newPagedAccounts(t, dir, WithPageCount(4))
+	for i := uint64(0); i < 50; i++ {
+		accounts.Create(chain.AddrFromUint(i), i, false)
+	}
+	if err := p.Flush(shard.Checkpoint{Epoch: 1}, "r"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Flip a byte in the middle of some page file.
+	ents, _ := os.ReadDir(dir)
+	var page string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "a") && strings.HasSuffix(e.Name(), ".pg") {
+			page = filepath.Join(dir, e.Name())
+			break
+		}
+	}
+	if page == "" {
+		t.Fatal("no account page file written")
+	}
+	b, err := os.ReadFile(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(page, b, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, accounts2 := newPagedAccounts(t, dir)
+	if err := p2.ResetToDisk(); err != nil {
+		t.Fatalf("ResetToDisk: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("faulting a corrupt page did not panic")
+		}
+	}()
+	for i := uint64(0); i < 50; i++ {
+		accounts2.Get(chain.AddrFromUint(i))
+	}
+}
+
+func TestSetBackendMigratesExistingAccounts(t *testing.T) {
+	dir := t.TempDir()
+	accounts := chain.NewAccounts()
+	const n = 400
+	for i := uint64(0); i < n; i++ {
+		accounts.Create(chain.AddrFromUint(i), i+1, false)
+	}
+	p, err := Open(dir, WithBudget(8<<10), WithPageCount(8))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	p.Adopt(accounts, chain.NewContracts())
+	if got := accounts.Len(); got != n {
+		t.Fatalf("Len after migration = %d, want %d", got, n)
+	}
+	if err := p.Flush(shard.Checkpoint{Epoch: 1}, "r"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := p.AccountCount(); got != n {
+		t.Fatalf("AccountCount = %d, want %d", got, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		acc := accounts.Get(chain.AddrFromUint(i))
+		if acc == nil || acc.Balance.Uint64() != i+1 {
+			t.Fatalf("migrated account %d wrong: %+v", i, acc)
+		}
+	}
+}

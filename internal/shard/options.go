@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"cosplit/internal/chain"
 	"cosplit/internal/fault"
 	"cosplit/internal/mempool"
 	"cosplit/internal/obs"
@@ -87,12 +88,14 @@ func DefaultConfig(numShards int) Config {
 
 // settings is the resolved form of a NewNetwork option list.
 type settings struct {
-	cfg     Config
-	recs    []obs.Recorder
-	reg     *obs.Registry
-	poolCfg *mempool.Config
-	faults  *fault.Plan
-	store   StateStore
+	cfg       Config
+	recs      []obs.Recorder
+	reg       *obs.Registry
+	poolCfg   *mempool.Config
+	faults    *fault.Plan
+	store     StateStore
+	accounts  chain.AccountBackend
+	contPager chain.ContractPager
 }
 
 // Option configures a Network at construction time. The zero option
@@ -214,6 +217,22 @@ func WithFaultEscalation(epochs int) Option {
 			epochs = 1
 		}
 		s.cfg.FaultEscalation = epochs
+	}
+}
+
+// WithStateBackends puts the network's canonical state on external
+// storage engines from birth: the account table is created on backend
+// (chain.NewAccountsOn) and, when cp is non-nil, every contract's
+// canonical state is paged through it. internal/pager implements both
+// faces over one disk-backed LRU cache; wiring it here — rather than
+// adopting after genesis — means a huge genesis population pages to
+// disk as it is provisioned instead of materialising in memory first.
+// Either argument may be nil to keep that side on the default
+// resident representation.
+func WithStateBackends(backend chain.AccountBackend, cp chain.ContractPager) Option {
+	return func(s *settings) {
+		s.accounts = backend
+		s.contPager = cp
 	}
 }
 

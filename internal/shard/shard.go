@@ -161,7 +161,13 @@ func NewNetwork(opts ...Option) *Network {
 		s.reg = obs.NewRegistry()
 	}
 	accounts := chain.NewAccounts()
+	if s.accounts != nil {
+		accounts = chain.NewAccountsOn(s.accounts)
+	}
 	contracts := chain.NewContracts()
+	if s.contPager != nil {
+		contracts.AttachPager(s.contPager)
+	}
 	d := dispatch.New(s.cfg.NumShards, accounts, contracts,
 		dispatch.WithMetrics(s.reg))
 	rec := obs.Multi(s.recs...)

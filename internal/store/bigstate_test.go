@@ -1,11 +1,16 @@
 package store
 
 import (
+	"bytes"
 	"math/big"
+	"os"
 	"runtime"
+	"sort"
+	"strconv"
 	"testing"
 
 	"cosplit/internal/chain"
+	"cosplit/internal/pager"
 	"cosplit/internal/shard"
 )
 
@@ -106,4 +111,167 @@ func TestMillionAccountsBoundedMemory(t *testing.T) {
 	if got := b.StateRoot(); got != root {
 		t.Fatalf("recovered root %s, want %s", got, root)
 	}
+}
+
+// pagedBudget is the page-cache byte budget of the paged large-state
+// gate: deliberately far below the ~134 MB the million-account table
+// costs resident, so steady state runs with real eviction pressure.
+const pagedBudget = 32 << 20
+
+// pagedHeapBound is the live-heap ceiling of the paged gate. The trie
+// (sole root authority, never paged) is the O(accounts) floor; on top
+// of it sit the 32 MB page cache and pipeline scratch. The unpaged run
+// needs ~339 MB for the same state — the gap is the tentpole's win —
+// and scripts/ci.sh additionally runs this test under GOMEMLIMIT so a
+// regression shows up as OOM-pressure or a failed assertion rather
+// than silent growth.
+const pagedHeapBound = 512 << 20
+
+// pagedBigStateNetwork provisions the million-account genesis directly
+// onto a pager backend, in sorted address order: sha-derived addresses
+// are uniform, so sorted insertion fills one page at a time and the
+// population streams to disk as it is created instead of materialising
+// in memory first (random-order insertion at a starved budget would
+// re-fault and rewrite every page O(population/budget) times).
+func pagedBigStateNetwork(t *testing.T, p *pager.Pager, users int) *shard.Network {
+	t.Helper()
+	n := shard.NewNetwork(shard.WithShards(4), shard.WithConsensusModel(false),
+		shard.WithStateBackends(p.Backend(), p))
+	addrs := make([]chain.Address, users)
+	for i := range addrs {
+		addrs[i] = chain.AddrFromUint(uint64(1000 + i))
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return bytes.Compare(addrs[i][:], addrs[j][:]) < 0
+	})
+	for _, a := range addrs {
+		n.CreateUser(a, 1<<40)
+	}
+	return n
+}
+
+// TestMillionAccountsPagedBudget is the beyond-RAM gate: the same
+// million-account run as TestMillionAccountsBoundedMemory, but with
+// the canonical account table behind a 32 MB page cache — a quarter of
+// what the table costs resident. Roots and checkpoints must stay
+// bit-identical to the fully resident pipeline, the pager must hold
+// its budget, the live heap must stay under pagedHeapBound, and a
+// fresh process must recover the state from pages with a cold cache.
+func TestMillionAccountsPagedBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-state test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("large-state test skipped under the race detector")
+	}
+	// Reference roots from the fully resident pipeline.
+	ref := bigStateNetwork()
+	bigStateEpoch(t, ref, 1)
+	bigStateEpoch(t, ref, 2)
+	refRoot, refCp := ref.StateRoot(), ref.Checkpoint()
+	ref = nil
+	runtime.GC()
+
+	dir := t.TempDir()
+	st, err := Open(dir, WithSnapshotEvery(1), WithPagedState(pagedBudget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := st.Pager()
+	a := pagedBigStateNetwork(t, p, bigStateUsers)
+	a.AttachStateStore(st)
+	bigStateEpoch(t, a, 1)
+	bigStateEpoch(t, a, 2)
+	if got := a.StateRoot(); got != refRoot {
+		t.Fatalf("paged root %s, resident pipeline %s", got, refRoot)
+	}
+	if got := a.Checkpoint(); got != refCp {
+		t.Fatalf("paged checkpoint %+v, resident pipeline %+v", got, refCp)
+	}
+	if rb := p.ResidentBytes(); rb > pagedBudget {
+		t.Fatalf("resident %d MB exceeds %d MB budget", rb>>20, pagedBudget>>20)
+	}
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > pagedHeapBound {
+		t.Fatalf("heap %d MB exceeds paged bound %d MB", ms.HeapAlloc>>20, uint64(pagedHeapBound)>>20)
+	}
+	t.Logf("paged heap with 1M-account state: %d MB (budget %d MB, resident %d MB)",
+		ms.HeapAlloc>>20, pagedBudget>>20, p.ResidentBytes()>>20)
+	runtime.KeepAlive(a)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold-cache recovery: a fresh process streams every page through
+	// the bounded cache to rebuild the root, then holds it.
+	st2, err := Open(dir, WithSnapshotEvery(1), WithPagedState(pagedBudget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	b := pagedBigStateNetwork(t, st2.Pager(), bigStateUsers)
+	if err := st2.Recover(b); err != nil {
+		t.Fatalf("paged recover: %v", err)
+	}
+	if got := b.StateRoot(); got != refRoot {
+		t.Fatalf("recovered root %s, want %s", got, refRoot)
+	}
+	if got := b.Checkpoint(); got != refCp {
+		t.Fatalf("recovered checkpoint %+v, want %+v", got, refCp)
+	}
+}
+
+// TestTenMillionAccountsPaged is the scale walkthrough's test form: a
+// ≥10M-account chain provisioned straight to disk through the pager,
+// run and flushed with bounded heap. It costs minutes of trie hashing,
+// so it only runs when COSPLIT_BIGSTATE names the population (see
+// EXPERIMENTS.md): COSPLIT_BIGSTATE=10000000 go test -run
+// TenMillion -timeout 60m ./internal/store/
+func TestTenMillionAccountsPaged(t *testing.T) {
+	users, _ := strconv.Atoi(os.Getenv("COSPLIT_BIGSTATE"))
+	if users < 10_000_000 {
+		t.Skip("set COSPLIT_BIGSTATE=10000000 (or more) to run the 10M-account walkthrough")
+	}
+	dir := t.TempDir()
+	st, err := Open(dir, WithSnapshotEvery(1),
+		WithPagedState(256<<20, pager.WithPageCount(users/512)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p := st.Pager()
+	n := pagedBigStateNetwork(t, p, users)
+	n.AttachStateStore(st)
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	t.Logf("heap after provisioning %dM accounts: %d MB (pager resident %d MB)",
+		users/1_000_000, ms.HeapAlloc>>20, p.ResidentBytes()>>20)
+	for k := uint64(1); k <= 2; k++ {
+		const transfers = 500
+		for i := uint64(0); i < transfers; i++ {
+			from := chain.AddrFromUint(1000 + (i*2099)%uint64(users))
+			to := chain.AddrFromUint(1000 + (i*2099+1)%uint64(users))
+			n.Submit(&chain.Tx{
+				Kind: chain.TxTransfer, From: from, To: to, Nonce: k,
+				Amount: big.NewInt(3), GasLimit: 1, GasPrice: 1,
+			})
+		}
+		stats, err := n.RunEpoch()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", k, err)
+		}
+		if stats.Committed == 0 {
+			t.Fatalf("epoch %d committed nothing", k)
+		}
+	}
+	if rb := p.ResidentBytes(); rb > 256<<20 {
+		t.Fatalf("resident %d MB exceeds 256 MB budget", rb>>20)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	t.Logf("heap after %dM-account epochs: %d MB, root %s",
+		users/1_000_000, ms.HeapAlloc>>20, n.StateRoot())
 }

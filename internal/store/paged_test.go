@@ -1,0 +1,224 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cosplit/internal/pager"
+	"cosplit/internal/shard"
+	"cosplit/internal/workload"
+)
+
+// tinyPaged forces the pager through constant eviction and faulting:
+// a budget far below even this small network's working set, so every
+// epoch exercises evict-then-fault round-trips on both account pages
+// and contract states.
+func tinyPaged() Option {
+	return WithPagedState(8<<10, pager.WithPageCount(64))
+}
+
+func TestPagedModeBitIdenticalToSnapshotMode(t *testing.T) {
+	snapDir, pagedDir := t.TempDir(), t.TempDir()
+
+	a := provisionFT(t)
+	stA := openStore(t, snapDir, WithSnapshotEvery(2))
+	a.Net.AttachStateStore(stA)
+
+	b := provisionFT(t)
+	stB := openStore(t, pagedDir, WithSnapshotEvery(2), tinyPaged())
+	if err := stB.Recover(b.Net); err != nil {
+		t.Fatalf("paged recover (fresh dir): %v", err)
+	}
+	b.Net.AttachStateStore(stB)
+
+	rootsA, cpsA := runEpochs(t, a, 1, 7)
+	rootsB, cpsB := runEpochs(t, b, 1, 7)
+	for i := range rootsA {
+		if rootsA[i] != rootsB[i] || cpsA[i] != cpsB[i] {
+			t.Fatalf("epoch %d diverged: snapshot-mode root %s cp %+v, paged root %s cp %+v",
+				i+1, rootsA[i], cpsA[i], rootsB[i], cpsB[i])
+		}
+	}
+	// Eviction must never corrupt the incremental trie: a full recompute
+	// (which faults every page back in) agrees with it.
+	if inc, full := b.Net.StateRoot(), b.Net.RecomputeStateRoot(); inc != full {
+		t.Fatalf("paged incremental root %s != recomputed %s", inc, full)
+	}
+	// Paged mode writes no snapshot files — the page index replaces them.
+	if snaps := snapshotsIn(pagedDir); len(snaps) != 0 {
+		t.Fatalf("paged dir grew snapshot files: %v", snaps)
+	}
+	if !hasPagedState(pagedDir) {
+		t.Fatal("paged dir has no committed page index after 7 epochs at cadence 2")
+	}
+}
+
+// provisionFTMode provisions the same deterministic FT genesis as
+// provisionFT with extra execution-mode options layered on top.
+func provisionFTMode(t *testing.T, extra ...shard.Option) *workload.Env {
+	t.Helper()
+	opts := append([]shard.Option{shard.WithShards(4), shard.WithConsensusModel(false)}, extra...)
+	env, err := workload.Provision(workload.FTTransfer(), true, opts...)
+	if err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	return env
+}
+
+// TestPagedCrossModeBitIdentical pins the acceptance criterion that all
+// four execution modes stay bit-identical to an unpaged sequential run
+// when state lives behind a starved page cache: parallel-shard and
+// intra-shard workers fault and evict pages concurrently with
+// execution, and none of it may leak into roots, checkpoints, or tx
+// ids.
+func TestPagedCrossModeBitIdentical(t *testing.T) {
+	ref := provisionFT(t)
+	refRoots, refCps := runEpochs(t, ref, 1, 5)
+
+	modes := []struct {
+		name string
+		opts []shard.Option
+	}{
+		{"sequential", nil},
+		{"parallel-shards", []shard.Option{shard.WithParallelism(true)}},
+		{"intra-shard", []shard.Option{shard.WithIntraShardParallelism(4)}},
+		{"both", []shard.Option{shard.WithParallelism(true), shard.WithIntraShardParallelism(4)}},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			env := provisionFTMode(t, m.opts...)
+			st := openStore(t, t.TempDir(), WithSnapshotEvery(2), tinyPaged())
+			if err := st.Recover(env.Net); err != nil {
+				t.Fatalf("paged recover (fresh dir): %v", err)
+			}
+			env.Net.AttachStateStore(st)
+			defer st.Close()
+			roots, cps := runEpochs(t, env, 1, 5)
+			for i := range roots {
+				if roots[i] != refRoots[i] || cps[i] != refCps[i] {
+					t.Fatalf("epoch %d diverged from unpaged sequential: root %s cp %+v, want %s %+v",
+						i+1, roots[i], cps[i], refRoots[i], refCps[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPagedRecoverColdCache(t *testing.T) {
+	dir := t.TempDir()
+	a := provisionFT(t)
+	stA := openStore(t, dir, WithSnapshotEvery(2), tinyPaged())
+	if err := stA.Recover(a.Net); err != nil {
+		t.Fatalf("recover fresh: %v", err)
+	}
+	a.Net.AttachStateStore(stA)
+	roots, cps := runEpochs(t, a, 1, 5)
+	// Kill -9: no Close, no flush of the cache beyond what epochs forced.
+
+	b, stB := recoverFresh(t, dir, WithSnapshotEvery(2), tinyPaged())
+	defer stB.Close()
+	if got := b.Net.Checkpoint(); got != cps[4] {
+		t.Fatalf("recovered checkpoint %+v, want %+v", got, cps[4])
+	}
+	if got := b.Net.StateRoot(); got != roots[4] {
+		t.Fatalf("recovered root %s, want %s", got, roots[4])
+	}
+	// Resuming the deterministic stream lands on the identical chain.
+	// The reference is an independent storeless run of the same stream —
+	// the killed process cannot serve as one, because its pager still
+	// points into the directory the recovered process now owns.
+	ref := provisionFT(t)
+	refRoots, refCps := runEpochs(t, ref, 1, 7)
+	moreB, moreCpsB := runEpochs(t, b, 6, 2)
+	for i := range moreB {
+		if moreB[i] != refRoots[5+i] || moreCpsB[i] != refCps[5+i] {
+			t.Fatalf("resumed epoch %d diverged: %s %+v vs %s %+v",
+				6+i, moreB[i], moreCpsB[i], refRoots[5+i], refCps[5+i])
+		}
+	}
+}
+
+func TestPagedTornJournalTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	a := provisionFT(t)
+	stA := openStore(t, dir, WithSnapshotEvery(4), tinyPaged())
+	if err := stA.Recover(a.Net); err != nil {
+		t.Fatalf("recover fresh: %v", err)
+	}
+	a.Net.AttachStateStore(stA)
+	roots, cps := runEpochs(t, a, 1, 5)
+
+	path := filepath.Join(dir, journalName)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatalf("test expects a journal tail past the last flush")
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	b, stB := recoverFresh(t, dir, WithSnapshotEvery(4), tinyPaged())
+	defer stB.Close()
+	if got := b.Net.Checkpoint(); got != cps[3] {
+		t.Fatalf("recovered checkpoint %+v, want pre-tear %+v", got, cps[3])
+	}
+	if got := b.Net.StateRoot(); got != roots[3] {
+		t.Fatalf("recovered root %s, want %s", got, roots[3])
+	}
+	rr, rcps := runEpochs(t, b, 5, 1)
+	if rr[0] != roots[4] || rcps[0] != cps[4] {
+		t.Fatalf("re-run epoch: root %s cp %+v, want %s %+v", rr[0], rcps[0], roots[4], cps[4])
+	}
+}
+
+func TestPagedRestoreReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	a := provisionFT(t)
+	stA := openStore(t, dir, WithSnapshotEvery(2), tinyPaged())
+	if err := stA.Recover(a.Net); err != nil {
+		t.Fatalf("recover fresh: %v", err)
+	}
+	a.Net.AttachStateStore(stA)
+	roots, cps := runEpochs(t, a, 1, 5)
+
+	// A replica catches up read-only from the paged directory into its
+	// own (resident) backend; the owner's files must not change.
+	before := dirListing(t, dir)
+	b := provisionFT(t)
+	if err := Restore(dir, b.Net); err != nil {
+		t.Fatalf("paged restore: %v", err)
+	}
+	if got := b.Net.Checkpoint(); got != cps[4] {
+		t.Fatalf("restored checkpoint %+v, want %+v", got, cps[4])
+	}
+	if got := b.Net.StateRoot(); got != roots[4] {
+		t.Fatalf("restored root %s, want %s", got, roots[4])
+	}
+	if after := dirListing(t, dir); after != before {
+		t.Fatalf("read-only restore changed the directory:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+// dirListing renders dir (recursively) as name:size lines, for
+// asserting read-only behaviour.
+func dirListing(t *testing.T, dir string) string {
+	t.Helper()
+	out := ""
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			out += path + ":" + info.ModTime().String() + "\n"
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -43,6 +43,7 @@ import (
 
 	"cosplit/internal/chain"
 	"cosplit/internal/obs"
+	"cosplit/internal/pager"
 	"cosplit/internal/shard"
 	"cosplit/internal/wire"
 )
@@ -79,6 +80,14 @@ type Store struct {
 	w     *bufio.Writer
 	every uint64
 
+	// Paged mode (WithPagedState): state lives in pages/ behind an LRU
+	// cache instead of full snapshot files.
+	paged       bool
+	pagedBudget int64
+	pagedOpts   []pager.Option
+	pager       *pager.Pager
+
+	reg            *obs.Registry
 	journalRecords *obs.Counter
 	snapshots      *obs.Counter
 	replayed       *obs.Counter
@@ -110,6 +119,7 @@ func WithRegistry(reg *obs.Registry) Option {
 }
 
 func (s *Store) metrics(reg *obs.Registry) {
+	s.reg = reg
 	s.journalRecords = reg.Counter("store.journal_records")
 	s.snapshots = reg.Counter("store.snapshots")
 	s.replayed = reg.Counter("store.replayed_blocks")
@@ -139,6 +149,12 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	}
 	s.w = bufio.NewWriter(f)
 	s.journalBytes.Set(end)
+	if s.paged {
+		if err := s.openPager(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -214,8 +230,11 @@ func (s *Store) Snapshot(n *shard.Network) error {
 // snapshot-<epoch>.snap, then compacts: the journal restarts empty and
 // older snapshots are deleted. Called with s.mu held, between epochs
 // (the pipeline is blocked in EpochCommitted), so canonical state is
-// quiescent.
+// quiescent. In paged mode the page index takes the snapshot's place.
 func (s *Store) snapshot(n *shard.Network, cp shard.Checkpoint) error {
+	if s.pager != nil {
+		return s.pagedCheckpoint(n, cp)
+	}
 	path := filepath.Join(s.dir, snapshotName(cp.Epoch))
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
@@ -320,27 +339,13 @@ func (s *Store) Recover(n *shard.Network) error {
 	if s.f == nil {
 		return errors.New("store: closed")
 	}
+	if s.pager != nil {
+		return s.recoverPaged(n)
+	}
 	if err := restoreSnapshot(s.dir, n); err != nil {
 		return err
 	}
-	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("store: recover: %w", err)
-	}
-	_, good, err := replayJournal(s.f, n, s.replayed)
-	if err != nil {
-		return err
-	}
-	// Drop a torn tail (crash mid-append) so the next epoch's frame
-	// starts on a clean boundary.
-	if err := s.f.Truncate(good); err != nil {
-		return fmt.Errorf("store: recover: truncate journal: %w", err)
-	}
-	if _, err := s.f.Seek(good, io.SeekStart); err != nil {
-		return fmt.Errorf("store: recover: %w", err)
-	}
-	s.w.Reset(s.f)
-	s.journalBytes.Set(good)
-	return nil
+	return s.replayTail(n)
 }
 
 // Restore recovers a network from a state directory without touching
@@ -348,6 +353,9 @@ func (s *Store) Recover(n *shard.Network) error {
 // up from another role's directory (e.g. a shard node re-syncing from
 // the DS committee's state) before resuming live replay.
 func Restore(dir string, n *shard.Network) error {
+	if hasPagedState(dir) {
+		return restorePaged(dir, n)
+	}
 	if err := restoreSnapshot(dir, n); err != nil {
 		return err
 	}

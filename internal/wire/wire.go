@@ -119,6 +119,12 @@ func (t MsgType) String() string {
 		return "snapshot_accounts"
 	case MsgSnapshotEnd:
 		return "snapshot_end"
+	case MsgAccountPage:
+		return "account_page"
+	case MsgContractPage:
+		return "contract_page"
+	case MsgPageIndex:
+		return "page_index"
 	}
 	return fmt.Sprintf("msg(%d)", byte(t))
 }

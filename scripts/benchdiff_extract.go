@@ -1,7 +1,10 @@
 //go:build ignore
 
-// benchdiff_extract prints the execute_max (in ms) of the 1-shard
-// sequential row of a BENCH_epoch.json report. Helper for
+// benchdiff_extract prints the gating metric of a benchmark report as
+// "<kind> <value>": for BENCH_epoch.json the execute_max (ms) of the
+// 1-shard sequential row (lower is better), for BENCH_state.json the
+// minimum committed TPS across the paged rows at the grid's default
+// (largest) budget (higher is better). Helper for
 // scripts/benchdiff.sh; kept in Go so the comparison needs no jq.
 package main
 
@@ -9,16 +12,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 type report struct {
-	Rows []struct {
+	Schema string `json:"schema"`
+	Rows   []struct {
+		// Epoch-bench fields.
 		Shards       int  `json:"shards"`
 		Parallel     bool `json:"parallel"`
 		IntraWorkers int  `json:"intra_workers"`
 		Stages       struct {
 			ExecuteMax float64 `json:"execute_max"`
 		} `json:"stages_ms"`
+		// State-bench fields.
+		Paged  bool    `json:"paged"`
+		Budget int64   `json:"budget"`
+		TPS    float64 `json:"tps"`
 	} `json:"rows"`
 }
 
@@ -37,9 +47,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if strings.HasPrefix(r.Schema, "cosplit-state-bench/") {
+		// The default budget is the largest the grid measured
+		// (DefaultStateBenchConfig puts pager.DefaultBudget at the end);
+		// the gate takes the worst paged cell at that budget so a
+		// regression at any population trips it.
+		var budget int64
+		for _, row := range r.Rows {
+			if row.Paged && row.Budget > budget {
+				budget = row.Budget
+			}
+		}
+		minTPS, found := 0.0, false
+		for _, row := range r.Rows {
+			if row.Paged && row.Budget == budget && (!found || row.TPS < minTPS) {
+				minTPS, found = row.TPS, true
+			}
+		}
+		if !found {
+			fmt.Fprintln(os.Stderr, "no paged rows found")
+			os.Exit(2)
+		}
+		fmt.Printf("state_tps %g\n", minTPS)
+		return
+	}
 	for _, row := range r.Rows {
 		if row.Shards == 1 && !row.Parallel && row.IntraWorkers == 0 {
-			fmt.Println(row.Stages.ExecuteMax)
+			fmt.Printf("exec_max %g\n", row.Stages.ExecuteMax)
 			return
 		}
 	}

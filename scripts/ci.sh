@@ -28,9 +28,19 @@ go test -race ./internal/shard/... ./internal/dispatch/... ./internal/mempool/..
 # fault-injection recovery tests over real frames.
 go test -race ./internal/wire/... ./internal/node/... ./internal/rpc/...
 # The persistence race run covers the state store (journal append,
-# snapshot rotation, recovery) and the incremental root trie under
-# -short (the million-account test opts out of the race detector).
-go test -race -short ./internal/store/... ./internal/trie/...
+# snapshot rotation, recovery), the disk-backed page cache (concurrent
+# faults and evictions under the accounts lock), and the incremental
+# root trie under -short (the million-account tests opt out of the
+# race detector). The paged store and cluster tests run in their
+# packages' race lines above/below as well; internal/pager is listed
+# explicitly because nothing else covers it.
+go test -race -short ./internal/store/... ./internal/trie/... ./internal/pager/...
+# Memory-budget regression gate: the million-account paged run asserts
+# its live-heap ceiling in-test; GOMEMLIMIT pins the runtime's GC
+# target just above that ceiling so quiet heap growth degrades into GC
+# thrash and a visibly slow (or failed) run instead of passing on a
+# big-RAM host.
+GOMEMLIMIT=512MiB go test -run 'TestMillionAccountsPagedBudget' -timeout 20m ./internal/store/
 # Short fuzz run of the wire decoders beyond the committed corpus —
 # including the store's snapshot/journal record types — no decoder may
 # panic on hostile bytes, and decode∘encode must stay a fixed point.
@@ -74,6 +84,28 @@ R1=$(/tmp/cosplit-shardsim -state-dir "$STATE_DIR" -workloads "FT transfer" -epo
 R2=$(/tmp/cosplit-shardsim -state-dir "$STATE_DIR" -workloads "FT transfer" -epochs 0 | grep '^state: recovered')
 [ "$R1" = "$R2" ]
 rm -rf "$STATE_DIR"
+# Paged-state smoke: the same restart-recovery and SIGKILL checks with
+# canonical state behind a deliberately tiny disk-backed page cache
+# (-state-budget 1MiB): the paged run must finish on the identical
+# root the fully resident run above printed (bit-identical execution),
+# recover to it from pages with a cold cache, and survive a SIGKILL
+# mid-flight — dirty pages are only published by the atomic index
+# commit, so recovery lands on the last flushed checkpoint plus the
+# journal tail, and two consecutive recoveries agree.
+PAGED_DIR=$(mktemp -d)
+FINAL_P=$(/tmp/cosplit-shardsim -state-dir "$PAGED_DIR" -state-budget 1048576 -workloads "FT transfer" -submit-rate 200 -epochs 4 | grep '^state: final')
+[ "${FINAL_P#state: final }" = "${FINAL#state: final }" ]
+RECOVERED_P=$(/tmp/cosplit-shardsim -state-dir "$PAGED_DIR" -state-budget 1048576 -workloads "FT transfer" -epochs 0 | grep '^state: recovered')
+[ "${FINAL_P#state: final }" = "${RECOVERED_P#state: recovered }" ]
+/tmp/cosplit-shardsim -state-dir "$PAGED_DIR" -state-budget 1048576 -workloads "FT transfer" -submit-rate 200 -epochs 100000 &
+KILL_PID=$!
+sleep 2
+kill -9 $KILL_PID
+wait $KILL_PID || true
+P1=$(/tmp/cosplit-shardsim -state-dir "$PAGED_DIR" -state-budget 1048576 -workloads "FT transfer" -epochs 0 | grep '^state: recovered')
+P2=$(/tmp/cosplit-shardsim -state-dir "$PAGED_DIR" -state-budget 1048576 -workloads "FT transfer" -epochs 0 | grep '^state: recovered')
+[ "$P1" = "$P2" ]
+rm -rf "$PAGED_DIR"
 # Node-mode smoke: boot the JSON-RPC front door over a cluster whose
 # internal traffic runs on real TCP sockets, hammer it closed-loop,
 # and require every transaction to come back with a receipt (the
@@ -84,5 +116,7 @@ trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
 sleep 2
 /tmp/cosplit-shardsim -hammer http://127.0.0.1:18545 -hammer-n 300 -hammer-workers 8
 kill $SERVE_PID
-# After regenerating BENCH_epoch.json, scripts/benchdiff.sh OLD NEW
-# fails on a >10% execute_max regression of the 1-shard sequential row.
+# After regenerating BENCH_epoch.json or BENCH_state.json,
+# scripts/benchdiff.sh OLD NEW fails on a >10% regression of the
+# report's gating metric (1-shard sequential execute_max, or the
+# default-budget paged TPS).
