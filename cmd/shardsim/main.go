@@ -88,14 +88,18 @@ func main() {
 		stateBench  = flag.Bool("state-bench", false, "run the paged-state benchmark (accounts x budget grid: throughput, faults/epoch, p99 fault latency) and write BENCH_state.json via -bench-out")
 		noCompile   = flag.Bool("no-compile", false, "disable the closure-chain compiled executor and run every transition on the AST interpreter (results are bit-identical, only slower)")
 
-		serveAddr = flag.String("serve", "", "serve the JSON-RPC front door on this address (e.g. 127.0.0.1:8545) over a message-passing node cluster")
+		serveAddr = flag.String("serve", "", "serve the JSON-RPC front door on this address (e.g. 127.0.0.1:8545) over a message-passing node cluster; with -node lookup, the lookup's own RPC address")
 		serveTCP  = flag.String("serve-tcp", "", "with -serve: run the cluster's internal traffic over a TCP hub on this address instead of in-process channels")
+		lookups   = flag.Int("lookups", 1, "with -serve: number of lookup nodes in the cluster (RPC serves from the first)")
 		blockIvl  = flag.Duration("block-interval", 250*time.Millisecond, "block production interval for -serve")
-		hammerURL = flag.String("hammer", "", "hammer a serving instance at this URL (e.g. http://127.0.0.1:8545) and report latency percentiles")
+		nodeRole  = flag.String("node", "", "run one cluster actor as this OS process against the TCP hub at -hub: hub, ds, shard:<i>, lookup, or lookup:<i>")
+		hubAddr   = flag.String("hub", "", "with -node: the hub's address (listened on by the hub role, dialed by every other role)")
+		hammerURL = flag.String("hammer", "", "hammer a serving instance at this URL (e.g. http://127.0.0.1:8545) and report latency percentiles; a comma-separated list round-robins workers over several servers")
 		hammerN   = flag.Int("hammer-n", 1000, "transactions to push through with -hammer")
 		hammerWk  = flag.Int("hammer-workers", 8, "closed-loop workers for -hammer")
-		rpcWorkld = flag.String("rpc-workload", "FT transfer", "workload provisioned as genesis by -serve and used as the -hammer stream (must match on both sides)")
-		rpcShards = flag.Int("rpc-shards", 3, "shard count for -serve/-hammer genesis (must match on both sides)")
+		chainInfo = flag.String("chain-info", "", "query a serving instance at this URL for its chain head (epoch + state root) and exit")
+		rpcWorkld = flag.String("rpc-workload", "FT transfer", "workload provisioned as genesis by -serve/-node and used as the -hammer stream (must match on both sides)")
+		rpcShards = flag.Int("rpc-shards", 3, "shard count for -serve/-node/-hammer genesis (must match on both sides)")
 	)
 	flag.Parse()
 
@@ -172,17 +176,24 @@ func main() {
 	}
 
 	switch {
+	case *nodeRole != "":
+		runNodeRole(*nodeRole, *hubAddr, *rpcWorkld, *rpcShards, *blockIvl, *stateDir, *snapEvery, *serveAddr)
 	case *serveAddr != "":
-		serveRPC(*serveAddr, *serveTCP, *rpcWorkld, *rpcShards, *blockIvl, *stateDir, *snapEvery)
+		serveRPC(*serveAddr, *serveTCP, *rpcWorkld, *rpcShards, *lookups, *blockIvl, *stateDir, *snapEvery)
+	case *chainInfo != "":
+		info, err := rpc.NewClient(*chainInfo).ChainInfo()
+		fail(err)
+		fmt.Printf("chain: epoch=%d root=%s\n", info.Epoch, info.StateRoot)
 	case *hammerURL != "":
 		w, err := workload.ByName(*rpcWorkld)
 		fail(err)
 		next, err := rpc.WorkloadStream(w, *rpcShards)
 		fail(err)
+		urls := split(*hammerURL)
 		fmt.Fprintf(os.Stderr, "shardsim: hammering %s: %d txs over %d workers (workload %q)\n",
-			*hammerURL, *hammerN, *hammerWk, w.Name)
+			strings.Join(urls, ", "), *hammerN, *hammerWk, w.Name)
 		rep, err := rpc.RunHammer(rpc.HammerConfig{
-			URL:     *hammerURL,
+			URLs:    urls,
 			Workers: *hammerWk,
 			Total:   *hammerN,
 			Next:    next,
@@ -348,7 +359,7 @@ func main() {
 // JSON-RPC front door until the process is killed. The genesis stays a
 // pure function of the workload and shard count so a hammer process
 // can provision the identical transaction stream on its side.
-func serveRPC(addr, tcpAddr, workloadName string, shards int, interval time.Duration, stateDir string, snapEvery int) {
+func serveRPC(addr, tcpAddr, workloadName string, shards, lookups int, interval time.Duration, stateDir string, snapEvery int) {
 	w, err := workload.ByName(workloadName)
 	fail(err)
 	genesis := func() (*shard.Network, error) {
@@ -361,6 +372,9 @@ func serveRPC(addr, tcpAddr, workloadName string, shards int, interval time.Dura
 	var opts []node.ClusterOption
 	if tcpAddr != "" {
 		opts = append(opts, node.ClusterTCP(tcpAddr))
+	}
+	if lookups > 1 {
+		opts = append(opts, node.ClusterLookupCount(lookups))
 	}
 	if stateDir != "" {
 		opts = append(opts, node.ClusterStateDir(stateDir, snapEvery))

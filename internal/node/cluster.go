@@ -18,11 +18,14 @@ type Genesis func() (*shard.Network, error)
 
 // Cluster wires a full node topology over one transport: a DS
 // committee, one shard node per shard of the genesis configuration,
-// and a lookup node.
+// and one or more lookup nodes (ClusterLookupCount).
 type Cluster struct {
 	DS     *DS
 	Shards []*ShardNode
-	Lookup *Lookup
+	// Lookups holds every lookup node; Lookup aliases the first for
+	// single-lookup callers.
+	Lookups []*Lookup
+	Lookup  *Lookup
 
 	chanNet *ChanNetwork
 	hub     *TCPHub
@@ -37,6 +40,7 @@ type clusterConfig struct {
 	dsOpts        []DSOption
 	shardOpts     []ShardOption
 	lookupOpts    []LookupOption
+	lookupCount   int
 	stateDir      string
 	snapshotEvery int
 	pagedBudget   int64
@@ -60,9 +64,21 @@ func ClusterShardNodes(opts ...ShardOption) ClusterOption {
 	return func(c *clusterConfig) { c.shardOpts = append(c.shardOpts, opts...) }
 }
 
-// ClusterLookup forwards role options to the lookup node.
+// ClusterLookup forwards role options to every lookup node.
 func ClusterLookup(opts ...LookupOption) ClusterOption {
 	return func(c *clusterConfig) { c.lookupOpts = append(c.lookupOpts, opts...) }
+}
+
+// ClusterLookupCount runs n lookup nodes (default 1) named "lookup",
+// "lookup-1", "lookup-2", ... — all announced to the committee and
+// fanned FinalBlocks, so each serves clients with a consistent (if
+// independently bounded) receipt cache.
+func ClusterLookupCount(n int) ClusterOption {
+	return func(c *clusterConfig) {
+		if n > 0 {
+			c.lookupCount = n
+		}
+	}
 }
 
 // ClusterStateDir makes every stateful node persistent: the DS
@@ -92,7 +108,7 @@ func ClusterPagedState(budget int64) ClusterOption {
 // the canonical network, each shard node its own genesis replica.
 // Node names are "ds", "shard-<i>", and "lookup".
 func NewCluster(genesis Genesis, opts ...ClusterOption) (*Cluster, error) {
-	var cfg clusterConfig
+	cfg := clusterConfig{lookupCount: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -144,19 +160,27 @@ func NewCluster(genesis Genesis, opts ...ClusterOption) (*Cluster, error) {
 		}
 		return st, nil
 	}
+	var dsStore *store.Store
 	if cfg.stateDir != "" {
 		st, err := openStore("ds", canonical)
 		if err != nil {
 			return fail(err)
 		}
 		canonical.AttachStateStore(st)
+		dsStore = st
 	}
 
 	dsEp, err := endpoint("ds")
 	if err != nil {
 		return fail(err)
 	}
-	ds, err := NewDS("ds", canonical, dsEp, shardNames, append([]DSOption{DSLookups("lookup")}, cfg.dsOpts...)...)
+	dsOpts := []DSOption{DSLookups("lookup")}
+	if dsStore != nil {
+		// The committee's own journal backs replica catch-up requests
+		// for epochs older than its in-memory ring.
+		dsOpts = append(dsOpts, DSBlockSource(dsStore))
+	}
+	ds, err := NewDS("ds", canonical, dsEp, shardNames, append(dsOpts, cfg.dsOpts...)...)
 	if err != nil {
 		return fail(err)
 	}
@@ -202,17 +226,26 @@ func NewCluster(genesis Genesis, opts ...ClusterOption) (*Cluster, error) {
 		c.Shards = append(c.Shards, NewShard(name, i, replica, ep, "ds", cfg.shardOpts...))
 	}
 
-	lookupEp, err := endpoint("lookup")
-	if err != nil {
-		return fail(err)
+	for i := 0; i < cfg.lookupCount; i++ {
+		name := "lookup"
+		if i > 0 {
+			name = fmt.Sprintf("lookup-%d", i)
+		}
+		lookupEp, err := endpoint(name)
+		if err != nil {
+			return fail(err)
+		}
+		c.Lookups = append(c.Lookups, NewLookup(name, lookupEp, "ds", cfg.lookupOpts...))
 	}
-	c.Lookup = NewLookup("lookup", lookupEp, "ds", cfg.lookupOpts...)
+	c.Lookup = c.Lookups[0]
 
 	c.DS.Run()
 	for _, s := range c.Shards {
 		s.Run()
 	}
-	c.Lookup.Run()
+	for _, l := range c.Lookups {
+		l.Run()
+	}
 	return c, nil
 }
 
@@ -255,8 +288,8 @@ func (c *Cluster) Produce(interval time.Duration, onTick func(TickResult)) (stop
 
 // Close stops every node and the transport.
 func (c *Cluster) Close() {
-	if c.Lookup != nil {
-		c.Lookup.Close()
+	for _, l := range c.Lookups {
+		l.Close()
 	}
 	for _, s := range c.Shards {
 		s.Close()

@@ -31,15 +31,41 @@ type DS struct {
 	shards  []string
 	timeout time.Duration
 	m       *linkMetrics
+	source  BlockSource
 
-	inbox chan inbound
-	ticks chan tickReq
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	// recent is a ring of the latest committed FinalBlocks (contiguous
+	// ascending epochs), the primary source for replica catch-up
+	// requests; the BlockSource covers epochs that predate this
+	// process. Only the actor goroutine touches it.
+	recent []*shard.FinalBlock
+
+	inbox     chan inbound
+	ticks     chan tickReq
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 
 	mu      sync.Mutex
 	lookups map[string]bool
 }
+
+// BlockSource serves committed FinalBlocks by epoch range [from, to)
+// for replica catch-up; *store.Store implements it over the epoch
+// journal. The result may be a sub-range (compaction trims the old
+// end), but present blocks are contiguous ascending.
+type BlockSource interface {
+	Blocks(from, to uint64) ([]*shard.FinalBlock, error)
+}
+
+// recentBlockCap bounds the in-memory catch-up ring. A replica that
+// fell further behind than this (and past the journal's compaction
+// horizon) cannot be served and must recover from a state directory.
+const recentBlockCap = 256
+
+// maxBlocksPerResponse caps how many FinalBlocks ride in one
+// MsgBlockResponse, so a far-behind replica's request cannot produce
+// an oversized frame; the replica re-requests the remainder.
+const maxBlocksPerResponse = 64
 
 type inbound struct {
 	from  string
@@ -66,6 +92,7 @@ type dsConfig struct {
 	rec     obs.Recorder
 	faults  *LinkFaults
 	lookups []string
+	source  BlockSource
 }
 
 // DSCollectTimeout bounds how long the committee waits for MicroBlocks
@@ -88,10 +115,18 @@ func DSFaults(f LinkFaults) DSOption {
 }
 
 // DSLookups pre-registers lookup nodes for FinalBlock broadcasts.
-// Lookups are also learned dynamically: any peer that submits or
-// queries gets future broadcasts.
+// Lookups are also learned dynamically: any peer that says hello as a
+// lookup, submits, or queries gets future broadcasts.
 func DSLookups(names ...string) DSOption {
 	return func(c *dsConfig) { c.lookups = names }
+}
+
+// DSBlockSource lets the committee serve catch-up requests for epochs
+// older than its in-memory ring — typically the committee's own
+// *store.Store, whose journal holds everything since the last
+// snapshot. Without one, only the ring is servable.
+func DSBlockSource(src BlockSource) DSOption {
+	return func(c *dsConfig) { c.source = src }
 }
 
 // NewDS builds the committee actor around an existing canonical
@@ -115,6 +150,7 @@ func NewDS(name string, net *shard.Network, ep Endpoint, shardNames []string, op
 		shards:  append([]string(nil), shardNames...),
 		timeout: c.timeout,
 		m:       lep.m,
+		source:  c.source,
 		inbox:   make(chan inbound, 4096),
 		ticks:   make(chan tickReq),
 		quit:    make(chan struct{}),
@@ -137,13 +173,10 @@ func (d *DS) Run() {
 	go d.loop()
 }
 
-// Close stops the actor and detaches its endpoint.
+// Close stops the actor and detaches its endpoint. Safe to call
+// concurrently and more than once.
 func (d *DS) Close() {
-	select {
-	case <-d.quit:
-	default:
-		close(d.quit)
-	}
+	d.closeOnce.Do(func() { close(d.quit) })
 	d.ep.Close()
 	d.wg.Wait()
 }
@@ -249,9 +282,80 @@ func (d *DS) handleFrame(in inbound, blocks []*shard.MicroBlock, missing *int) {
 		}
 		blocks[mb.Shard] = mb
 		*missing--
+	case wire.MsgHello:
+		h, err := wire.DecodeHello(payload)
+		if err != nil {
+			d.m.recvErrors.Inc()
+			return
+		}
+		if h.Role == "lookup" {
+			d.registerLookup(in.from)
+		}
+	case wire.MsgBlockRequest:
+		q, err := wire.DecodeBlockRequest(payload)
+		if err != nil {
+			d.m.recvErrors.Inc()
+			return
+		}
+		d.serveBlocks(in.from, q)
 	default:
 		d.m.recvErrors.Inc()
 	}
+}
+
+// serveBlocks answers a replica catch-up request: the contiguous run
+// of committed FinalBlocks starting at q.From, clipped to the head,
+// the response size cap, and what the ring + block source still hold.
+// Head lets the requester distinguish "you are not actually behind"
+// (Head <= From) from "behind but unservable" (Head > From, no
+// blocks).
+func (d *DS) serveBlocks(to string, q *wire.BlockRequest) {
+	head := d.net.Epoch // epochs < head are committed
+	end := q.To
+	if end > head {
+		end = head
+	}
+	if end > q.From+maxBlocksPerResponse {
+		end = q.From + maxBlocksPerResponse
+	}
+	resp := &wire.BlockResponse{From: q.From, Head: head}
+	if end > q.From {
+		resp.Blocks = d.blocksFor(q.From, end)
+	}
+	payload, err := wire.EncodeBlockResponse(resp)
+	if err != nil {
+		d.m.recvErrors.Inc()
+		return
+	}
+	d.send(to, wire.MsgBlockResponse, payload)
+}
+
+// blocksFor collects the contiguous run of FinalBlocks for epochs
+// [from, to), consulting the block source for epochs older than the
+// in-memory ring. Runs on the actor goroutine.
+func (d *DS) blocksFor(from, to uint64) []*shard.FinalBlock {
+	var out []*shard.FinalBlock
+	next := from
+	if d.source != nil && (len(d.recent) == 0 || d.recent[0].Epoch > next) {
+		if blocks, err := d.source.Blocks(next, to); err == nil {
+			for _, fb := range blocks {
+				if fb.Epoch == next && next < to {
+					out = append(out, fb)
+					next++
+				}
+			}
+		}
+	}
+	for _, fb := range d.recent {
+		if next >= to {
+			break
+		}
+		if fb.Epoch == next {
+			out = append(out, fb)
+			next++
+		}
+	}
+	return out
 }
 
 func (d *DS) registerLookup(name string) {
@@ -317,6 +421,10 @@ func (d *DS) runEpoch(req tickReq) {
 		return
 	}
 	if fb != nil {
+		d.recent = append(d.recent, fb)
+		if len(d.recent) > recentBlockCap {
+			d.recent = append(d.recent[:0], d.recent[len(d.recent)-recentBlockCap:]...)
+		}
 		payload, err := wire.EncodeFinalBlock(fb)
 		if err != nil {
 			req.resp <- TickResult{Err: fmt.Errorf("encode final block: %w", err)}

@@ -26,8 +26,9 @@ type Lookup struct {
 	timeout time.Duration
 	m       *linkMetrics
 
-	quit chan struct{}
-	wg   sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 
 	mu         sync.Mutex
 	corr       uint64
@@ -112,19 +113,21 @@ func NewLookup(name string, ep Endpoint, ds string, opts ...LookupOption) *Looku
 	}
 }
 
-// Run starts the actor loop.
+// Run starts the actor loop. The lookup announces itself to the
+// committee first (MsgHello), so the DS adds it to the FinalBlock
+// fan-out before any traffic flows — a lookup that only ever polls
+// receipts would otherwise never be learned.
 func (l *Lookup) Run() {
+	hello := wire.EncodeHello(&wire.Hello{Name: l.name, Role: "lookup"})
+	_ = l.ep.Send(l.ds, wire.EncodeFrame(wire.MsgHello, hello))
 	l.wg.Add(1)
 	go l.loop()
 }
 
-// Close stops the actor and detaches its endpoint.
+// Close stops the actor and detaches its endpoint. Safe to call
+// concurrently and more than once.
 func (l *Lookup) Close() {
-	select {
-	case <-l.quit:
-	default:
-		close(l.quit)
-	}
+	l.closeOnce.Do(func() { close(l.quit) })
 	l.ep.Close()
 	l.wg.Wait()
 }

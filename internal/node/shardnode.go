@@ -2,6 +2,7 @@ package node
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"cosplit/internal/obs"
@@ -19,10 +20,14 @@ import (
 // Executing a TxBatch does not mutate the replica: ExecuteShard
 // produces a MicroBlock of deltas, and state only advances when the
 // DS's FinalBlock comes back. A node that misses a FinalBlock (dropped
-// frame) therefore lags an epoch behind and refuses later batches —
-// the DS sees no MicroBlock and requeues, charging the usual
-// transport-loss recovery. Resynchronizing a lagging replica is out of
-// scope; Err reports the first skew or divergence.
+// frame, or a restart that recovered to an older checkpoint) detects
+// the skew on the next frame for a future epoch — a TxBatch ahead of
+// its own epoch, or a FinalBlock that fails ErrEpochSkew forward — and
+// catches up live: it requests the missed range from the committee
+// (MsgBlockRequest), replays the returned FinalBlocks through the
+// ordinary root-verified ApplyFinalBlock path, then resumes executing
+// batches. Err reports the first unrecoverable error: state
+// divergence, or a missed range the committee can no longer serve.
 type ShardNode struct {
 	name  string
 	shard int
@@ -31,12 +36,30 @@ type ShardNode struct {
 	ds    string
 	m     *linkMetrics
 
-	quit chan struct{}
-	wg   sync.WaitGroup
+	// Resync state, touched only by the actor goroutine. pendingBlocks
+	// holds future FinalBlocks that arrived mid-catch-up;
+	// pendingBatch/pendingFrom the latest future TxBatch, executed once
+	// the replica reaches its epoch; awaitTo (0 = none) the exclusive
+	// target epoch of the outstanding block request — a later frame
+	// with a higher target re-requests, so a dropped request or
+	// response frame delays catch-up by an epoch instead of wedging it.
+	pendingBlocks map[uint64]*shard.FinalBlock
+	pendingBatch  *wire.TxBatch
+	pendingFrom   string
+	awaitTo       uint64
+	resyncs       *obs.Counter
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 
 	mu      sync.Mutex
 	lastErr error
 }
+
+// pendingBlockCap bounds the stash of future FinalBlocks so a peer
+// fabricating far-future blocks cannot grow it without limit.
+const pendingBlockCap = 512
 
 // ShardOption configures a ShardNode.
 type ShardOption func(*shardConfig)
@@ -66,15 +89,20 @@ func NewShard(name string, s int, replica *shard.Network, ep Endpoint, ds string
 	for _, o := range opts {
 		o(&c)
 	}
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
 	lep := Instrument(ep, c.rec, c.reg, c.faults).(*link)
 	return &ShardNode{
-		name:  name,
-		shard: s,
-		ep:    lep,
-		net:   replica,
-		ds:    ds,
-		m:     lep.m,
-		quit:  make(chan struct{}),
+		name:          name,
+		shard:         s,
+		ep:            lep,
+		net:           replica,
+		ds:            ds,
+		m:             lep.m,
+		pendingBlocks: make(map[uint64]*shard.FinalBlock),
+		resyncs:       c.reg.Counter("node.resyncs"),
+		quit:          make(chan struct{}),
 	}
 }
 
@@ -82,8 +110,8 @@ func NewShard(name string, s int, replica *shard.Network, ep Endpoint, ds string
 // tests).
 func (s *ShardNode) Net() *shard.Network { return s.net }
 
-// Err returns the first replica error: epoch skew after a missed
-// FinalBlock, or state divergence from the committee.
+// Err returns the first unrecoverable replica error: state divergence
+// from the committee, or an unservable catch-up gap.
 func (s *ShardNode) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -104,13 +132,10 @@ func (s *ShardNode) Run() {
 	go s.loop()
 }
 
-// Close stops the actor and detaches its endpoint.
+// Close stops the actor and detaches its endpoint. Safe to call
+// concurrently and more than once.
 func (s *ShardNode) Close() {
-	select {
-	case <-s.quit:
-	default:
-		close(s.quit)
-	}
+	s.closeOnce.Do(func() { close(s.quit) })
 	s.ep.Close()
 	s.wg.Wait()
 }
@@ -132,6 +157,8 @@ func (s *ShardNode) loop() {
 			s.handleBatch(from, payload)
 		case wire.MsgFinalBlock:
 			s.handleFinalBlock(payload)
+		case wire.MsgBlockResponse:
+			s.handleBlockResponse(payload)
 		default:
 			s.m.recvErrors.Inc()
 		}
@@ -144,12 +171,25 @@ func (s *ShardNode) handleBatch(from string, payload []byte) {
 		s.m.recvErrors.Inc()
 		return
 	}
-	if batch.Shard != s.shard || batch.Epoch != s.net.Epoch {
-		// Wrong shard, or the replica lags after a missed FinalBlock: a
-		// stale replica must not execute — staying silent makes the DS
-		// treat this shard as transport-lost and requeue the batch.
+	if batch.Shard != s.shard || batch.Epoch < s.net.Epoch {
+		// Wrong shard, or a stale batch the DS already requeued past.
 		return
 	}
+	if batch.Epoch > s.net.Epoch {
+		// The replica lags (it missed at least one FinalBlock): stash
+		// the batch and catch up. If the fetch completes before the
+		// committee's collect timeout, the MicroBlock still lands this
+		// epoch; otherwise the DS requeues the batch and the replica
+		// rejoins on the next one.
+		s.pendingBatch, s.pendingFrom = batch, from
+		s.requestResync(batch.Epoch)
+		return
+	}
+	s.execBatch(from, batch)
+}
+
+// execBatch executes a current-epoch batch and ships the MicroBlock.
+func (s *ShardNode) execBatch(from string, batch *wire.TxBatch) {
 	mb, err := s.net.ExecuteShard(s.shard, batch.Txs)
 	if err != nil {
 		s.setErr(err)
@@ -170,10 +210,103 @@ func (s *ShardNode) handleFinalBlock(payload []byte) {
 		return
 	}
 	if err := s.net.ApplyFinalBlock(fb); err != nil {
-		if !errors.Is(err, shard.ErrEpochSkew) || fb.Epoch > s.net.Epoch {
-			// Re-delivered old blocks are harmless; lagging behind or
-			// diverging is not.
+		switch {
+		case !errors.Is(err, shard.ErrEpochSkew):
 			s.setErr(err)
+		case fb.Epoch > s.net.Epoch:
+			// A future block: FinalBlocks in between were missed. Keep
+			// this one for replay and fetch the gap.
+			if len(s.pendingBlocks) < pendingBlockCap {
+				s.pendingBlocks[fb.Epoch] = fb
+			}
+			s.requestResync(fb.Epoch)
+		default:
+			// A re-delivered old block: harmless.
+		}
+		return
+	}
+	s.drainPending()
+}
+
+// requestResync asks the committee for FinalBlocks [net.Epoch, target)
+// unless an outstanding request already covers the range.
+func (s *ShardNode) requestResync(target uint64) {
+	if s.awaitTo >= target {
+		return
+	}
+	s.awaitTo = target
+	s.resyncs.Inc()
+	payload := wire.EncodeBlockRequest(&wire.BlockRequest{From: s.net.Epoch, To: target})
+	_ = s.ep.Send(s.ds, wire.EncodeFrame(wire.MsgBlockRequest, payload))
+}
+
+func (s *ShardNode) handleBlockResponse(payload []byte) {
+	resp, err := wire.DecodeBlockResponse(payload)
+	if err != nil {
+		s.m.recvErrors.Inc()
+		return
+	}
+	applied := false
+	for _, fb := range resp.Blocks {
+		if fb.Epoch != s.net.Epoch {
+			continue // already applied (duplicate response, or pendingBlocks got there first)
+		}
+		if err := s.net.ApplyFinalBlock(fb); err != nil {
+			s.setErr(err)
+			return
+		}
+		applied = true
+	}
+	if !applied && resp.Head > resp.From && resp.From == s.net.Epoch {
+		// The committee is ahead of us but served nothing: the range
+		// was compacted past its journal and ring. No live path back —
+		// this replica needs a state-directory recovery.
+		s.setErr(fmt.Errorf("node: %s: resync epochs [%d, %d) unservable by committee at epoch %d",
+			s.name, resp.From, s.awaitTo, resp.Head))
+		return
+	}
+	s.drainPending()
+	if s.awaitTo > 0 {
+		if s.net.Epoch >= s.awaitTo || resp.Head <= resp.From {
+			// Caught up — or the committee says we were never behind
+			// (a fabricated future block): stand down so the next real
+			// skew re-requests from scratch.
+			s.awaitTo = 0
+		} else if applied {
+			// Partial response (the committee caps response size):
+			// request the remainder.
+			target := s.awaitTo
+			s.awaitTo = 0
+			s.requestResync(target)
+		}
+	}
+}
+
+// drainPending replays stashed future FinalBlocks that became current
+// and executes the stashed batch once the replica reaches its epoch.
+func (s *ShardNode) drainPending() {
+	for {
+		fb := s.pendingBlocks[s.net.Epoch]
+		if fb == nil {
+			break
+		}
+		delete(s.pendingBlocks, fb.Epoch)
+		if err := s.net.ApplyFinalBlock(fb); err != nil {
+			s.setErr(err)
+			return
+		}
+	}
+	for e := range s.pendingBlocks {
+		if e < s.net.Epoch {
+			delete(s.pendingBlocks, e)
+		}
+	}
+	if b := s.pendingBatch; b != nil {
+		if b.Epoch == s.net.Epoch {
+			s.pendingBatch = nil
+			s.execBatch(s.pendingFrom, b)
+		} else if b.Epoch < s.net.Epoch {
+			s.pendingBatch = nil // the DS requeued it long ago
 		}
 	}
 }

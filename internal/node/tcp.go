@@ -88,7 +88,19 @@ func (h *TCPHub) acceptLoop() {
 		if err != nil {
 			return
 		}
+		// The Add must be ordered against Close's Wait: an accept that
+		// lands between the listener close and the wait would otherwise
+		// Add after Wait began. Close sets closed under the same lock
+		// before it waits, so either we see closed here and drop the
+		// conn, or Close sees our Add.
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			c.Close()
+			continue
+		}
 		h.wg.Add(1)
+		h.mu.Unlock()
 		go h.serve(c)
 	}
 }
@@ -140,7 +152,17 @@ func (h *TCPHub) serve(c net.Conn) {
 			continue // best-effort: unknown destinations drop
 		}
 		if err := dst.writeEnvelope(name, frame); err != nil {
+			// The destination is dead: drop its routing entry now (not
+			// when its read loop notices) so interim senders stop
+			// writing into a dead buffered writer. Identity-guarded,
+			// like the deferred cleanup — the name may already belong
+			// to a reconnected peer.
 			dst.c.Close()
+			h.mu.Lock()
+			if h.conns[dst.name] == dst {
+				delete(h.conns, dst.name)
+			}
+			h.mu.Unlock()
 		}
 	}
 }

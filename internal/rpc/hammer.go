@@ -19,6 +19,10 @@ import (
 type HammerConfig struct {
 	// URL of the JSON-RPC server.
 	URL string
+	// URLs, when non-empty, spreads the load over several servers
+	// (e.g. a scaled-out lookup tier): worker i talks to
+	// URLs[i % len(URLs)], round-robin. URL is ignored when set.
+	URLs []string
 	// Workers is the closed-loop concurrency (default 8).
 	Workers int
 	// Total transactions to submit (default 1000).
@@ -83,6 +87,9 @@ func RunHammer(cfg HammerConfig) (*HammerReport, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if len(cfg.URLs) == 0 {
+		cfg.URLs = []string{cfg.URL}
+	}
 
 	var (
 		mu        sync.Mutex
@@ -107,9 +114,10 @@ func RunHammer(cfg HammerConfig) (*HammerReport, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
 		wg.Add(1)
+		url := cfg.URLs[i%len(cfg.URLs)]
 		go func() {
 			defer wg.Done()
-			c := NewClient(cfg.URL)
+			c := NewClient(url)
 			for tx := range next {
 				start := time.Now()
 				id, err := c.SendTx(tx)

@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"fmt"
+
+	"cosplit/internal/shard"
+)
+
+// Catch-up protocol types (internal/node). A replica that detects it
+// is behind the DS committee — a TxBatch or FinalBlock arrives for a
+// future epoch — requests the FinalBlocks it missed by epoch range and
+// replays them, root-verified, before resuming live execution.
+const (
+	// MsgBlockRequest asks the DS committee for committed FinalBlocks
+	// in an epoch range.
+	MsgBlockRequest MsgType = 18
+	// MsgBlockResponse answers a MsgBlockRequest with a contiguous run
+	// of FinalBlocks starting at the requested epoch.
+	MsgBlockResponse MsgType = 19
+	// MsgHello announces a node to the DS committee when it starts, so
+	// dynamically joining peers (lookups in particular) are learned
+	// without static configuration.
+	MsgHello MsgType = 20
+)
+
+// BlockRequest asks for the committed FinalBlocks of epochs
+// [From, To) — To is exclusive, so a replica at epoch 3 that saw a
+// block for epoch 7 asks for [3, 7).
+type BlockRequest struct {
+	From uint64
+	To   uint64
+}
+
+// EncodeBlockRequest encodes a block request.
+func EncodeBlockRequest(q *BlockRequest) []byte {
+	b := appendUvarint(make([]byte, 0, 16), q.From)
+	return appendUvarint(b, q.To)
+}
+
+// DecodeBlockRequest decodes a block request payload.
+func DecodeBlockRequest(b []byte) (*BlockRequest, error) {
+	r := &reader{b: b}
+	q := &BlockRequest{From: r.uvarint(), To: r.uvarint()}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if q.To < q.From {
+		return nil, fmt.Errorf("%w: block request range [%d, %d) is inverted", ErrDecode, q.From, q.To)
+	}
+	return q, nil
+}
+
+// BlockResponse carries a contiguous run of committed FinalBlocks
+// starting at epoch From (Blocks[i] is epoch From+i), plus the
+// responder's current head epoch so the requester can tell a fully
+// served range from a truncated one and re-request the remainder. A
+// response may carry fewer blocks than asked for (the responder caps
+// response size) or none at all (the range is ahead of the head, or
+// compacted out of the journal).
+type BlockResponse struct {
+	From   uint64
+	Head   uint64
+	Blocks []*shard.FinalBlock
+}
+
+// EncodeBlockResponse encodes a block response. Each FinalBlock is
+// length-prefixed (unlike the journal record, which runs to the end of
+// its frame) so several can share one payload.
+func EncodeBlockResponse(resp *BlockResponse) ([]byte, error) {
+	b := make([]byte, 0, 64+512*len(resp.Blocks))
+	b = appendUvarint(b, resp.From)
+	b = appendUvarint(b, resp.Head)
+	b = appendUvarint(b, uint64(len(resp.Blocks)))
+	for _, fb := range resp.Blocks {
+		enc, err := EncodeFinalBlock(fb)
+		if err != nil {
+			return nil, err
+		}
+		b = appendBytes(b, enc)
+	}
+	return b, nil
+}
+
+// DecodeBlockResponse decodes a block response payload. The contiguity
+// contract is enforced here: Blocks[i].Epoch must equal From+i, so a
+// malformed or adversarial response cannot smuggle out-of-range blocks
+// past the replay loop.
+func DecodeBlockResponse(b []byte) (*BlockResponse, error) {
+	r := &reader{b: b}
+	resp := &BlockResponse{From: r.uvarint(), Head: r.uvarint()}
+	n := r.count(2)
+	if n > 0 {
+		resp.Blocks = make([]*shard.FinalBlock, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		enc := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		fb, err := DecodeFinalBlock(enc)
+		if err != nil {
+			return nil, err
+		}
+		if fb.Epoch != resp.From+uint64(i) {
+			return nil, fmt.Errorf("%w: block response not contiguous: slot %d carries epoch %d, want %d",
+				ErrDecode, i, fb.Epoch, resp.From+uint64(i))
+		}
+		resp.Blocks = append(resp.Blocks, fb)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Hello announces a node to the DS committee: its transport name (the
+// address frames route back to) and its role. The DS uses lookup
+// hellos to learn the fan-out set for FinalBlocks at runtime instead
+// of from static configuration.
+type Hello struct {
+	Name string
+	Role string
+}
+
+// EncodeHello encodes a hello announcement.
+func EncodeHello(h *Hello) []byte {
+	b := appendString(make([]byte, 0, 32), h.Name)
+	return appendString(b, h.Role)
+}
+
+// DecodeHello decodes a hello payload.
+func DecodeHello(b []byte) (*Hello, error) {
+	r := &reader{b: b}
+	h := &Hello{Name: r.string(), Role: r.string()}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

@@ -125,6 +125,12 @@ func (t MsgType) String() string {
 		return "contract_page"
 	case MsgPageIndex:
 		return "page_index"
+	case MsgBlockRequest:
+		return "block_request"
+	case MsgBlockResponse:
+		return "block_response"
+	case MsgHello:
+		return "hello"
 	}
 	return fmt.Sprintf("msg(%d)", byte(t))
 }

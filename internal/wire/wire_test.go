@@ -215,6 +215,11 @@ func fixtures() []fixture {
 			},
 			Contracts: []PageIndexContract{{Addr: chain.AddrFromUint(7), Version: 9}},
 		})},
+		{"block_request", MsgBlockRequest, EncodeBlockRequest(&BlockRequest{From: 3, To: 7})},
+		{"block_response", MsgBlockResponse, mustEnc(EncodeBlockResponse(&BlockResponse{
+			From: 5, Head: 6, Blocks: []*shard.FinalBlock{fixtureFinalBlock()},
+		}))},
+		{"hello", MsgHello, EncodeHello(&Hello{Name: "lookup-1", Role: "lookup"})},
 	}
 }
 
@@ -325,6 +330,24 @@ func reencode(t MsgType, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return EncodePageIndex(v), nil
+	case MsgBlockRequest:
+		v, err := DecodeBlockRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeBlockRequest(v), nil
+	case MsgBlockResponse:
+		v, err := DecodeBlockResponse(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeBlockResponse(v)
+	case MsgHello:
+		v, err := DecodeHello(payload)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeHello(v), nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrDecode, t)
 	}
